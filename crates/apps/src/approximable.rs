@@ -1,0 +1,321 @@
+//! `@Approximable` classes from the paper's annotation war stories
+//! (section 6.3), rendered with the mode-parameter pattern of
+//! [`enerj_core::context`].
+//!
+//! * The jMonkeyEngine port "uses a `Vector3f` class for much of its
+//!   computation, which we marked as approximable. In this setting,
+//!   approximate vector declarations (`@Approx Vector3f v`) are
+//!   syntactically identical to approximate primitive-value declarations."
+//!   [`Vector3<M>`] is that class: `Vector3<ApproxMode>` computes on the
+//!   imprecise FPU, `Vector3<PreciseMode>` on the reliable one — same
+//!   source text for both.
+//!
+//! * "ZXing contains `BitArray` and `BitMatrix` classes that are thin
+//!   wrappers over binary data. ... The `BitArray` approximable class
+//!   contains a method `isRange` that takes two indices and determines
+//!   whether all the bits between the two indices are set. We implemented
+//!   an approximate version of the method that checks only some of the
+//!   bits in the range by skipping some loop iterations." [`BitVector<M>`]
+//!   reproduces exactly that: the `ApproxMode` implementation of
+//!   [`RangeCheck::is_range`] samples every other bit.
+
+use std::marker::PhantomData;
+
+use enerj_core::context::{ApproxMode, Ctx, Mode, PreciseMode};
+use enerj_core::{endorse, endorse_ctx, Approx, Precise};
+
+/// An approximable 3-component vector (the paper's `Vector3f`).
+///
+/// The qualifier parameter `M` plays the role of the instance qualifier:
+/// `Vector3<ApproxMode>` is `@Approx Vector3f`, `Vector3<PreciseMode>` is
+/// the precise instance of the same class.
+#[derive(Debug, Clone, Copy)]
+pub struct Vector3<M: Mode> {
+    /// X component (context-qualified: follows the instance).
+    pub x: Ctx<f32, M>,
+    /// Y component.
+    pub y: Ctx<f32, M>,
+    /// Z component.
+    pub z: Ctx<f32, M>,
+}
+
+impl<M: Mode> Vector3<M> {
+    /// Builds a vector from precise components (subtyping lets precise
+    /// data flow into either instantiation).
+    pub fn new(x: f32, y: f32, z: f32) -> Self {
+        Vector3 { x: Ctx::new(x), y: Ctx::new(y), z: Ctx::new(z) }
+    }
+
+    /// Component-wise subtraction. (Named like jMonkeyEngine's
+    /// `Vector3f.subtract`; implementing `std::ops::Sub` for every mode
+    /// would shadow the same behaviour with more machinery.)
+    #[allow(clippy::should_implement_trait)]
+    pub fn sub(self, o: Self) -> Self {
+        Vector3 { x: self.x - o.x, y: self.y - o.y, z: self.z - o.z }
+    }
+
+    /// Dot product, in the instance's precision.
+    pub fn dot(self, o: Self) -> Ctx<f32, M> {
+        self.x * o.x + self.y * o.y + self.z * o.z
+    }
+
+    /// Cross product, in the instance's precision.
+    pub fn cross(self, o: Self) -> Self {
+        Vector3 {
+            x: self.y * o.z - self.z * o.y,
+            y: self.z * o.x - self.x * o.z,
+            z: self.x * o.y - self.y * o.x,
+        }
+    }
+}
+
+impl Vector3<PreciseMode> {
+    /// Squared length; precise instances project without endorsement.
+    pub fn length_squared(self) -> f32 {
+        self.dot(self).into_precise()
+    }
+}
+
+impl Vector3<ApproxMode> {
+    /// Squared length as approximate data; needs an endorsement to leave.
+    pub fn length_squared(self) -> Approx<f32> {
+        self.dot(self).to_approx()
+    }
+}
+
+/// An approximable bit vector (the paper's ZXing `BitArray`).
+#[derive(Debug, Clone)]
+pub struct BitVector<M: Mode> {
+    bits: Vec<bool>,
+    _mode: PhantomData<M>,
+}
+
+impl<M: Mode> BitVector<M> {
+    /// Builds from a slice of bits.
+    pub fn from_bits(bits: &[bool]) -> Self {
+        BitVector { bits: bits.to_vec(), _mode: PhantomData }
+    }
+
+    /// Number of bits.
+    pub fn len(&self) -> usize {
+        self.bits.len()
+    }
+
+    /// Whether the vector is empty.
+    pub fn is_empty(&self) -> bool {
+        self.bits.is_empty()
+    }
+
+    /// Sets bit `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range (indices are precise, section 2.6).
+    pub fn set(&mut self, i: usize, value: bool) {
+        self.bits[i] = value;
+    }
+}
+
+/// Algorithmic approximation (section 2.5.2): the `isRange` query, with an
+/// `_APPROX` overload selected by the receiver's mode.
+pub trait RangeCheck {
+    /// Whether every bit in `lo..hi` is set — possibly checked
+    /// approximately, per the receiver's precision.
+    fn is_range(&self, lo: usize, hi: usize) -> bool;
+}
+
+impl RangeCheck for BitVector<PreciseMode> {
+    fn is_range(&self, lo: usize, hi: usize) -> bool {
+        let mut ok = Precise::new(1i32);
+        for i in lo..hi.min(self.bits.len()) {
+            // Multiply by the bit: one counted precise op per examined bit,
+            // mirroring the approximate overload's op pattern.
+            ok *= i32::from(self.bits[i]);
+        }
+        ok == 1
+    }
+}
+
+impl RangeCheck for BitVector<ApproxMode> {
+    /// The paper's approximate implementation: "checks only some of the
+    /// bits in the range by skipping some loop iterations."
+    fn is_range(&self, lo: usize, hi: usize) -> bool {
+        let mut ok = Approx::new(1i32);
+        let mut i = lo;
+        while i < hi.min(self.bits.len()) {
+            if !self.bits[i] {
+                ok *= 0;
+            }
+            i += 2; // skip every other bit
+        }
+        endorse(ok.eq_approx(1))
+    }
+}
+
+/// Ray–triangle intersection over approximable vectors (Möller–Trumbore),
+/// precision-polymorphic: the same source serves both instantiations, the
+/// paper's "single annotation makes an instance use both approximate data
+/// and approximate code".
+pub fn ray_hits_triangle<M: Mode>(
+    origin: Vector3<M>,
+    dir: Vector3<M>,
+    v0: Vector3<M>,
+    v1: Vector3<M>,
+    v2: Vector3<M>,
+) -> bool
+where
+    BoolOf<M>: DecideWith<M>,
+{
+    let e1 = v1.sub(v0);
+    let e2 = v2.sub(v0);
+    let p = dir.cross(e2);
+    let det = e1.dot(p);
+    if BoolOf::<M>::lt(det, 1e-8) && BoolOf::<M>::gt(det, -1e-8) {
+        return false;
+    }
+    let inv_det = Ctx::<f32, M>::new(1.0) / det;
+    let t_vec = origin.sub(v0);
+    let u = t_vec.dot(p) * inv_det;
+    if BoolOf::<M>::lt(u, 0.0) || BoolOf::<M>::gt(u, 1.0) {
+        return false;
+    }
+    let q = t_vec.cross(e1);
+    let v = dir.dot(q) * inv_det;
+    if BoolOf::<M>::lt(v, 0.0) || BoolOf::<M>::gt(u + v, 1.0) {
+        return false;
+    }
+    BoolOf::<M>::gt(e2.dot(q) * inv_det, 0.0)
+}
+
+/// Helper carrying the per-mode decision strategy for context values:
+/// precise instances branch directly, approximate instances endorse.
+pub struct BoolOf<M: Mode>(PhantomData<M>);
+
+/// Decisions over `Ctx<f32, M>` values: the one place where control flow
+/// touches the data, so the one place the two instantiations differ.
+pub trait DecideWith<M: Mode> {
+    /// `x < bound`, decided per the mode's rules.
+    fn lt(x: Ctx<f32, M>, bound: f32) -> bool;
+    /// `x > bound`, decided per the mode's rules.
+    fn gt(x: Ctx<f32, M>, bound: f32) -> bool;
+}
+
+impl DecideWith<PreciseMode> for BoolOf<PreciseMode> {
+    fn lt(x: Ctx<f32, PreciseMode>, bound: f32) -> bool {
+        x.into_precise() < bound
+    }
+    fn gt(x: Ctx<f32, PreciseMode>, bound: f32) -> bool {
+        x.into_precise() > bound
+    }
+}
+
+impl DecideWith<ApproxMode> for BoolOf<ApproxMode> {
+    fn lt(x: Ctx<f32, ApproxMode>, bound: f32) -> bool {
+        endorse(x.to_approx().lt_approx(bound))
+    }
+    fn gt(x: Ctx<f32, ApproxMode>, bound: f32) -> bool {
+        endorse(x.to_approx().gt_approx(bound))
+    }
+}
+
+/// Convenience: endorse an approximate vector's components.
+pub fn endorse_vector(v: Vector3<ApproxMode>) -> (f32, f32, f32) {
+    (endorse_ctx(v.x), endorse_ctx(v.y), endorse_ctx(v.z))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use enerj_core::Runtime;
+    use enerj_hw::config::{HwConfig, Level, StrategyMask};
+
+    fn exact_rt() -> Runtime {
+        Runtime::with_config(
+            HwConfig::for_level(Level::Aggressive).with_mask(StrategyMask::NONE),
+            0,
+        )
+    }
+
+    #[test]
+    fn vector_ops_route_by_mode() {
+        let rt = exact_rt();
+        rt.run(|| {
+            let a = Vector3::<ApproxMode>::new(1.0, 0.0, 0.0);
+            let b = Vector3::<ApproxMode>::new(0.0, 1.0, 0.0);
+            let c = a.cross(b);
+            let (x, y, z) = endorse_vector(c);
+            assert_eq!((x, y, z), (0.0, 0.0, 1.0));
+
+            let p = Vector3::<PreciseMode>::new(3.0, 4.0, 0.0);
+            assert_eq!(p.length_squared(), 25.0);
+        });
+        let s = rt.stats();
+        assert!(s.fp_approx_ops > 0, "approx instance used the imprecise FPU");
+        assert!(s.fp_precise_ops > 0, "precise instance used the reliable FPU");
+    }
+
+    #[test]
+    fn intersection_agrees_across_modes_when_masked() {
+        let rt = exact_rt();
+        rt.run(|| {
+            let cases = crate::workload::triangle_cases(100);
+            for c in &cases {
+                let approx = ray_hits_triangle(
+                    Vector3::<ApproxMode>::new(c[0], c[1], c[2]),
+                    Vector3::new(c[3], c[4], c[5]),
+                    Vector3::new(c[6], c[7], c[8]),
+                    Vector3::new(c[9], c[10], c[11]),
+                    Vector3::new(c[12], c[13], c[14]),
+                );
+                let precise = ray_hits_triangle(
+                    Vector3::<PreciseMode>::new(c[0], c[1], c[2]),
+                    Vector3::new(c[3], c[4], c[5]),
+                    Vector3::new(c[6], c[7], c[8]),
+                    Vector3::new(c[9], c[10], c[11]),
+                    Vector3::new(c[12], c[13], c[14]),
+                );
+                assert_eq!(approx, precise);
+            }
+        });
+    }
+
+    #[test]
+    fn bitvector_is_range_overloads() {
+        let rt = exact_rt();
+        rt.run(|| {
+            let mut bits = vec![true; 32];
+            bits[20] = false;
+            let precise = BitVector::<PreciseMode>::from_bits(&bits);
+            let approx = BitVector::<ApproxMode>::from_bits(&bits);
+            // Precise: finds the hole.
+            assert!(!precise.is_range(0, 32));
+            assert!(precise.is_range(0, 20));
+            // Approximate: checks even indices only, so a hole at an odd
+            // offset from `lo` is invisible — cheaper, best effort.
+            assert!(!approx.is_range(0, 32), "bit 20 is on the sampled grid");
+            assert!(approx.is_range(21, 32), "skips the hole's parity");
+            assert!(approx.is_range(0, 20));
+        });
+    }
+
+    #[test]
+    fn approx_is_range_does_less_work() {
+        let rt = exact_rt();
+        let bits = vec![true; 1000];
+        rt.run(|| {
+            let v = BitVector::<ApproxMode>::from_bits(&bits);
+            assert!(v.is_range(0, 1000));
+        });
+        let approx_ops = rt.stats().int_approx_ops;
+        let rt2 = exact_rt();
+        rt2.run(|| {
+            let v = BitVector::<PreciseMode>::from_bits(&bits);
+            assert!(v.is_range(0, 1000));
+        });
+        let precise_ops = rt2.stats().int_precise_ops;
+        assert!(
+            approx_ops * 2 <= precise_ops + 10,
+            "approx {approx_ops} vs precise {precise_ops}: should halve the work"
+        );
+    }
+}

@@ -1,0 +1,114 @@
+//! Reference-free health monitoring: a canary kernel for online tuning.
+//!
+//! The paper's closing suggestion for section 6.2 contrasts *offline
+//! profiling* (see [`crate::tuner`]) with *online monitoring "as in
+//! Green"*. Green needs the application's own QoS signal; a cheaper
+//! reference-free alternative is a **canary**: a tiny computation with a
+//! known exact answer, executed on the approximate hardware alongside the
+//! real workload. The canary's observed error estimates the substrate's
+//! current unreliability without touching application outputs.
+//!
+//! [`canary_error`] runs one probe under the ambient runtime;
+//! [`recommend_level`] calibrates — it probes each Table 2 level and
+//! returns the most aggressive one whose mean canary error stays within a
+//! tolerance, no application reference output required.
+
+use enerj_core::{endorse, Approx, Runtime};
+use enerj_hw::config::{HwConfig, Level};
+
+/// Number of terms in the canary dot product.
+const TERMS: usize = 96;
+
+/// The canary kernel's exact answer, computed precisely.
+fn expected() -> f64 {
+    (0..TERMS).map(|i| ((i % 7) as f64 + 0.5) * ((i % 5) as f64 - 2.0)).sum()
+}
+
+/// Runs one canary probe on the ambient runtime: a fixed dot product in
+/// approximate arithmetic, compared against its known answer. Returns the
+/// relative error, clamped to `[0, 1]` with NaN counting as 1.
+pub fn canary_error() -> f64 {
+    let mut acc = Approx::new(0.0f64);
+    for i in 0..TERMS {
+        let a = (i % 7) as f64 + 0.5;
+        let b = (i % 5) as f64 - 2.0;
+        acc += Approx::new(a) * b;
+    }
+    let got = endorse(acc);
+    let want = expected();
+    if !got.is_finite() {
+        return 1.0;
+    }
+    ((got - want).abs() / want.abs().max(1.0)).min(1.0)
+}
+
+/// Probes each level `probes` times and returns the most aggressive level
+/// whose mean canary error is at most `tolerance`; `None` if even Mild
+/// fails (run precisely).
+///
+/// # Panics
+///
+/// Panics if `probes` is zero or `tolerance` is negative.
+pub fn recommend_level(tolerance: f64, probes: u64, seed: u64) -> Option<Level> {
+    assert!(probes > 0, "at least one probe required");
+    assert!(tolerance >= 0.0, "tolerance must be non-negative");
+    for level in Level::ALL.iter().rev() {
+        let mut total = 0.0;
+        for p in 0..probes {
+            let rt = Runtime::with_config(HwConfig::for_level(*level), seed ^ (p + 1));
+            total += rt.run(canary_error);
+        }
+        if total / probes as f64 <= tolerance {
+            return Some(*level);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use enerj_hw::config::StrategyMask;
+
+    #[test]
+    fn canary_is_exact_on_masked_hardware() {
+        let cfg = HwConfig::for_level(Level::Aggressive).with_mask(StrategyMask::NONE);
+        let rt = Runtime::with_config(cfg, 0);
+        assert_eq!(rt.run(canary_error), 0.0);
+    }
+
+    #[test]
+    fn canary_error_grows_with_aggressiveness_on_average() {
+        let mean = |level: Level| {
+            (0..20)
+                .map(|s| Runtime::with_config(HwConfig::for_level(level), s).run(canary_error))
+                .sum::<f64>()
+                / 20.0
+        };
+        let mild = mean(Level::Mild);
+        let aggressive = mean(Level::Aggressive);
+        assert!(mild <= aggressive, "mild {mild} vs aggressive {aggressive}");
+        assert!(mild < 0.05, "mild canaries are almost always healthy");
+    }
+
+    #[test]
+    fn recommendation_is_monotone_in_tolerance() {
+        let rank = |l: Option<Level>| match l {
+            None => 0,
+            Some(Level::Mild) => 1,
+            Some(Level::Medium) => 2,
+            Some(Level::Aggressive) => 3,
+        };
+        let tight = recommend_level(1e-6, 5, 7);
+        let loose = recommend_level(0.5, 5, 7);
+        assert!(rank(tight) <= rank(loose));
+        // A tolerance of 1.0 admits anything.
+        assert_eq!(recommend_level(1.0, 3, 7), Some(Level::Aggressive));
+    }
+
+    #[test]
+    fn canary_runs_without_a_runtime_too() {
+        // Portability: without a substrate the canary is trivially healthy.
+        assert_eq!(canary_error(), 0.0);
+    }
+}

@@ -1,0 +1,206 @@
+//! # enerj-apps: the EnerJ benchmark suite
+//!
+//! Rust ports of the applications evaluated in *EnerJ: Approximate Data
+//! Types for Safe and General Low-Power Computation* (PLDI 2011),
+//! section 6 / Table 3:
+//!
+//! * the five SciMark2 kernels — [`scimark::fft`], [`scimark::sor`],
+//!   [`scimark::montecarlo`], [`scimark::sparse`], [`scimark::lu`];
+//! * [`zxing`] — a QR-style 2-D barcode decoder (substitute for the ZXing
+//!   library);
+//! * [`jmonkey`] — batched ray–triangle intersection (substitute for the
+//!   jMonkeyEngine collision workload);
+//! * [`imagej`] — raster flood fill with approximate pixel coordinates;
+//! * [`raytracer`] — a small ray-plane/sphere renderer.
+//!
+//! Every port is written once, in the EnerJ programming model
+//! ([`enerj-core`](enerj_core)): approximate data and arithmetic where the
+//! paper's annotations put them, explicit endorsements at
+//! approximate→precise boundaries. The *reference* output is the same code
+//! run with every fault strategy masked off, which is exactly the paper's
+//! "precise execution" of an annotated program; the [`harness`] module
+//! packages both runs.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod approximable;
+pub mod canary;
+pub mod imagej;
+pub mod jmonkey;
+pub mod meta;
+pub mod qos;
+pub mod raytracer;
+pub mod scimark;
+pub mod tuner;
+pub mod workload;
+pub mod zxing;
+
+use meta::AppMeta;
+use qos::Output;
+
+/// One registered benchmark: metadata plus its entry point.
+///
+/// The entry point must be called under an installed
+/// [`Runtime`](enerj_core::Runtime); use [`harness`] for the standard
+/// reference/approximate protocol.
+#[derive(Clone)]
+pub struct App {
+    /// Table 3 metadata.
+    pub meta: AppMeta,
+    /// The benchmark body.
+    pub run: fn() -> Output,
+}
+
+impl std::fmt::Debug for App {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("App").field("name", &self.meta.name).finish()
+    }
+}
+
+/// All nine benchmarks, in the paper's Table 3 order.
+pub fn all_apps() -> Vec<App> {
+    vec![
+        App { meta: scimark::fft::meta(), run: scimark::fft::run },
+        App { meta: scimark::sor::meta(), run: scimark::sor::run },
+        App { meta: scimark::montecarlo::meta(), run: scimark::montecarlo::run },
+        App { meta: scimark::sparse::meta(), run: scimark::sparse::run },
+        App { meta: scimark::lu::meta(), run: scimark::lu::run },
+        App { meta: zxing::meta(), run: zxing::run },
+        App { meta: jmonkey::meta(), run: jmonkey::run },
+        App { meta: imagej::meta(), run: imagej::run },
+        App { meta: raytracer::meta(), run: raytracer::run },
+    ]
+}
+
+/// The standard measurement protocol used by every table and figure.
+pub mod harness {
+    use super::App;
+    use crate::qos::Output;
+    use enerj_core::Runtime;
+    use enerj_hw::config::{HwConfig, Level, StrategyMask};
+    use enerj_hw::energy::EnergyBreakdown;
+    use enerj_hw::stats::Stats;
+
+    /// Base seed for fault-injection runs (XORed with the run index).
+    pub const FAULT_SEED_BASE: u64 = 0x5A17_2011;
+
+    /// Result of one simulated run.
+    #[derive(Debug, Clone)]
+    pub struct Measurement {
+        /// The benchmark's output.
+        pub output: Output,
+        /// Operation and storage statistics.
+        pub stats: Stats,
+        /// Normalized energy under the run's Table 2 parameters.
+        pub energy: EnergyBreakdown,
+    }
+
+    /// Runs the app with all fault strategies masked off: the precise
+    /// reference execution (and the source of the Figure 3 fractions,
+    /// which depend only on the annotation, not on injected faults).
+    pub fn reference(app: &App) -> Measurement {
+        let cfg = HwConfig::for_level(Level::Medium).with_mask(StrategyMask::NONE);
+        measure_with(app, cfg, 0)
+    }
+
+    /// Runs the app under full fault injection at `level` with `seed`.
+    pub fn approximate(app: &App, level: Level, seed: u64) -> Measurement {
+        measure_with(app, HwConfig::for_level(level), seed)
+    }
+
+    /// Runs the app under an arbitrary hardware configuration.
+    pub fn measure_with(app: &App, cfg: HwConfig, seed: u64) -> Measurement {
+        let rt = Runtime::with_config(cfg, seed);
+        let output = rt.run(app.run);
+        Measurement { output, stats: rt.stats(), energy: rt.energy() }
+    }
+
+    /// Mean output error over `runs` fault-injection runs at `level`
+    /// (the Figure 5 protocol: the paper uses 20 runs), given a
+    /// precomputed reference output.
+    pub fn mean_output_error_vs(app: &App, reference: &Output, level: Level, runs: u64) -> f64 {
+        let total: f64 = (0..runs)
+            .map(|i| {
+                let m = approximate(app, level, FAULT_SEED_BASE ^ i);
+                crate::qos::output_error(app.meta.metric, reference, &m.output)
+            })
+            .sum();
+        total / runs as f64
+    }
+
+    /// Mean output error over `runs` fault-injection runs at `level`,
+    /// computing the reference internally.
+    pub fn mean_output_error(app: &App, level: Level, runs: u64) -> f64 {
+        let reference = reference(app).output;
+        mean_output_error_vs(app, &reference, level, runs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use enerj_hw::config::Level;
+
+    #[test]
+    fn registry_has_nine_apps_in_table3_order() {
+        let apps = all_apps();
+        let names: Vec<&str> = apps.iter().map(|a| a.meta.name).collect();
+        assert_eq!(
+            names,
+            [
+                "FFT",
+                "SOR",
+                "MonteCarlo",
+                "SparseMatMult",
+                "LU",
+                "ZXing",
+                "jMonkeyEngine",
+                "ImageJ",
+                "Raytracer"
+            ]
+        );
+    }
+
+    #[test]
+    fn every_app_produces_a_stable_reference_output() {
+        for app in all_apps() {
+            let m = harness::reference(&app);
+            let m2 = harness::reference(&app);
+            assert_eq!(m.output, m2.output, "{} reference unstable", app.meta.name);
+        }
+    }
+
+    #[test]
+    fn mild_runs_have_tiny_output_error() {
+        for app in all_apps() {
+            let reference = harness::reference(&app).output;
+            let m = harness::approximate(&app, Level::Mild, 1);
+            let err = qos::output_error(app.meta.metric, &reference, &m.output);
+            assert!(
+                err < 0.2,
+                "{}: mild error {err} unexpectedly high",
+                app.meta.name
+            );
+        }
+    }
+
+    #[test]
+    fn annotation_stats_are_sane() {
+        for app in all_apps() {
+            let s = app.meta.annotation_stats();
+            assert!(s.loc > 20, "{}: loc {}", app.meta.name, s.loc);
+            assert!(s.total_decls > 5, "{}: decls {}", app.meta.name, s.total_decls);
+            assert!(
+                s.annotated_decls > 0,
+                "{}: no annotations found",
+                app.meta.name
+            );
+            assert!(
+                s.annotated_decls <= s.total_decls,
+                "{}: annotated > total",
+                app.meta.name
+            );
+        }
+    }
+}

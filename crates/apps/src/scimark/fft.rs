@@ -1,0 +1,172 @@
+//! SciMark2 FFT, ported to EnerJ-RS.
+//!
+//! A radix-2 Cooley–Tukey transform over approximate heap arrays. The
+//! annotation follows the paper's approach to SciMark: the signal data and
+//! every butterfly operation are approximate; loop structure, bit-reversal
+//! indices and twiddle-angle bookkeeping stay precise (indices must be —
+//! section 2.6).
+
+use crate::meta::AppMeta;
+use crate::qos::{Output, QosMetric};
+use crate::workload;
+use enerj_core::{Approx, ApproxVec, Precise};
+
+/// This module's own source text, measured for Table 3.
+pub const SOURCE: &str = include_str!("fft.rs");
+
+/// Transform length.
+pub const N: usize = 256;
+
+/// Table 3 metadata.
+pub fn meta() -> AppMeta {
+    AppMeta {
+        name: "FFT",
+        description: "SciMark2 fast Fourier transform (radix-2, n=256)",
+        metric: QosMetric::MeanEntryDiff,
+        source: SOURCE,
+    }
+}
+
+/// Runs the benchmark under the ambient runtime and returns the spectrum
+/// (real parts then imaginary parts).
+pub fn run() -> Output {
+    let (re_in, im_in) = workload::complex_signal(N);
+    let mut re: ApproxVec<f64> = ApproxVec::from_slice(&re_in);
+    let mut im: ApproxVec<f64> = ApproxVec::from_slice(&im_in);
+    fft_in_place(&mut re, &mut im);
+    let mut out = re.endorse_to_vec();
+    out.extend(im.endorse_to_vec());
+    Output::Values(out)
+}
+
+/// In-place decimation-in-time FFT on approximate arrays.
+fn fft_in_place(re: &mut ApproxVec<f64>, im: &mut ApproxVec<f64>) {
+    let n = re.len();
+    bit_reverse_permute(re, im);
+
+    let mut len = 2;
+    while len <= n {
+        let ang = -2.0 * std::f64::consts::PI / len as f64;
+        let (w_step_re, w_step_im) = (ang.cos(), ang.sin());
+        let mut start = 0;
+        while start < n {
+            // Twiddle recurrence kept in approximate registers: it feeds
+            // only approximate data.
+            let mut w_re = Approx::new(1.0f64);
+            let mut w_im = Approx::new(0.0f64);
+            for k in 0..len / 2 {
+                let i = start + k;
+                let j = i + len / 2;
+                let (a_re, a_im) = (re.get(i), im.get(i));
+                let (b_re, b_im) = (re.get(j), im.get(j));
+                let t_re = b_re * w_re - b_im * w_im;
+                let t_im = b_re * w_im + b_im * w_re;
+                re.set(i, a_re + t_re);
+                im.set(i, a_im + t_im);
+                re.set(j, a_re - t_re);
+                im.set(j, a_im - t_im);
+                let next_re = w_re * w_step_re - w_im * w_step_im;
+                w_im = w_re * w_step_im + w_im * w_step_re;
+                w_re = next_re;
+            }
+            start += len;
+        }
+        len <<= 1;
+    }
+}
+
+/// Bit-reversal permutation; index arithmetic is precise integer work and
+/// is instrumented as such.
+fn bit_reverse_permute(re: &mut ApproxVec<f64>, im: &mut ApproxVec<f64>) {
+    let n = re.len();
+    let bits = n.trailing_zeros();
+    for i in 0..n {
+        let j = reverse_bits(i, bits);
+        if j > i {
+            let (ri, ii) = (re.get(i), im.get(i));
+            let (rj, ij) = (re.get(j), im.get(j));
+            re.set(i, rj);
+            im.set(i, ij);
+            re.set(j, ri);
+            im.set(j, ii);
+        }
+    }
+}
+
+/// Reverses the low `bits` bits of `i`, counting the integer work.
+fn reverse_bits(i: usize, bits: u32) -> usize {
+    let mut v = Precise::new(i as i64);
+    let mut out = Precise::new(0i64);
+    for _ in 0..bits {
+        out = out * 2 + v % 2;
+        v /= 2;
+    }
+    out.get() as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use enerj_core::Runtime;
+    use enerj_hw::config::{HwConfig, Level, StrategyMask};
+
+    fn exact() -> Runtime {
+        Runtime::with_config(
+            HwConfig::for_level(Level::Aggressive).with_mask(StrategyMask::NONE),
+            0,
+        )
+    }
+
+    #[test]
+    fn masked_run_matches_plain_fft() {
+        let rt = exact();
+        let Output::Values(ours) = rt.run(run) else { panic!() };
+        // Reference: straightforward DFT on plain floats.
+        let (re, im) = workload::complex_signal(N);
+        for k in [0usize, 1, 5, 17, 128] {
+            let (mut sr, mut si) = (0.0f64, 0.0f64);
+            for t in 0..N {
+                let ang = -2.0 * std::f64::consts::PI * (k * t) as f64 / N as f64;
+                sr += re[t] * ang.cos() - im[t] * ang.sin();
+                si += re[t] * ang.sin() + im[t] * ang.cos();
+            }
+            assert!(
+                (ours[k] - sr).abs() < 1e-6,
+                "bin {k} real: {} vs {}",
+                ours[k],
+                sr
+            );
+            assert!((ours[N + k] - si).abs() < 1e-6, "bin {k} imag");
+        }
+    }
+
+    #[test]
+    fn spectrum_peaks_at_signal_frequencies() {
+        let rt = exact();
+        let Output::Values(v) = rt.run(run) else { panic!() };
+        let mag = |k: usize| (v[k] * v[k] + v[N + k] * v[N + k]).sqrt();
+        // The generator injects tones at bins 5 and 17.
+        assert!(mag(5) > 10.0 * mag(3));
+        assert!(mag(17) > 10.0 * mag(3));
+    }
+
+    #[test]
+    fn run_is_fp_dominated_with_some_int_work() {
+        let rt = exact();
+        let _ = rt.run(run);
+        let s = rt.stats();
+        assert!(s.fp_approx_ops > 5_000);
+        assert!(s.int_precise_ops > 1_000, "bit reversal counts int work");
+        assert!(s.approx_op_fraction(enerj_hw::OpKind::Fp) > 0.99);
+    }
+
+    #[test]
+    fn reverse_bits_is_an_involution() {
+        let rt = exact();
+        rt.run(|| {
+            for i in 0..64usize {
+                assert_eq!(reverse_bits(reverse_bits(i, 6), 6), i);
+            }
+        });
+    }
+}

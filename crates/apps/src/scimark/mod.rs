@@ -1,0 +1,10 @@
+//! The SciMark2 kernels of the paper's evaluation (Table 3): FFT, SOR,
+//! MonteCarlo, SparseMatMult and LU, each ported to the EnerJ programming
+//! model with approximate data arrays, approximate arithmetic, and precise
+//! control flow.
+
+pub mod fft;
+pub mod lu;
+pub mod montecarlo;
+pub mod sor;
+pub mod sparse;

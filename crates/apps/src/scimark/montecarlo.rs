@@ -1,0 +1,99 @@
+//! SciMark2 MonteCarlo (π estimation), ported to EnerJ-RS.
+//!
+//! The LCG random stream and the hit counter are precise — corrupting the
+//! sample count would bias the estimate structurally — while the sample
+//! coordinates and the distance computation are approximate, with a single
+//! endorsement at the inside-the-circle test (the paper's idiom for
+//! approximate conditions, section 2.4). All principal data lives in local
+//! variables, which is why this benchmark shows almost no approximate DRAM
+//! in Figure 3.
+
+use crate::meta::AppMeta;
+use crate::qos::{Output, QosMetric};
+use enerj_core::{endorse, Approx, Precise};
+
+/// This module's own source text, measured for Table 3.
+pub const SOURCE: &str = include_str!("montecarlo.rs");
+
+/// Number of samples.
+pub const SAMPLES: usize = 8_192;
+
+/// Table 3 metadata.
+pub fn meta() -> AppMeta {
+    AppMeta {
+        name: "MonteCarlo",
+        description: "SciMark2 Monte Carlo pi estimation (8192 samples)",
+        metric: QosMetric::NormalizedDiff,
+        source: SOURCE,
+    }
+}
+
+/// Runs the benchmark under the ambient runtime; returns the π estimate.
+pub fn run() -> Output {
+    // A 31-bit LCG (glibc constants), kept precise.
+    let mut seed = Precise::new(113_355i64);
+    let a = 1_103_515_245i64;
+    let c = 12_345i64;
+    let m = 1i64 << 31;
+    let mut hits = Precise::new(0i64);
+    for _ in 0..SAMPLES {
+        seed = (seed * a + c) % m;
+        let x = Approx::new(seed.get() as f64 / m as f64);
+        seed = (seed * a + c) % m;
+        let y = Approx::new(seed.get() as f64 / m as f64);
+        let dist = x * x + y * y;
+        if endorse(dist.le_approx(1.0)) {
+            hits += 1;
+        }
+    }
+    let pi = Precise::new(4.0f64) * (hits.get() as f64 / SAMPLES as f64);
+    Output::Values(vec![pi.get()])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use enerj_core::Runtime;
+    use enerj_hw::config::{HwConfig, Level, StrategyMask};
+
+    fn exact() -> Runtime {
+        Runtime::with_config(
+            HwConfig::for_level(Level::Aggressive).with_mask(StrategyMask::NONE),
+            0,
+        )
+    }
+
+    #[test]
+    fn estimate_is_near_pi() {
+        let rt = exact();
+        let Output::Values(v) = rt.run(run) else { panic!() };
+        assert!((v[0] - std::f64::consts::PI).abs() < 0.06, "pi = {}", v[0]);
+    }
+
+    #[test]
+    fn estimate_is_deterministic_under_masked_runtime() {
+        let a = exact().run(run);
+        let b = exact().run(run);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn principal_data_stays_off_the_heap() {
+        // The paper singles out MonteCarlo (and jMonkeyEngine) as keeping
+        // data in locals: approximate DRAM should be (near) zero.
+        let rt = exact();
+        let _ = rt.run(run);
+        let s = rt.stats();
+        assert_eq!(s.dram_approx_byte_seconds, 0.0);
+        assert!(s.sram_approx_byte_seconds > 0.0);
+    }
+
+    #[test]
+    fn mixes_integer_and_fp_work() {
+        let rt = exact();
+        let _ = rt.run(run);
+        let s = rt.stats();
+        assert!(s.int_precise_ops > 10_000, "LCG is precise integer work");
+        assert!(s.fp_approx_ops > 10_000, "distance math is approximate FP");
+    }
+}

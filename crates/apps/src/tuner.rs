@@ -1,0 +1,137 @@
+//! Offline QoS profiling (section 6.2's closing suggestion).
+//!
+//! The paper observes that applications' "sensitivity to error varies
+//! greatly for the Medium and Aggressive configurations", suggesting that
+//! "an approximate execution substrate for EnerJ could benefit from tuning
+//! to the characteristics of each application, either offline via
+//! profiling or online via continuous QoS measurement as in Green."
+//!
+//! [`tune`] implements the offline variant: profile an application at each
+//! Table 2 level over a handful of fault seeds, and select the most
+//! aggressive level whose mean output error stays within a programmer-
+//! specified budget. The result pairs the chosen level with the energy it
+//! buys, making the accuracy-for-energy trade explicit.
+
+use crate::harness;
+use crate::qos::output_error;
+use crate::App;
+use enerj_hw::config::Level;
+
+/// Outcome of profiling one application against an error budget.
+#[derive(Debug, Clone)]
+pub struct TuningResult {
+    /// The most aggressive admissible level; `None` when even Mild
+    /// violates the budget (run precisely).
+    pub chosen: Option<Level>,
+    /// Mean output error at each of Mild/Medium/Aggressive.
+    pub errors: [f64; 3],
+    /// Normalized energy at each level (baseline = 1.0).
+    pub energy: [f64; 3],
+}
+
+impl TuningResult {
+    /// The energy of the chosen configuration (1.0 when running precisely).
+    pub fn chosen_energy(&self) -> f64 {
+        match self.chosen {
+            None => 1.0,
+            Some(level) => {
+                let i = Level::ALL.iter().position(|l| *l == level).expect("known level");
+                self.energy[i]
+            }
+        }
+    }
+
+    /// The profiled error of the chosen configuration (0 when precise).
+    pub fn chosen_error(&self) -> f64 {
+        match self.chosen {
+            None => 0.0,
+            Some(level) => {
+                let i = Level::ALL.iter().position(|l| *l == level).expect("known level");
+                self.errors[i]
+            }
+        }
+    }
+}
+
+/// Profiles `app` over `runs` fault seeds per level and picks the most
+/// aggressive level with mean error at most `error_budget`.
+///
+/// # Panics
+///
+/// Panics if `error_budget` is negative or `runs` is zero.
+pub fn tune(app: &App, error_budget: f64, runs: u64) -> TuningResult {
+    assert!(error_budget >= 0.0, "error budget must be non-negative");
+    assert!(runs > 0, "profiling needs at least one run");
+    let reference = harness::reference(app).output;
+    let mut errors = [0.0f64; 3];
+    let mut energy = [1.0f64; 3];
+    for (i, level) in Level::ALL.iter().enumerate() {
+        let mut total = 0.0;
+        for r in 0..runs {
+            let m = harness::approximate(app, *level, harness::FAULT_SEED_BASE ^ (r + 1));
+            total += output_error(app.meta.metric, &reference, &m.output);
+            energy[i] = m.energy.total;
+        }
+        errors[i] = total / runs as f64;
+    }
+    let chosen = Level::ALL
+        .iter()
+        .enumerate()
+        .rev()
+        .find(|(i, _)| errors[*i] <= error_budget)
+        .map(|(_, l)| *l);
+    TuningResult { chosen, errors, energy }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::all_apps;
+
+    fn app(name: &str) -> App {
+        all_apps().into_iter().find(|a| a.meta.name == name).expect("registered")
+    }
+
+    #[test]
+    fn robust_apps_tune_to_aggressive() {
+        // MonteCarlo barely degrades at any level (Figure 5): a 5% budget
+        // admits the most aggressive configuration.
+        let r = tune(&app("MonteCarlo"), 0.05, 3);
+        assert_eq!(r.chosen, Some(Level::Aggressive));
+        assert!(r.chosen_energy() < 0.95);
+    }
+
+    #[test]
+    fn fragile_apps_tune_conservatively() {
+        // SOR loses significant fidelity at Medium (Figure 5): a 10%
+        // budget stops at Mild.
+        let r = tune(&app("SOR"), 0.10, 3);
+        assert_eq!(r.chosen, Some(Level::Mild));
+    }
+
+    #[test]
+    fn zero_budget_can_force_precise_execution() {
+        // With a literally-zero budget, any measured error disqualifies a
+        // level; FFT almost always shows some error at Medium+.
+        let r = tune(&app("FFT"), 0.0, 3);
+        assert!(r.chosen.is_none() || r.chosen == Some(Level::Mild));
+        if r.chosen.is_none() {
+            assert_eq!(r.chosen_energy(), 1.0);
+            assert_eq!(r.chosen_error(), 0.0);
+        }
+    }
+
+    #[test]
+    fn errors_reported_per_level_are_monotone_enough() {
+        let r = tune(&app("LU"), 1.0, 3);
+        assert_eq!(r.chosen, Some(Level::Aggressive), "budget 1.0 admits everything");
+        assert!(r.errors[0] <= r.errors[2] + 1e-9);
+        assert!(r.energy[0] >= r.energy[2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one run")]
+    fn zero_runs_rejected() {
+        let _ = tune(&app("MonteCarlo"), 0.1, 0);
+    }
+}

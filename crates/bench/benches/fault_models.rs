@@ -1,0 +1,48 @@
+//! Criterion microbenchmarks for the fault-injection primitives: the
+//! geometric-skip bit flipper across the probability range of Table 2, and
+//! the per-operation cost of each functional-unit path.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use enerj_hw::config::{ErrorMode, HwConfig, Level};
+use enerj_hw::{fault, Hardware};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_flip_bits(c: &mut Criterion) {
+    let mut group = c.benchmark_group("flip_bits");
+    for &p in &[1e-16, 1e-7, 1e-3, 1e-1] {
+        group.bench_with_input(BenchmarkId::from_parameter(p), &p, |b, &p| {
+            let mut rng = StdRng::seed_from_u64(7);
+            b.iter(|| fault::flip_bits(black_box(0xDEAD_BEEF_u64), 64, p, &mut rng));
+        });
+    }
+    group.finish();
+}
+
+fn bench_unit_paths(c: &mut Criterion) {
+    let mut group = c.benchmark_group("functional-units");
+    for mode in ErrorMode::ALL {
+        group.bench_function(format!("int-{mode}"), |b| {
+            let cfg = HwConfig::for_level(Level::Aggressive).with_error_mode(mode);
+            let mut hw = Hardware::new(cfg, 1);
+            let mut i = 0u64;
+            b.iter(|| {
+                i = i.wrapping_add(1);
+                hw.approx_int_result(black_box(i), 64)
+            });
+        });
+    }
+    group.bench_function("f64-width-reduction", |b| {
+        let hw = Hardware::new(HwConfig::for_level(Level::Aggressive), 1);
+        b.iter(|| hw.approx_f64_operand(black_box(std::f64::consts::PI)));
+    });
+    group.bench_function("sram-read-aggressive", |b| {
+        let mut hw = Hardware::new(HwConfig::for_level(Level::Aggressive), 1);
+        b.iter(|| hw.sram_read(black_box(0x1234_5678), 64, true));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_flip_bits, bench_unit_paths);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Criterion microbenchmarks: throughput of the benchmark kernels under
+//! the simulator, and the cost of simulation itself (masked approximate
+//! execution vs. full fault injection).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use enerj_apps::{all_apps, harness};
+use enerj_hw::config::{HwConfig, Level, StrategyMask};
+
+fn bench_reference_runs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("reference");
+    group.sample_size(10);
+    for app in all_apps() {
+        group.bench_function(app.meta.name, |b| {
+            b.iter(|| harness::reference(&app));
+        });
+    }
+    group.finish();
+}
+
+fn bench_fault_injection_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("aggressive-vs-masked");
+    group.sample_size(10);
+    // FFT as the representative kernel: compare masked (counting-only)
+    // execution against full aggressive fault injection.
+    let app = all_apps().into_iter().find(|a| a.meta.name == "FFT").expect("FFT registered");
+    let masked = HwConfig::for_level(Level::Aggressive).with_mask(StrategyMask::NONE);
+    group.bench_function("fft-masked", |b| {
+        b.iter(|| harness::measure_with(&app, masked, 1));
+    });
+    let full = HwConfig::for_level(Level::Aggressive);
+    group.bench_function("fft-faulty", |b| {
+        b.iter(|| harness::measure_with(&app, full, 1));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_reference_runs, bench_fault_injection_overhead);
+criterion_main!(benches);

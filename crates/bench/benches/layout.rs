@@ -1,0 +1,39 @@
+//! Criterion bench + ablation for the cache-line layout scheme (§4.1).
+//!
+//! DESIGN.md calls out the line-granularity layout as a design choice: the
+//! fraction of an approximate array that actually lands on approximate
+//! lines depends on the line size. This bench measures layout computation
+//! cost across line sizes and prints (via the `approx-fraction` group
+//! names) the achievable approximate fraction, supporting the paper's
+//! remark that "a finer granularity of approximate memory storage would
+//! mitigate or eliminate the resulting loss of approximation".
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use enerj_hw::layout::{layout_array, layout_object, FieldSpec, ARRAY_HEADER_BYTES};
+use std::hint::black_box;
+
+fn bench_layout_line_sizes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("layout-array");
+    for &line in &[16usize, 32, 64, 128] {
+        let l = layout_array(8, 512, true, line, ARRAY_HEADER_BYTES);
+        // Encode the achieved approximate fraction in the bench id so the
+        // ablation result is visible in the report.
+        let id = format!("line{line}-frac{:.3}", l.approx_fraction());
+        group.bench_with_input(BenchmarkId::from_parameter(id), &line, |b, &line| {
+            b.iter(|| layout_array(black_box(8), black_box(512), true, line, ARRAY_HEADER_BYTES));
+        });
+    }
+    group.finish();
+}
+
+fn bench_layout_objects(c: &mut Criterion) {
+    let fields: Vec<FieldSpec> = (0..32)
+        .map(|i| FieldSpec::new(if i % 2 == 0 { "p" } else { "a" }, 8, i % 2 == 1))
+        .collect();
+    c.bench_function("layout-object-32-fields", |b| {
+        b.iter(|| layout_object(black_box(&fields), 64, 8));
+    });
+}
+
+criterion_group!(benches, bench_layout_line_sizes, bench_layout_objects);
+criterion_main!(benches);

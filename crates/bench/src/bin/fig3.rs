@@ -1,0 +1,52 @@
+//! Regenerates **Figure 3**: the proportion of approximate storage and
+//! computation in each benchmark.
+//!
+//! For storage (SRAM and DRAM) the bars show the fraction of byte-seconds
+//! used storing approximate data; for functional-unit operations, the
+//! fraction of dynamic operations that executed approximately. These
+//! fractions depend only on the annotations, so a single masked run per
+//! application suffices.
+
+use enerj_apps::{all_apps, harness};
+use enerj_bench::{pct, render_table, Options};
+use enerj_hw::{MemKind, OpKind};
+
+fn main() {
+    let opts = Options::parse(std::env::args(), 1);
+    let mut rows = Vec::new();
+    for app in all_apps() {
+        let m = harness::reference(&app);
+        let s = m.stats;
+        let dram = s.approx_storage_fraction(MemKind::Dram);
+        let sram = s.approx_storage_fraction(MemKind::Sram);
+        let int = s.approx_op_fraction(OpKind::Int);
+        let fp = s.approx_op_fraction(OpKind::Fp);
+        if opts.json {
+            println!(
+                "{{\"app\":\"{}\",\"dram\":{dram:.4},\"sram\":{sram:.4},\"int\":{int:.4},\"fp\":{fp:.4}}}",
+                app.meta.name
+            );
+        }
+        rows.push(vec![
+            app.meta.name.to_owned(),
+            pct(dram),
+            pct(sram),
+            pct(int),
+            pct(fp),
+            if s.total_ops(OpKind::Fp) == 0 { "(no FP)".into() } else { String::new() },
+        ]);
+    }
+    if !opts.json {
+        println!("Figure 3: proportion of approximate storage and computation");
+        println!();
+        println!(
+            "{}",
+            render_table(
+                &["Application", "DRAM storage", "SRAM storage", "Integer ops", "FP ops", ""],
+                &rows
+            )
+        );
+        println!("Fractions are approximate byte-seconds (storage) and approximate");
+        println!("dynamic operations (functional units), as in the paper.");
+    }
+}

@@ -1,0 +1,47 @@
+//! Regenerates **Figure 4**: estimated CPU/memory-system energy for each
+//! benchmark, normalized to fully precise execution ("B"), at the Mild,
+//! Medium and Aggressive configurations.
+//!
+//! Energy depends on the *fractions* of approximate work and storage (one
+//! run per level), not on which faults happened to be injected.
+
+use enerj_apps::{all_apps, harness};
+use enerj_bench::{render_table, Options};
+use enerj_hw::config::Level;
+
+fn main() {
+    let opts = Options::parse(std::env::args(), 1);
+    let mut rows = Vec::new();
+    let mut savings_sum = [0.0f64; 3];
+    let apps = all_apps();
+    for app in &apps {
+        let mut row = vec![app.meta.name.to_owned(), "1.000".to_owned()];
+        for (i, level) in Level::ALL.iter().enumerate() {
+            let m = harness::approximate(app, *level, 1);
+            row.push(format!("{:.3}", m.energy.total));
+            savings_sum[i] += m.energy.savings();
+            if opts.json {
+                println!(
+                    "{{\"app\":\"{}\",\"level\":\"{level}\",\"energy\":{:.4},\"instr\":{:.4},\"sram\":{:.4},\"dram\":{:.4}}}",
+                    app.meta.name, m.energy.total, m.energy.instructions, m.energy.sram, m.energy.dram
+                );
+            }
+        }
+        rows.push(row);
+    }
+    if !opts.json {
+        println!("Figure 4: normalized CPU/memory system energy (B = precise baseline)");
+        println!();
+        println!(
+            "{}",
+            render_table(&["Application", "B", "1 Mild", "2 Medium", "3 Aggressive"], &rows)
+        );
+        let n = apps.len() as f64;
+        println!(
+            "Average savings: Mild {:.0}%, Medium {:.0}%, Aggressive {:.0}%  (paper: 19%, 24%, 26%)",
+            100.0 * savings_sum[0] / n,
+            100.0 * savings_sum[1] / n,
+            100.0 * savings_sum[2] / n
+        );
+    }
+}

@@ -1,0 +1,39 @@
+//! Regenerates **Figure 5**: output error for the three approximation
+//! levels applied together; each bar is the mean over N fault-injection
+//! runs (the paper uses 20; override with `--runs N`).
+
+use enerj_apps::{all_apps, harness};
+use enerj_bench::{err3, render_table, Options};
+use enerj_hw::config::Level;
+
+fn main() {
+    let opts = Options::parse(std::env::args(), 20);
+    let mut rows = Vec::new();
+    for app in all_apps() {
+        let reference = harness::reference(&app).output;
+        let mut row = vec![app.meta.name.to_owned()];
+        for level in Level::ALL {
+            let err = harness::mean_output_error_vs(&app, &reference, level, opts.runs);
+            row.push(err3(err));
+            if opts.json {
+                println!(
+                    "{{\"app\":\"{}\",\"level\":\"{level}\",\"error\":{err:.4},\"runs\":{}}}",
+                    app.meta.name, opts.runs
+                );
+            }
+        }
+        rows.push(row);
+    }
+    if !opts.json {
+        println!(
+            "Figure 5: output error at the three approximation levels (mean of {} runs)",
+            opts.runs
+        );
+        println!();
+        println!(
+            "{}",
+            render_table(&["Application", "Mild", "Medium", "Aggressive"], &rows)
+        );
+        println!("0 = identical to precise output, 1 = meaningless output.");
+    }
+}

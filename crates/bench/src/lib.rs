@@ -1,0 +1,145 @@
+//! # enerj-bench: the evaluation harness
+//!
+//! Binaries that regenerate every table and figure of the EnerJ paper's
+//! evaluation (PLDI 2011, section 6):
+//!
+//! | target | regenerates |
+//! |---|---|
+//! | `table1` | Table 1 — language constructs and their renderings |
+//! | `table2` | Table 2 — approximation strategies and savings |
+//! | `table3` | Table 3 — applications, QoS metrics, annotation density |
+//! | `fig3` | Figure 3 — proportion of approximate storage and computation |
+//! | `fig4` | Figure 4 — estimated CPU/memory energy per configuration |
+//! | `fig5` | Figure 5 — output error at three levels (mean of N runs) |
+//! | `ablation` | section 6.2 — per-strategy isolation and FU error modes |
+//! | `tuning` | section 6.2 extension — offline per-app QoS tuning |
+//!
+//! Each binary accepts `--runs N` where sampling applies and prints
+//! fixed-width text tables; pass `--json` for machine-readable rows.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Write as _;
+
+/// Simple command-line options shared by the binaries.
+#[derive(Debug, Clone)]
+pub struct Options {
+    /// Fault-injection runs per data point (Figure 5 uses 20).
+    pub runs: u64,
+    /// Emit JSON rows instead of a text table.
+    pub json: bool,
+    /// Extra mode flag (e.g. `--error-modes` for the ablation binary).
+    pub flags: Vec<String>,
+}
+
+impl Options {
+    /// Parses `std::env::args`-style arguments.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a usage message on malformed arguments.
+    pub fn parse(args: impl Iterator<Item = String>, default_runs: u64) -> Options {
+        let mut opts = Options { runs: default_runs, json: false, flags: Vec::new() };
+        let mut args = args.skip(1);
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--runs" => {
+                    let v = args.next().expect("--runs needs a value");
+                    opts.runs = v.parse().expect("--runs needs an integer");
+                }
+                "--json" => opts.json = true,
+                other => opts.flags.push(other.to_owned()),
+            }
+        }
+        opts
+    }
+}
+
+/// Renders a fixed-width text table: a header row plus data rows.
+pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    let mut line = String::new();
+    for (i, h) in headers.iter().enumerate() {
+        let _ = write!(line, "{:<w$}  ", h, w = widths[i]);
+    }
+    out.push_str(line.trim_end());
+    out.push('\n');
+    let rule_len = widths.iter().sum::<usize>() + 2 * widths.len().saturating_sub(1);
+    out.push_str(&"-".repeat(rule_len));
+    out.push('\n');
+    for row in rows {
+        let mut line = String::new();
+        for (i, cell) in row.iter().enumerate() {
+            let _ = write!(line, "{:<w$}  ", cell, w = widths[i]);
+        }
+        out.push_str(line.trim_end());
+        out.push('\n');
+    }
+    out
+}
+
+/// Formats a fraction as a percentage with one decimal.
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", 100.0 * x)
+}
+
+/// Formats a small error value with three decimals.
+pub fn err3(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_runs_and_json() {
+        let opts = Options::parse(
+            ["bin", "--runs", "7", "--json", "--error-modes"].iter().map(|s| s.to_string()),
+            20,
+        );
+        assert_eq!(opts.runs, 7);
+        assert!(opts.json);
+        assert_eq!(opts.flags, vec!["--error-modes"]);
+    }
+
+    #[test]
+    fn default_runs_apply() {
+        let opts = Options::parse(["bin"].iter().map(|s| s.to_string()), 20);
+        assert_eq!(opts.runs, 20);
+        assert!(!opts.json);
+    }
+
+    #[test]
+    fn table_is_aligned() {
+        let t = render_table(
+            &["name", "value"],
+            &[
+                vec!["a".into(), "1".into()],
+                vec!["longer".into(), "2".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[2].starts_with("a"));
+        // Columns align: "value" and "1" start at the same offset.
+        let col = lines[0].find("value").unwrap();
+        assert_eq!(lines[2].chars().nth(col), Some('1'));
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(pct(0.1234), "12.3%");
+        assert_eq!(err3(0.0456), "0.046");
+    }
+}

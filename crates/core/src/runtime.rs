@@ -1,0 +1,239 @@
+//! The approximate runtime: the ambient connection between `Approx` values
+//! and the simulated hardware.
+//!
+//! EnerJ programs are ordinary programs; the *execution substrate* decides
+//! what approximation means (section 4). In this embedding, a [`Runtime`]
+//! owns a simulated [`Hardware`] and installs it for the duration of a
+//! [`Runtime::run`] call. `Approx` operations executed inside the closure
+//! are routed through the simulator; outside of any runtime they execute
+//! precisely, mirroring the paper's observation that "one valid execution is
+//! to ignore all annotations and execute the code as plain Java."
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use enerj_hw::config::{HwConfig, Level};
+use enerj_hw::energy::{normalized_energy, EnergyBreakdown};
+use enerj_hw::stats::Stats;
+use enerj_hw::Hardware;
+
+thread_local! {
+    static CURRENT: RefCell<Vec<Rc<RefCell<Hardware>>>> = const { RefCell::new(Vec::new()) };
+}
+
+/// A handle to a simulated approximation-aware machine.
+///
+/// Cloning a `Runtime` clones the *handle*; both refer to the same machine.
+/// Runtimes are single-threaded (the simulated machine is not `Sync`).
+///
+/// # Examples
+///
+/// ```
+/// use enerj_core::{endorse, Approx, Runtime};
+/// use enerj_hw::config::Level;
+///
+/// let rt = Runtime::new(Level::Mild, 1);
+/// let y = rt.run(|| {
+///     let x = Approx::new(21i32);
+///     endorse(x + x)
+/// });
+/// // Mild faults are vanishingly rare; the count of approximate ops is exact.
+/// assert_eq!(rt.stats().int_approx_ops, 1);
+/// let _ = y;
+/// ```
+#[derive(Debug, Clone)]
+pub struct Runtime {
+    hw: Rc<RefCell<Hardware>>,
+}
+
+impl Runtime {
+    /// Creates a runtime at a Table 2 level with every strategy enabled and
+    /// the random-value error mode — the paper's headline configuration.
+    pub fn new(level: Level, seed: u64) -> Self {
+        Runtime::with_config(HwConfig::for_level(level), seed)
+    }
+
+    /// Creates a runtime with an explicit hardware configuration.
+    pub fn with_config(cfg: HwConfig, seed: u64) -> Self {
+        Runtime { hw: Rc::new(RefCell::new(Hardware::new(cfg, seed))) }
+    }
+
+    /// Runs `f` with this runtime installed as the ambient substrate.
+    ///
+    /// Calls may nest (the innermost runtime wins), and the installation is
+    /// popped even if `f` panics.
+    pub fn run<R>(&self, f: impl FnOnce() -> R) -> R {
+        struct Guard;
+        impl Drop for Guard {
+            fn drop(&mut self) {
+                CURRENT.with(|c| {
+                    c.borrow_mut().pop();
+                });
+            }
+        }
+        CURRENT.with(|c| c.borrow_mut().push(Rc::clone(&self.hw)));
+        let _guard = Guard;
+        f()
+    }
+
+    /// A snapshot of the machine's statistics.
+    pub fn stats(&self) -> Stats {
+        *self.hw.borrow().stats()
+    }
+
+    /// Normalized energy of the run so far (1.0 = fully precise execution),
+    /// per the section 5.4 model with the configured Table 2 parameters.
+    pub fn energy(&self) -> EnergyBreakdown {
+        let hw = self.hw.borrow();
+        normalized_energy(hw.stats(), &hw.config().params)
+    }
+
+    /// The active hardware configuration.
+    pub fn config(&self) -> HwConfig {
+        *self.hw.borrow().config()
+    }
+
+    /// Resets statistics and the virtual clock (RNG state is kept).
+    pub fn reset_stats(&self) {
+        self.hw.borrow_mut().reset_stats();
+    }
+
+    /// Enables fault tracing: the machine retains the last `capacity`
+    /// injected faults for post-mortem inspection.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn enable_trace(&self, capacity: usize) {
+        self.hw.borrow_mut().enable_trace(capacity);
+    }
+
+    /// A snapshot of the retained fault events (empty if tracing is off).
+    pub fn fault_trace(&self) -> Vec<enerj_hw::trace::FaultEvent> {
+        self.hw
+            .borrow()
+            .trace()
+            .map(|t| t.events().copied().collect())
+            .unwrap_or_default()
+    }
+
+    /// The shared hardware handle, for substrate-level extensions.
+    pub fn hardware(&self) -> Rc<RefCell<Hardware>> {
+        Rc::clone(&self.hw)
+    }
+}
+
+/// Runs `f` with the ambient hardware, if a runtime is installed.
+pub(crate) fn with_hw<R>(f: impl FnOnce(Option<&mut Hardware>) -> R) -> R {
+    CURRENT.with(|c| {
+        let top = c.borrow().last().cloned();
+        match top {
+            Some(hw) => f(Some(&mut hw.borrow_mut())),
+            None => f(None),
+        }
+    })
+}
+
+/// The ambient hardware handle, if a runtime is installed. Used by heap
+/// structures that must outlive individual operations.
+pub(crate) fn current_hw() -> Option<Rc<RefCell<Hardware>>> {
+    CURRENT.with(|c| c.borrow().last().cloned())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use enerj_hw::stats::OpKind;
+
+    #[test]
+    fn no_runtime_means_no_ambient_hardware() {
+        assert!(current_hw().is_none());
+        let answered = with_hw(|hw| hw.is_none());
+        assert!(answered);
+    }
+
+    #[test]
+    fn run_installs_and_removes() {
+        let rt = Runtime::new(Level::Mild, 0);
+        rt.run(|| {
+            assert!(current_hw().is_some());
+        });
+        assert!(current_hw().is_none());
+    }
+
+    #[test]
+    fn nested_runtimes_innermost_wins() {
+        let outer = Runtime::new(Level::Mild, 0);
+        let inner = Runtime::new(Level::Aggressive, 0);
+        outer.run(|| {
+            inner.run(|| {
+                with_hw(|hw| {
+                    let cfg = *hw.expect("runtime installed").config();
+                    assert_eq!(cfg.params, Level::Aggressive.params());
+                });
+            });
+            with_hw(|hw| {
+                let cfg = *hw.expect("runtime installed").config();
+                assert_eq!(cfg.params, Level::Mild.params());
+            });
+        });
+    }
+
+    #[test]
+    fn panic_pops_installation() {
+        let rt = Runtime::new(Level::Mild, 0);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            rt.run(|| panic!("boom"));
+        }));
+        assert!(result.is_err());
+        assert!(current_hw().is_none());
+    }
+
+    #[test]
+    fn stats_are_shared_across_clones() {
+        let rt = Runtime::new(Level::Mild, 0);
+        let rt2 = rt.clone();
+        rt.run(|| {
+            with_hw(|hw| hw.unwrap().precise_op(OpKind::Int));
+        });
+        assert_eq!(rt2.stats().int_precise_ops, 1);
+        rt2.reset_stats();
+        assert_eq!(rt.stats().int_precise_ops, 0);
+    }
+
+    #[test]
+    fn energy_of_untouched_runtime_is_baseline() {
+        let rt = Runtime::new(Level::Aggressive, 0);
+        assert!((rt.energy().total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fault_trace_records_injections_in_time_order() {
+        use crate::{endorse, Approx};
+        let rt = Runtime::new(Level::Aggressive, 3);
+        rt.enable_trace(64);
+        rt.run(|| {
+            let mut acc = Approx::new(0i64);
+            for i in 0..5_000 {
+                acc += i;
+            }
+            let _ = endorse(acc);
+        });
+        let trace = rt.fault_trace();
+        assert!(!trace.is_empty(), "aggressive run should record faults");
+        assert!(trace.len() as u64 <= rt.stats().faults_injected);
+        assert!(
+            trace.windows(2).all(|w| w[0].time <= w[1].time),
+            "events are time-ordered"
+        );
+    }
+
+    #[test]
+    fn trace_is_empty_when_disabled() {
+        let rt = Runtime::new(Level::Aggressive, 3);
+        rt.run(|| {
+            let _ = crate::endorse(crate::Approx::new(1i64) + 1);
+        });
+        assert!(rt.fault_trace().is_empty());
+    }
+}

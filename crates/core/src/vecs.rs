@@ -1,0 +1,318 @@
+//! Approximate and precise heap arrays (sections 2.6 and 4.1).
+//!
+//! EnerJ programs "often use large arrays of approximate primitive elements;
+//! the elements themselves are all approximated and only the length requires
+//! precise guarantees." [`ApproxVec<T>`] reproduces this: elements live in
+//! simulated DRAM under reduced refresh (decaying over virtual time), the
+//! length is precise, and indices are plain `usize` — approximate integers
+//! cannot index an array without an endorsement, because `Approx<T>` values
+//! do not convert to `usize`.
+//!
+//! The first cache line of an array (length and type information) is
+//! precise; element bytes that share it neither decay nor save energy,
+//! exactly as in the paper's layout scheme.
+//!
+//! [`PreciseVec<T>`] is the instrumented precise counterpart, used by ported
+//! applications for heap data that must stay reliable so that DRAM
+//! byte-seconds are accounted on both sides of Figure 3.
+
+use std::cell::RefCell;
+use std::marker::PhantomData;
+use std::rc::Rc;
+
+use crate::approx::Approx;
+use crate::precise::Precise;
+use crate::prim::ApproxPrim;
+use crate::runtime::current_hw;
+use enerj_hw::{DramArray, Hardware};
+
+/// A heap array of approximate elements with a precise length.
+///
+/// # Examples
+///
+/// ```
+/// use enerj_core::{endorse, Approx, ApproxVec, Runtime};
+/// use enerj_hw::config::Level;
+///
+/// let rt = Runtime::new(Level::Mild, 0);
+/// rt.run(|| {
+///     let mut v = ApproxVec::<f32>::new(64);
+///     v.set(3, Approx::new(2.5));
+///     let x = endorse(v.get(3));
+///     assert!((x - 2.5).abs() < 0.01);
+/// });
+/// ```
+#[derive(Debug)]
+pub struct ApproxVec<T: ApproxPrim> {
+    dram: DramArray,
+    hw: Rc<RefCell<Hardware>>,
+    _elem: PhantomData<T>,
+}
+
+/// A heap array of precise elements, instrumented for storage statistics.
+#[derive(Debug)]
+pub struct PreciseVec<T: ApproxPrim> {
+    dram: DramArray,
+    hw: Rc<RefCell<Hardware>>,
+    _elem: PhantomData<T>,
+}
+
+/// Fetches the ambient hardware handle or panics with a helpful message.
+fn require_hw(what: &str) -> Rc<RefCell<Hardware>> {
+    current_hw().unwrap_or_else(|| {
+        panic!("{what} requires an installed Runtime; wrap the code in Runtime::run")
+    })
+}
+
+impl<T: ApproxPrim> ApproxVec<T> {
+    /// Allocates `len` zeroed approximate elements in simulated DRAM.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no [`Runtime`](crate::Runtime) is installed: heap
+    /// approximation is a property of the substrate, so a substrate must be
+    /// present.
+    pub fn new(len: usize) -> Self {
+        let hw = require_hw("ApproxVec");
+        let dram = DramArray::new(&mut hw.borrow_mut(), len, T::WIDTH.max(8), true);
+        ApproxVec { dram, hw, _elem: PhantomData }
+    }
+
+    /// Builds an array by evaluating `f` at every index.
+    pub fn from_fn(len: usize, mut f: impl FnMut(usize) -> Approx<T>) -> Self {
+        let mut v = ApproxVec::new(len);
+        for i in 0..len {
+            let x = f(i);
+            v.set(i, x);
+        }
+        v
+    }
+
+    /// Copies a precise slice into a fresh approximate array (subtyping:
+    /// precise data flows into approximate storage freely).
+    pub fn from_slice(data: &[T]) -> Self {
+        let mut v = ApproxVec::new(data.len());
+        for (i, &x) in data.iter().enumerate() {
+            v.set(i, Approx::new(x));
+        }
+        v
+    }
+
+    /// Number of elements. Lengths are always precise (section 2.6).
+    pub fn len(&self) -> usize {
+        self.dram.len()
+    }
+
+    /// Whether the array is empty.
+    pub fn is_empty(&self) -> bool {
+        self.dram.is_empty()
+    }
+
+    /// Reads element `i`. The index must be precise (`usize`), and bounds
+    /// are always enforced; the element value may have decayed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.len()`.
+    pub fn get(&mut self, i: usize) -> Approx<T> {
+        let bits = self.dram.read(&mut self.hw.borrow_mut(), i);
+        Approx::from_raw(T::from_bits64(bits))
+    }
+
+    /// Writes element `i`, refreshing its decay clock.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.len()`.
+    pub fn set(&mut self, i: usize, value: Approx<T>) {
+        // Not a semantic endorsement: the bits remain approximate, merely
+        // relocated into DRAM without a register-file round trip.
+        let bits = value.raw().to_bits64();
+        self.dram.write(&mut self.hw.borrow_mut(), i, bits);
+    }
+
+    /// Endorses the whole array into a precise `Vec` (a bulk section 2.2
+    /// endorsement, as used at output boundaries).
+    pub fn endorse_to_vec(&mut self) -> Vec<T> {
+        (0..self.len()).map(|i| crate::approx::endorse(self.get(i))).collect()
+    }
+}
+
+impl<T: ApproxPrim> Drop for ApproxVec<T> {
+    fn drop(&mut self) {
+        self.dram.retire(&mut self.hw.borrow_mut());
+    }
+}
+
+impl<T: ApproxPrim> PreciseVec<T> {
+    /// Allocates `len` zeroed precise elements in simulated DRAM.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no [`Runtime`](crate::Runtime) is installed.
+    pub fn new(len: usize) -> Self {
+        let hw = require_hw("PreciseVec");
+        let dram = DramArray::new(&mut hw.borrow_mut(), len, T::WIDTH.max(8), false);
+        PreciseVec { dram, hw, _elem: PhantomData }
+    }
+
+    /// Copies a slice into a fresh precise array.
+    pub fn from_slice(data: &[T]) -> Self {
+        let mut v = PreciseVec::new(data.len());
+        for (i, &x) in data.iter().enumerate() {
+            v.set(i, x);
+        }
+        v
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.dram.len()
+    }
+
+    /// Whether the array is empty.
+    pub fn is_empty(&self) -> bool {
+        self.dram.is_empty()
+    }
+
+    /// Reads element `i` reliably.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.len()`.
+    pub fn get(&mut self, i: usize) -> T {
+        T::from_bits64(self.dram.read(&mut self.hw.borrow_mut(), i))
+    }
+
+    /// Reads element `i` as an instrumented [`Precise`] value.
+    pub fn get_precise(&mut self, i: usize) -> Precise<T> {
+        Precise::new(self.get(i))
+    }
+
+    /// Writes element `i` reliably.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.len()`.
+    pub fn set(&mut self, i: usize, value: T) {
+        self.dram.write(&mut self.hw.borrow_mut(), i, value.to_bits64());
+    }
+
+    /// Copies the contents into a plain `Vec`.
+    pub fn to_vec(&mut self) -> Vec<T> {
+        (0..self.len()).map(|i| self.get(i)).collect()
+    }
+}
+
+impl<T: ApproxPrim> Drop for PreciseVec<T> {
+    fn drop(&mut self) {
+        self.dram.retire(&mut self.hw.borrow_mut());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runtime::Runtime;
+    use crate::{endorse, Approx};
+    use enerj_hw::config::{HwConfig, Level, StrategyMask};
+    use enerj_hw::stats::MemKind;
+
+    fn exact_rt() -> Runtime {
+        let cfg = HwConfig::for_level(Level::Aggressive).with_mask(StrategyMask::NONE);
+        Runtime::with_config(cfg, 0)
+    }
+
+    #[test]
+    fn roundtrip_under_masked_runtime() {
+        let rt = exact_rt();
+        rt.run(|| {
+            let mut v = ApproxVec::<i32>::new(100);
+            for i in 0..100 {
+                v.set(i, Approx::new(i as i32 * 3 - 50));
+            }
+            for i in 0..100 {
+                assert_eq!(endorse(v.get(i)), i as i32 * 3 - 50);
+            }
+        });
+    }
+
+    #[test]
+    fn float_elements_roundtrip_bits() {
+        let rt = exact_rt();
+        rt.run(|| {
+            let mut v = ApproxVec::<f64>::new(8);
+            v.set(2, Approx::new(-1234.5678e9));
+            assert_eq!(endorse(v.get(2)), -1234.5678e9);
+        });
+    }
+
+    #[test]
+    fn from_slice_and_endorse_to_vec() {
+        let rt = exact_rt();
+        rt.run(|| {
+            let data = [1.0f32, 2.5, -3.0];
+            let mut v = ApproxVec::from_slice(&data);
+            assert_eq!(v.endorse_to_vec(), data);
+        });
+    }
+
+    #[test]
+    fn dram_storage_split_is_accounted_on_drop() {
+        let rt = exact_rt();
+        rt.run(|| {
+            let mut a = ApproxVec::<f64>::new(1000);
+            let mut p = PreciseVec::<f64>::new(1000);
+            // Touch them so time passes.
+            for i in 0..1000 {
+                a.set(i, Approx::new(i as f64));
+                p.set(i, i as f64);
+            }
+            drop(a);
+            drop(p);
+        });
+        let s = rt.stats();
+        assert!(s.dram_approx_byte_seconds > 0.0);
+        assert!(s.dram_precise_byte_seconds > s.dram_approx_byte_seconds * 0.9);
+        let frac = s.approx_storage_fraction(MemKind::Dram);
+        assert!(frac > 0.4 && frac < 0.55, "frac = {frac}");
+    }
+
+    #[test]
+    fn precise_vec_roundtrip() {
+        let rt = exact_rt();
+        rt.run(|| {
+            let mut v = PreciseVec::<i64>::new(10);
+            v.set(9, -42);
+            assert_eq!(v.get(9), -42);
+            assert_eq!(v.to_vec()[9], -42);
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "requires an installed Runtime")]
+    fn approx_vec_without_runtime_panics() {
+        let _ = ApproxVec::<i32>::new(4);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_bounds_is_always_a_precise_panic() {
+        let rt = exact_rt();
+        rt.run(|| {
+            let mut v = ApproxVec::<i32>::new(4);
+            let _ = v.get(4);
+        });
+    }
+
+    #[test]
+    fn bool_elements_use_byte_width() {
+        let rt = exact_rt();
+        rt.run(|| {
+            let mut v = ApproxVec::<bool>::new(16);
+            v.set(7, Approx::new(true));
+            assert!(endorse(v.get(7)));
+            assert!(!endorse(v.get(6)));
+        });
+    }
+}

@@ -1,0 +1,267 @@
+//! The CPU/memory-system energy model (section 5.4, Figure 4).
+//!
+//! The paper assigns abstract energy units to instructions — 37 for integer
+//! and 40 for floating-point operations, of which 22 units are instruction
+//! fetch and decode and cannot be reduced by approximation. Savings apply
+//! only to the execution portion: voltage scaling saves
+//! [`alu_energy_saved`](crate::config::ApproxParams::alu_energy_saved) of an
+//! approximate integer op's execution energy, and mantissa width reduction
+//! saves [`fp_energy_saved`](crate::config::ApproxParams::fp_energy_saved)
+//! of an approximate FP op's execution energy.
+//!
+//! SRAM storage and the instructions that access it account for 35% of
+//! microarchitecture power and execution logic for the remaining 65%; the
+//! full system splits 55% CPU / 45% DRAM (the paper's server-like setting).
+//! Approximate SRAM saves `sram_power_saved` of its share, approximate DRAM
+//! saves `dram_power_saved`.
+//!
+//! The model deliberately omits the overheads of switching between precise
+//! and approximate hardware, as the paper's does; results are therefore
+//! optimistic in the same way.
+
+use crate::config::ApproxParams;
+use crate::stats::Stats;
+
+/// Energy units per integer instruction.
+pub const INT_OP_UNITS: f64 = 37.0;
+/// Energy units per floating-point instruction.
+pub const FP_OP_UNITS: f64 = 40.0;
+/// Units of each instruction consumed by fetch and decode (irreducible).
+pub const FETCH_DECODE_UNITS: f64 = 22.0;
+/// Fraction of microarchitecture power attributed to SRAM storage.
+pub const SRAM_CPU_FRACTION: f64 = 0.35;
+/// Fraction of microarchitecture power attributed to execution logic.
+pub const LOGIC_CPU_FRACTION: f64 = 0.65;
+/// Fraction of system power attributed to the CPU (server setting).
+pub const CPU_SYSTEM_FRACTION: f64 = 0.55;
+/// Fraction of system power attributed to DRAM (server setting).
+pub const DRAM_SYSTEM_FRACTION: f64 = 0.45;
+
+/// Mobile-setting split: DRAM is only 25% of power (section 5.4 note).
+pub const DRAM_MOBILE_FRACTION: f64 = 0.25;
+
+/// Normalized energy of one simulated run, total and by component.
+///
+/// All fields are fractions of the same run executed fully precisely, so the
+/// baseline is 1.0 and `total` directly gives one numbered bar of Figure 4.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnergyBreakdown {
+    /// Instruction-execution energy relative to precise execution.
+    pub instructions: f64,
+    /// SRAM storage energy relative to precise execution.
+    pub sram: f64,
+    /// DRAM storage energy relative to precise execution.
+    pub dram: f64,
+    /// Whole-system energy relative to precise execution (Figure 4 bar).
+    pub total: f64,
+}
+
+impl EnergyBreakdown {
+    /// Energy *saved* relative to the precise baseline, as a fraction.
+    pub fn savings(&self) -> f64 {
+        1.0 - self.total
+    }
+}
+
+/// Computes the normalized energy of a run described by `stats` when executed
+/// on hardware with parameters `params`, using the server-like system split.
+///
+/// # Examples
+///
+/// ```
+/// use enerj_hw::config::ApproxParams;
+/// use enerj_hw::energy::normalized_energy;
+/// use enerj_hw::stats::{OpKind, Stats};
+///
+/// let mut stats = Stats::new();
+/// for _ in 0..100 {
+///     stats.record_op(OpKind::Fp, true); // everything approximate
+/// }
+/// let e = normalized_energy(&stats, &ApproxParams::MEDIUM);
+/// assert!(e.total < 1.0, "approximate execution must save energy");
+/// ```
+pub fn normalized_energy(stats: &Stats, params: &ApproxParams) -> EnergyBreakdown {
+    normalized_energy_with_split(stats, params, DRAM_SYSTEM_FRACTION)
+}
+
+/// Like [`normalized_energy`] but with an explicit DRAM share of system
+/// power, e.g. [`DRAM_MOBILE_FRACTION`] for the smartphone setting.
+///
+/// # Panics
+///
+/// Panics if `dram_fraction` is not in `[0, 1]`.
+pub fn normalized_energy_with_split(
+    stats: &Stats,
+    params: &ApproxParams,
+    dram_fraction: f64,
+) -> EnergyBreakdown {
+    assert!(
+        (0.0..=1.0).contains(&dram_fraction),
+        "dram_fraction {dram_fraction} out of range"
+    );
+    let cpu_fraction = 1.0 - dram_fraction;
+
+    // Instruction execution: scale the non-fetch/decode component of
+    // approximate instructions by the per-strategy savings.
+    let int_exec = INT_OP_UNITS - FETCH_DECODE_UNITS;
+    let fp_exec = FP_OP_UNITS - FETCH_DECODE_UNITS;
+    let baseline_instr = (stats.int_precise_ops + stats.int_approx_ops) as f64 * INT_OP_UNITS
+        + (stats.fp_precise_ops + stats.fp_approx_ops) as f64 * FP_OP_UNITS;
+    let saved_instr = stats.int_approx_ops as f64 * int_exec * params.alu_energy_saved
+        + stats.fp_approx_ops as f64 * fp_exec * params.fp_energy_saved;
+    let instructions = if baseline_instr == 0.0 {
+        1.0
+    } else {
+        (baseline_instr - saved_instr) / baseline_instr
+    };
+
+    // SRAM: approximate byte-seconds run at reduced supply power.
+    let sram = scaled_storage(
+        stats.sram_precise_byte_seconds,
+        stats.sram_approx_byte_seconds,
+        params.sram_power_saved,
+    );
+
+    // DRAM: approximate byte-seconds run at reduced refresh power.
+    let dram = scaled_storage(
+        stats.dram_precise_byte_seconds,
+        stats.dram_approx_byte_seconds,
+        params.dram_power_saved,
+    );
+
+    let cpu = LOGIC_CPU_FRACTION * instructions + SRAM_CPU_FRACTION * sram;
+    let total = cpu_fraction * cpu + dram_fraction * dram;
+    EnergyBreakdown { instructions, sram, dram, total }
+}
+
+/// Relative energy of a storage pool where the approximate share `a` (in
+/// byte-seconds, against precise share `p`) saves fraction `saved`.
+fn scaled_storage(p: f64, a: f64, saved: f64) -> f64 {
+    if p + a == 0.0 {
+        1.0
+    } else {
+        (p + a * (1.0 - saved)) / (p + a)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{ApproxParams, Level};
+    use crate::stats::{MemKind, OpKind, Stats};
+
+    fn fully_approx_stats() -> Stats {
+        let mut s = Stats::new();
+        for _ in 0..1000 {
+            s.record_op(OpKind::Fp, true);
+            s.record_op(OpKind::Int, true);
+        }
+        s.record_storage(MemKind::Sram, true, 1000.0, 1.0);
+        s.record_storage(MemKind::Dram, true, 1000.0, 1.0);
+        s
+    }
+
+    fn fully_precise_stats() -> Stats {
+        let mut s = Stats::new();
+        for _ in 0..1000 {
+            s.record_op(OpKind::Fp, false);
+            s.record_op(OpKind::Int, false);
+        }
+        s.record_storage(MemKind::Sram, false, 1000.0, 1.0);
+        s.record_storage(MemKind::Dram, false, 1000.0, 1.0);
+        s
+    }
+
+    #[test]
+    fn precise_run_has_unit_energy() {
+        let e = normalized_energy(&fully_precise_stats(), &ApproxParams::AGGRESSIVE);
+        assert!((e.total - 1.0).abs() < 1e-12);
+        assert_eq!(e.savings(), 0.0);
+    }
+
+    #[test]
+    fn empty_run_has_unit_energy() {
+        let e = normalized_energy(&Stats::new(), &ApproxParams::MEDIUM);
+        assert!((e.total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn savings_grow_with_aggressiveness() {
+        let s = fully_approx_stats();
+        let mild = normalized_energy(&s, &Level::Mild.params()).total;
+        let medium = normalized_energy(&s, &Level::Medium.params()).total;
+        let aggressive = normalized_energy(&s, &Level::Aggressive.params()).total;
+        assert!(mild > medium && medium > aggressive);
+        assert!(mild < 1.0);
+    }
+
+    #[test]
+    fn savings_fall_in_papers_band_for_highly_approximate_runs() {
+        // The paper reports 10%-50% savings across benchmarks; a fully
+        // approximate workload should land at the upper end of that band.
+        let s = fully_approx_stats();
+        for level in Level::ALL {
+            let savings = normalized_energy(&s, &level.params()).savings();
+            assert!(
+                savings > 0.09 && savings < 0.55,
+                "{level}: savings {savings} outside the plausible band"
+            );
+        }
+    }
+
+    #[test]
+    fn fetch_decode_floor_limits_instruction_savings() {
+        // Even with 100% execution savings, 22/37 of integer energy remains.
+        let mut s = Stats::new();
+        for _ in 0..100 {
+            s.record_op(OpKind::Int, true);
+        }
+        let mut params = ApproxParams::AGGRESSIVE;
+        params.alu_energy_saved = 1.0;
+        let e = normalized_energy(&s, &params);
+        assert!((e.instructions - FETCH_DECODE_UNITS / INT_OP_UNITS).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fp_ops_save_more_than_int_ops() {
+        // Table 2: FP width reduction saves far more than ALU voltage
+        // scaling — the basis for the paper's observation that FP-heavy
+        // applications offer more opportunity.
+        let mut fp = Stats::new();
+        let mut int = Stats::new();
+        for _ in 0..100 {
+            fp.record_op(OpKind::Fp, true);
+            int.record_op(OpKind::Int, true);
+        }
+        let p = ApproxParams::MEDIUM;
+        assert!(
+            normalized_energy(&fp, &p).instructions < normalized_energy(&int, &p).instructions
+        );
+    }
+
+    #[test]
+    fn mobile_split_weights_cpu_more() {
+        let mut s = Stats::new();
+        // Only DRAM is approximate; in the mobile split that matters less.
+        s.record_storage(MemKind::Dram, true, 100.0, 1.0);
+        for _ in 0..100 {
+            s.record_op(OpKind::Int, false);
+        }
+        let p = ApproxParams::MEDIUM;
+        let server = normalized_energy_with_split(&s, &p, DRAM_SYSTEM_FRACTION);
+        let mobile = normalized_energy_with_split(&s, &p, DRAM_MOBILE_FRACTION);
+        assert!(mobile.total > server.total, "DRAM-only savings shrink on mobile");
+    }
+
+    #[test]
+    fn component_fractions_sum_to_one() {
+        assert!((SRAM_CPU_FRACTION + LOGIC_CPU_FRACTION - 1.0).abs() < 1e-12);
+        assert!((CPU_SYSTEM_FRACTION + DRAM_SYSTEM_FRACTION - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "dram_fraction")]
+    fn bad_split_rejected() {
+        let _ = normalized_energy_with_split(&Stats::new(), &ApproxParams::MILD, 1.5);
+    }
+}

@@ -1,0 +1,219 @@
+//! Bit-level fault-injection primitives.
+//!
+//! All fault models in the paper bottom out in per-bit Bernoulli trials:
+//! SRAM read upsets and write failures flip each bit with a constant
+//! probability, and DRAM refresh reduction flips each bit with a probability
+//! proportional to the time since the bit was last accessed (section 5.3).
+//! This module provides those trials over `u64` bit patterns, with a
+//! geometric-skip sampler so that the very low probabilities of the Mild
+//! configuration cost almost nothing.
+
+use rand::Rng;
+
+/// Flips each of the low `width` bits of `bits` independently with
+/// probability `p`. Returns the perturbed pattern.
+///
+/// Bits at positions `width..64` are left untouched. For small `p` the
+/// implementation samples the gap to the next flipped bit from a geometric
+/// distribution instead of performing `width` Bernoulli trials.
+///
+/// # Panics
+///
+/// Panics if `width > 64` or `p` is not in `[0, 1]`.
+pub fn flip_bits<R: Rng + ?Sized>(bits: u64, width: u32, p: f64, rng: &mut R) -> u64 {
+    assert!(width <= 64, "bit width {width} exceeds u64");
+    assert!((0.0..=1.0).contains(&p), "probability {p} out of range");
+    if p <= 0.0 || width == 0 {
+        return bits;
+    }
+    if p >= 1.0 {
+        return bits ^ low_mask(width);
+    }
+    let mut out = bits;
+    // Geometric skip: the index of the next flipped bit after position i-1 is
+    // i + floor(ln(U) / ln(1-p)). For p around 1e-3 and below this loop body
+    // almost never executes. ln_1p keeps the denominator exact for the tiny
+    // probabilities of the Mild configuration, where 1.0 - p rounds to 1.0.
+    let denom = (-p).ln_1p();
+    let mut i: u64 = skip(rng, denom);
+    while i < u64::from(width) {
+        out ^= 1u64 << i;
+        i += 1 + skip(rng, denom);
+    }
+    out
+}
+
+/// Draws a geometric gap: `floor(ln(U) / ln(1-p))` with `denom = ln(1-p)`.
+fn skip<R: Rng + ?Sized>(rng: &mut R, denom: f64) -> u64 {
+    // U in (0, 1]; ln(U) <= 0 and denom < 0, so the quotient is >= 0.
+    let u: f64 = 1.0 - rng.gen::<f64>();
+    let g = (u.ln() / denom).floor();
+    if g >= u64::MAX as f64 {
+        u64::MAX
+    } else {
+        g as u64
+    }
+}
+
+/// Flips exactly one uniformly-chosen bit among the low `width` bits.
+///
+/// This is the `single-bit-flip` functional-unit error model.
+///
+/// # Panics
+///
+/// Panics if `width` is zero or greater than 64.
+pub fn flip_one_bit<R: Rng + ?Sized>(bits: u64, width: u32, rng: &mut R) -> u64 {
+    assert!((1..=64).contains(&width), "bit width {width} out of range");
+    let pos = rng.gen_range(0..width);
+    bits ^ (1u64 << pos)
+}
+
+/// A uniformly random pattern over the low `width` bits.
+///
+/// This is the `random-value` functional-unit error model.
+pub fn random_bits<R: Rng + ?Sized>(width: u32, rng: &mut R) -> u64 {
+    rng.gen::<u64>() & low_mask(width)
+}
+
+/// A mask with the low `width` bits set.
+pub fn low_mask(width: u32) -> u64 {
+    if width >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << width) - 1
+    }
+}
+
+/// The per-bit flip probability after `dt` seconds without refresh, for a
+/// per-second flip rate `rate`: `1 - exp(-rate * dt)`.
+///
+/// Saturates at 0.5 — a fully decayed DRAM cell carries no information, not
+/// an inverted bit.
+pub fn decay_probability(rate: f64, dt: f64) -> f64 {
+    debug_assert!(rate >= 0.0 && dt >= 0.0);
+    let p = 1.0 - (-rate * dt).exp();
+    p.min(0.5)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0x5EED)
+    }
+
+    #[test]
+    fn zero_probability_never_flips() {
+        let mut r = rng();
+        for _ in 0..100 {
+            assert_eq!(flip_bits(0xDEAD_BEEF, 32, 0.0, &mut r), 0xDEAD_BEEF);
+        }
+    }
+
+    #[test]
+    fn unit_probability_flips_everything_in_width() {
+        let mut r = rng();
+        assert_eq!(flip_bits(0, 8, 1.0, &mut r), 0xFF);
+        assert_eq!(flip_bits(0xFF, 8, 1.0, &mut r), 0);
+        // Bits beyond the width are untouched.
+        assert_eq!(flip_bits(0xF00, 8, 1.0, &mut r), 0xFFF);
+    }
+
+    #[test]
+    fn width_zero_is_identity() {
+        let mut r = rng();
+        assert_eq!(flip_bits(42, 0, 0.5, &mut r), 42);
+    }
+
+    #[test]
+    fn flip_rate_matches_probability_statistically() {
+        let mut r = rng();
+        let p = 0.01;
+        let trials = 20_000u64;
+        let mut flips = 0u64;
+        for _ in 0..trials {
+            flips += u64::from(flip_bits(0, 64, p, &mut r).count_ones());
+        }
+        let expected = trials as f64 * 64.0 * p;
+        let observed = flips as f64;
+        // 5-sigma band for a binomial count.
+        let sigma = (trials as f64 * 64.0 * p * (1.0 - p)).sqrt();
+        assert!(
+            (observed - expected).abs() < 5.0 * sigma,
+            "observed {observed}, expected {expected} +/- {}",
+            5.0 * sigma
+        );
+    }
+
+    #[test]
+    fn low_probability_rarely_flips() {
+        let mut r = rng();
+        let mut flips = 0u32;
+        for _ in 0..10_000 {
+            flips += flip_bits(0, 64, 1e-9, &mut r).count_ones();
+        }
+        // Expected flips: 10_000 * 64 * 1e-9 = 6.4e-4; seeing more than a few
+        // would indicate a broken sampler.
+        assert!(flips <= 2, "too many flips at p=1e-9: {flips}");
+    }
+
+    #[test]
+    fn flip_one_bit_changes_exactly_one() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let x = r.gen::<u64>();
+            let y = flip_one_bit(x, 32, &mut r);
+            assert_eq!((x ^ y).count_ones(), 1);
+            assert!((x ^ y).trailing_zeros() < 32);
+        }
+    }
+
+    #[test]
+    fn random_bits_respects_width() {
+        let mut r = rng();
+        for _ in 0..200 {
+            assert_eq!(random_bits(12, &mut r) & !0xFFF, 0);
+        }
+        // Sanity: the full width eventually exercises high bits.
+        let any_high = (0..50).any(|_| random_bits(64, &mut r) >> 60 != 0);
+        assert!(any_high);
+    }
+
+    #[test]
+    fn low_mask_edges() {
+        assert_eq!(low_mask(0), 0);
+        assert_eq!(low_mask(1), 1);
+        assert_eq!(low_mask(63), u64::MAX >> 1);
+        assert_eq!(low_mask(64), u64::MAX);
+    }
+
+    #[test]
+    fn decay_probability_monotone_and_saturating() {
+        let rate = 1e-3;
+        assert_eq!(decay_probability(rate, 0.0), 0.0);
+        let p1 = decay_probability(rate, 1.0);
+        let p10 = decay_probability(rate, 10.0);
+        assert!(p1 > 0.0 && p10 > p1);
+        // Very long decay saturates at 0.5.
+        assert_eq!(decay_probability(1.0, 1e9), 0.5);
+        // Short decay approximates rate * dt.
+        assert!((p1 - rate).abs() / rate < 1e-3);
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn flip_bits_rejects_bad_probability() {
+        let mut r = rng();
+        let _ = flip_bits(0, 8, 1.5, &mut r);
+    }
+
+    #[test]
+    #[should_panic(expected = "bit width")]
+    fn flip_one_bit_rejects_zero_width() {
+        let mut r = rng();
+        let _ = flip_one_bit(0, 0, &mut r);
+    }
+}

@@ -1,0 +1,205 @@
+//! The imprecise floating-point unit (section 4.2, "width reduction in
+//! floating point operations").
+//!
+//! Approximate FP operations ignore part of the operand mantissa: Table 2
+//! keeps 16/8/4 bits of an `f32`'s 23-bit mantissa and 32/16/8 bits of an
+//! `f64`'s 52-bit mantissa at the Mild/Medium/Aggressive levels. On top of
+//! width reduction, the voltage-scaled unit suffers the same timing errors
+//! as the integer ALU. Approximate floating-point division by zero returns
+//! NaN rather than trapping (section 5.2).
+
+use crate::config::ErrorMode;
+use crate::fault;
+use crate::stats::OpKind;
+use crate::Hardware;
+use rand::Rng;
+
+/// Number of mantissa bits in an IEEE 754 `f32`.
+pub const F32_MANTISSA_BITS: u32 = 23;
+/// Number of mantissa bits in an IEEE 754 `f64`.
+pub const F64_MANTISSA_BITS: u32 = 52;
+
+/// Truncates an `f32` mantissa to its `keep` most significant bits.
+///
+/// NaN and infinities pass through unchanged. `keep >= 23` is the identity.
+pub fn truncate_f32(x: f32, keep: u32) -> f32 {
+    if keep >= F32_MANTISSA_BITS || !x.is_finite() {
+        return x;
+    }
+    let drop = F32_MANTISSA_BITS - keep;
+    let mask = !((1u32 << drop) - 1);
+    f32::from_bits(x.to_bits() & mask)
+}
+
+/// Truncates an `f64` mantissa to its `keep` most significant bits.
+///
+/// NaN and infinities pass through unchanged. `keep >= 52` is the identity.
+pub fn truncate_f64(x: f64, keep: u32) -> f64 {
+    if keep >= F64_MANTISSA_BITS || !x.is_finite() {
+        return x;
+    }
+    let drop = F64_MANTISSA_BITS - keep;
+    let mask = !((1u64 << drop) - 1);
+    f64::from_bits(x.to_bits() & mask)
+}
+
+impl Hardware {
+    /// Applies mantissa width reduction to an `f32` operand, if the FP-width
+    /// strategy is enabled.
+    pub fn approx_f32_operand(&self, x: f32) -> f32 {
+        if self.config().mask.fp_width {
+            truncate_f32(x, self.config().params.float_mantissa_bits)
+        } else {
+            x
+        }
+    }
+
+    /// Applies mantissa width reduction to an `f64` operand, if the FP-width
+    /// strategy is enabled.
+    pub fn approx_f64_operand(&self, x: f64) -> f64 {
+        if self.config().mask.fp_width {
+            truncate_f64(x, self.config().params.double_mantissa_bits)
+        } else {
+            x
+        }
+    }
+
+    /// Result phase of an approximate `f32` operation: counts, ticks the
+    /// clock, and applies a timing error with the configured probability.
+    pub fn approx_f32_result(&mut self, raw: f32) -> f32 {
+        let bits = self.approx_fp_result_bits(u64::from(raw.to_bits()), 32);
+        f32::from_bits(bits as u32)
+    }
+
+    /// Result phase of an approximate `f64` operation: counts, ticks the
+    /// clock, and applies a timing error with the configured probability.
+    pub fn approx_f64_result(&mut self, raw: f64) -> f64 {
+        let bits = self.approx_fp_result_bits(raw.to_bits(), 64);
+        f64::from_bits(bits)
+    }
+
+    fn approx_fp_result_bits(&mut self, raw: u64, width: u32) -> u64 {
+        self.tick();
+        self.stats_mut().record_op(OpKind::Fp, true);
+        let p = self.config().params.timing_error_prob;
+        let enabled = self.config().mask.fu_timing;
+        let mode = self.config().error_mode;
+        let out = if enabled && self.rng().gen_bool(p) {
+            self.note_fault(crate::trace::FaultKind::FpTiming, 0);
+            let last = self.last_fp & fault::low_mask(width);
+            match mode {
+                ErrorMode::SingleBitFlip => fault::flip_one_bit(raw, width, self.rng()),
+                ErrorMode::LastValue => last,
+                ErrorMode::RandomValue => fault::random_bits(width, self.rng()),
+            }
+        } else {
+            raw & fault::low_mask(width)
+        };
+        self.last_fp = out;
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{ErrorMode, HwConfig, Level, StrategyMask};
+    use crate::Hardware;
+
+    #[test]
+    fn truncation_identity_at_full_width() {
+        let x = 0.123_456_79_f32;
+        assert_eq!(truncate_f32(x, 23), x);
+        let y = 0.123_456_789_012_345_f64;
+        assert_eq!(truncate_f64(y, 52), y);
+    }
+
+    #[test]
+    fn truncation_error_bounded_by_ulp_of_kept_width() {
+        // Relative error after keeping k mantissa bits is below 2^-k.
+        for &k in &[4u32, 8, 16] {
+            let x = 1.7182818f32;
+            let t = truncate_f32(x, k);
+            let rel = ((x - t) / x).abs();
+            assert!(rel < 2f32.powi(-(k as i32)), "k={k}: rel err {rel}");
+            assert!(t <= x, "truncation rounds toward zero for positive values");
+        }
+        for &k in &[8u32, 16, 32] {
+            let x = std::f64::consts::PI;
+            let t = truncate_f64(x, k);
+            let rel = ((x - t) / x).abs();
+            assert!(rel < 2f64.powi(-(k as i32)));
+        }
+    }
+
+    #[test]
+    fn truncation_preserves_specials() {
+        assert!(truncate_f32(f32::NAN, 4).is_nan());
+        assert_eq!(truncate_f32(f32::INFINITY, 4), f32::INFINITY);
+        assert_eq!(truncate_f64(f64::NEG_INFINITY, 8), f64::NEG_INFINITY);
+        assert_eq!(truncate_f64(0.0, 8), 0.0);
+        assert_eq!(truncate_f32(-0.0, 8), -0.0);
+    }
+
+    #[test]
+    fn truncation_preserves_sign_and_exponent() {
+        let x = -123.456e10f64;
+        let t = truncate_f64(x, 8);
+        assert!(t < 0.0);
+        // Exponent intact: truncation moves the value by less than 1 part in
+        // 2^8 of its magnitude.
+        assert!(((x - t) / x).abs() < 2f64.powi(-8));
+    }
+
+    #[test]
+    fn operand_truncation_respects_mask() {
+        let cfg = HwConfig::for_level(Level::Aggressive).with_mask(StrategyMask::NONE);
+        let hw = Hardware::new(cfg, 0);
+        let x = 1.7182818f32;
+        assert_eq!(hw.approx_f32_operand(x), x);
+        let hw2 = Hardware::new(HwConfig::for_level(Level::Aggressive), 0);
+        assert_ne!(hw2.approx_f32_operand(x), x);
+    }
+
+    #[test]
+    fn fp_result_counts_ops() {
+        let mut cfg = HwConfig::for_level(Level::Mild);
+        cfg.params.timing_error_prob = 0.0;
+        let mut hw = Hardware::new(cfg, 0);
+        let y = hw.approx_f64_result(2.5);
+        assert_eq!(y, 2.5);
+        assert_eq!(hw.stats().fp_approx_ops, 1);
+    }
+
+    #[test]
+    fn fp_timing_error_random_value_produces_garbage_bits() {
+        let mut cfg = HwConfig::for_level(Level::Aggressive).with_error_mode(ErrorMode::RandomValue);
+        cfg.params.timing_error_prob = 1.0;
+        let mut hw = Hardware::new(cfg, 3);
+        // With p=1 every op faults; over many trials at least one output
+        // should differ from the raw result.
+        let outputs: Vec<f32> = (0..100).map(|_| hw.approx_f32_result(1.0)).collect();
+        assert!(outputs.iter().any(|&y| y != 1.0));
+        assert_eq!(hw.stats().faults_injected, 100);
+    }
+
+    #[test]
+    fn fp_last_value_mode() {
+        let mut cfg = HwConfig::for_level(Level::Aggressive).with_error_mode(ErrorMode::LastValue);
+        cfg.params.timing_error_prob = 1.0;
+        let mut hw = Hardware::new(cfg, 3);
+        let a = hw.approx_f64_result(9.75); // faults; last_fp starts 0
+        assert_eq!(a, 0.0);
+        let b = hw.approx_f64_result(1.5);
+        assert_eq!(b, a);
+    }
+
+    #[test]
+    fn aggressive_truncation_flattens_nearby_values() {
+        // With only 4 mantissa bits, values closer than 2^-5 relative
+        // difference collapse together — the mechanism behind FP QoS loss.
+        let a = truncate_f32(1.001, 4);
+        let b = truncate_f32(1.002, 4);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,211 @@
+//! # enerj-hw: the approximation-aware execution substrate
+//!
+//! This crate simulates the hardware model of *EnerJ: Approximate Data Types
+//! for Safe and General Low-Power Computation* (PLDI 2011), section 4: a
+//! machine with approximate registers and caches (SRAM under lowered supply
+//! voltage), approximate main memory (DRAM under reduced refresh rate), and
+//! imprecise functional units (voltage-scaled ALUs and width-reduced FPUs).
+//!
+//! The central type is [`Hardware`]: a deterministic, seeded fault-injection
+//! engine that also keeps the statistics (dynamic operation counts and
+//! storage byte-seconds) and drives the energy model used to regenerate the
+//! paper's Figures 3 and 4.
+//!
+//! Modules:
+//!
+//! * [`config`] — Table 2 parameter bundles (Mild/Medium/Aggressive),
+//!   strategy masks for ablations, and functional-unit error modes.
+//! * [`fault`] — bit-level fault injection primitives.
+//! * [`clock`] — the deterministic virtual clock.
+//! * [`stats`] — operation and byte-second accounting (Figure 3).
+//! * [`layout`] — cache-line-granularity layout of approximate data (§4.1).
+//! * [`alu`], [`fpu`] — imprecise functional units (§4.2).
+//! * [`sram`], [`dram`] — approximate storage (§4.2, §5.3).
+//! * [`energy`] — the CPU/memory-system energy model (§5.4, Figure 4).
+//!
+//! # Examples
+//!
+//! ```
+//! use enerj_hw::config::{HwConfig, Level};
+//! use enerj_hw::Hardware;
+//!
+//! let mut hw = Hardware::new(HwConfig::for_level(Level::Aggressive), 7);
+//! // An approximate integer add: the raw result may be perturbed.
+//! let raw = 2i64.wrapping_add(3) as u64;
+//! let observed = hw.approx_int_result(raw, 64);
+//! // With overwhelming probability this is still 5, but no guarantee.
+//! let _ = observed;
+//! assert_eq!(hw.stats().int_approx_ops, 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod alu;
+pub mod clock;
+pub mod config;
+pub mod dram;
+pub mod energy;
+pub mod fault;
+pub mod fpu;
+pub mod layout;
+pub mod sram;
+pub mod stats;
+pub mod trace;
+
+pub use config::{ApproxParams, ErrorMode, HwConfig, Level, StrategyMask};
+pub use dram::DramArray;
+pub use stats::{MemKind, OpKind, Stats};
+
+use clock::SimClock;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use trace::{FaultEvent, FaultKind, TraceBuffer};
+
+/// The simulated approximation-aware machine.
+///
+/// `Hardware` owns the random-number generator (seeded, so runs are
+/// reproducible), the virtual clock, the statistics counters and the
+/// per-unit state of the last-value error model. All fault injection and
+/// accounting flows through methods on this type; the [`alu`], [`fpu`],
+/// [`sram`] and [`dram`] modules contribute `impl Hardware` blocks.
+#[derive(Debug, Clone)]
+pub struct Hardware {
+    cfg: HwConfig,
+    rng: StdRng,
+    clock: SimClock,
+    stats: Stats,
+    /// Last result of the integer unit (for [`ErrorMode::LastValue`]).
+    pub(crate) last_int: u64,
+    /// Last result of the floating-point unit (for [`ErrorMode::LastValue`]).
+    pub(crate) last_fp: u64,
+    trace: Option<TraceBuffer>,
+}
+
+impl Hardware {
+    /// Creates a machine with the given configuration and RNG seed.
+    pub fn new(cfg: HwConfig, seed: u64) -> Self {
+        Hardware {
+            cfg,
+            rng: StdRng::seed_from_u64(seed),
+            clock: SimClock::new(),
+            stats: Stats::new(),
+            last_int: 0,
+            last_fp: 0,
+            trace: None,
+        }
+    }
+
+    /// Enables fault tracing with a ring buffer of `capacity` events.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn enable_trace(&mut self, capacity: usize) {
+        self.trace = Some(TraceBuffer::new(capacity));
+    }
+
+    /// Disables fault tracing and discards retained events.
+    pub fn disable_trace(&mut self) {
+        self.trace = None;
+    }
+
+    /// The retained fault trace, if tracing is enabled.
+    pub fn trace(&self) -> Option<&TraceBuffer> {
+        self.trace.as_ref()
+    }
+
+    /// Records one injected fault in the statistics and, when enabled, in
+    /// the trace.
+    pub(crate) fn note_fault(&mut self, kind: FaultKind, bits_flipped: u32) {
+        self.stats.record_fault();
+        if let Some(trace) = &mut self.trace {
+            let time = self.clock.now();
+            trace.push(FaultEvent { kind, time, bits_flipped });
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &HwConfig {
+        &self.cfg
+    }
+
+    /// Accumulated statistics so far.
+    pub fn stats(&self) -> &Stats {
+        &self.stats
+    }
+
+    /// Mutable access to the statistics (used by higher layers to account
+    /// storage they manage themselves).
+    pub fn stats_mut(&mut self) -> &mut Stats {
+        &mut self.stats
+    }
+
+    /// Current simulated time in seconds.
+    pub fn now(&self) -> f64 {
+        self.clock.now()
+    }
+
+    /// Advances the virtual clock by one operation time.
+    pub(crate) fn tick(&mut self) {
+        let dt = self.cfg.seconds_per_op;
+        self.clock.advance(dt);
+    }
+
+    /// Internal access to the RNG for the unit modules.
+    pub(crate) fn rng(&mut self) -> &mut StdRng {
+        &mut self.rng
+    }
+
+    /// Resets statistics and the clock, keeping configuration and RNG state.
+    pub fn reset_stats(&mut self) {
+        self.stats = Stats::new();
+        self.clock = SimClock::new();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use config::Level;
+
+    #[test]
+    fn determinism_same_seed_same_behaviour() {
+        let cfg = HwConfig::for_level(Level::Aggressive);
+        let mut a = Hardware::new(cfg, 99);
+        let mut b = Hardware::new(cfg, 99);
+        for i in 0..1000u64 {
+            assert_eq!(a.approx_int_result(i, 64), b.approx_int_result(i, 64));
+        }
+        assert_eq!(a.stats(), b.stats());
+    }
+
+    #[test]
+    fn different_seeds_diverge_eventually() {
+        let cfg = HwConfig::for_level(Level::Aggressive);
+        let mut a = Hardware::new(cfg, 1);
+        let mut b = Hardware::new(cfg, 2);
+        let diverged = (0..10_000u64)
+            .any(|i| a.approx_int_result(i, 64) != b.approx_int_result(i, 64));
+        assert!(diverged, "aggressive config should inject some fault in 10k ops");
+    }
+
+    #[test]
+    fn clock_advances_per_op() {
+        let mut hw = Hardware::new(HwConfig::default(), 0);
+        assert_eq!(hw.now(), 0.0);
+        hw.precise_op(OpKind::Int);
+        hw.precise_op(OpKind::Fp);
+        let expected = 2.0 * hw.config().seconds_per_op;
+        assert!((hw.now() - expected).abs() < 1e-18);
+    }
+
+    #[test]
+    fn reset_clears_stats_and_clock() {
+        let mut hw = Hardware::new(HwConfig::default(), 0);
+        hw.precise_op(OpKind::Int);
+        hw.reset_stats();
+        assert_eq!(hw.stats().total_ops(OpKind::Int), 0);
+        assert_eq!(hw.now(), 0.0);
+    }
+}

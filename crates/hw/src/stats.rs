@@ -1,0 +1,227 @@
+//! Simulation statistics (the raw material of Figure 3).
+//!
+//! The paper's simulator "records memory-footprint and arithmetic-operation
+//! statistics while simultaneously injecting transient faults" (section 5.2).
+//! Storage is measured in **byte-seconds** — bytes held multiplied by the
+//! simulated time they were held — split by memory kind (SRAM for stack and
+//! register data, DRAM for heap data) and by precision. Operations are dynamic
+//! counts split by unit (integer vs floating point) and precision.
+
+use std::fmt;
+
+/// Memory kind, following the paper's stack-is-SRAM / heap-is-DRAM split.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MemKind {
+    /// Registers and data cache (stack data).
+    Sram,
+    /// Main memory (heap data).
+    Dram,
+}
+
+/// Functional-unit kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OpKind {
+    /// Integer ALU operation.
+    Int,
+    /// Floating-point operation.
+    Fp,
+}
+
+/// Aggregated counters for one simulation run.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Stats {
+    /// Approximate integer operations executed.
+    pub int_approx_ops: u64,
+    /// Precise integer operations executed.
+    pub int_precise_ops: u64,
+    /// Approximate floating-point operations executed.
+    pub fp_approx_ops: u64,
+    /// Precise floating-point operations executed.
+    pub fp_precise_ops: u64,
+    /// Byte-seconds of approximate SRAM storage.
+    pub sram_approx_byte_seconds: f64,
+    /// Byte-seconds of precise SRAM storage.
+    pub sram_precise_byte_seconds: f64,
+    /// Byte-seconds of approximate DRAM storage.
+    pub dram_approx_byte_seconds: f64,
+    /// Byte-seconds of precise DRAM storage.
+    pub dram_precise_byte_seconds: f64,
+    /// Count of faults actually injected, by any strategy.
+    pub faults_injected: u64,
+}
+
+impl Stats {
+    /// A zeroed counter set.
+    pub fn new() -> Self {
+        Stats::default()
+    }
+
+    /// Records one executed operation.
+    pub fn record_op(&mut self, kind: OpKind, approx: bool) {
+        match (kind, approx) {
+            (OpKind::Int, true) => self.int_approx_ops += 1,
+            (OpKind::Int, false) => self.int_precise_ops += 1,
+            (OpKind::Fp, true) => self.fp_approx_ops += 1,
+            (OpKind::Fp, false) => self.fp_precise_ops += 1,
+        }
+    }
+
+    /// Records `bytes` of storage held for `seconds` simulated seconds.
+    pub fn record_storage(&mut self, kind: MemKind, approx: bool, bytes: f64, seconds: f64) {
+        debug_assert!(bytes >= 0.0 && seconds >= 0.0);
+        let bs = bytes * seconds;
+        match (kind, approx) {
+            (MemKind::Sram, true) => self.sram_approx_byte_seconds += bs,
+            (MemKind::Sram, false) => self.sram_precise_byte_seconds += bs,
+            (MemKind::Dram, true) => self.dram_approx_byte_seconds += bs,
+            (MemKind::Dram, false) => self.dram_precise_byte_seconds += bs,
+        }
+    }
+
+    /// Records one injected fault.
+    pub fn record_fault(&mut self) {
+        self.faults_injected += 1;
+    }
+
+    /// Total dynamic operations of a kind.
+    pub fn total_ops(&self, kind: OpKind) -> u64 {
+        match kind {
+            OpKind::Int => self.int_approx_ops + self.int_precise_ops,
+            OpKind::Fp => self.fp_approx_ops + self.fp_precise_ops,
+        }
+    }
+
+    /// Fraction of dynamic operations of `kind` that were approximate
+    /// (a Figure 3 bar). Returns 0 when no such operations ran.
+    pub fn approx_op_fraction(&self, kind: OpKind) -> f64 {
+        let (a, total) = match kind {
+            OpKind::Int => (self.int_approx_ops, self.total_ops(OpKind::Int)),
+            OpKind::Fp => (self.fp_approx_ops, self.total_ops(OpKind::Fp)),
+        };
+        if total == 0 {
+            0.0
+        } else {
+            a as f64 / total as f64
+        }
+    }
+
+    /// Fraction of byte-seconds in `kind` memory that stored approximate data
+    /// (a Figure 3 bar). Returns 0 when the memory was unused.
+    pub fn approx_storage_fraction(&self, kind: MemKind) -> f64 {
+        let (a, p) = match kind {
+            MemKind::Sram => (self.sram_approx_byte_seconds, self.sram_precise_byte_seconds),
+            MemKind::Dram => (self.dram_approx_byte_seconds, self.dram_precise_byte_seconds),
+        };
+        if a + p == 0.0 {
+            0.0
+        } else {
+            a / (a + p)
+        }
+    }
+
+    /// Fraction of dynamic arithmetic that was floating point — the
+    /// "Proportion FP" column of Table 3.
+    pub fn fp_proportion(&self) -> f64 {
+        let fp = self.total_ops(OpKind::Fp);
+        let int = self.total_ops(OpKind::Int);
+        if fp + int == 0 {
+            0.0
+        } else {
+            fp as f64 / (fp + int) as f64
+        }
+    }
+
+    /// Merges another counter set into this one.
+    pub fn merge(&mut self, other: &Stats) {
+        self.int_approx_ops += other.int_approx_ops;
+        self.int_precise_ops += other.int_precise_ops;
+        self.fp_approx_ops += other.fp_approx_ops;
+        self.fp_precise_ops += other.fp_precise_ops;
+        self.sram_approx_byte_seconds += other.sram_approx_byte_seconds;
+        self.sram_precise_byte_seconds += other.sram_precise_byte_seconds;
+        self.dram_approx_byte_seconds += other.dram_approx_byte_seconds;
+        self.dram_precise_byte_seconds += other.dram_precise_byte_seconds;
+        self.faults_injected += other.faults_injected;
+    }
+}
+
+impl fmt::Display for Stats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "ops: int {}+{}a, fp {}+{}a; faults {}",
+            self.int_precise_ops,
+            self.int_approx_ops,
+            self.fp_precise_ops,
+            self.fp_approx_ops,
+            self.faults_injected
+        )?;
+        write!(
+            f,
+            "storage (byte-s): sram {:.3e}+{:.3e}a, dram {:.3e}+{:.3e}a",
+            self.sram_precise_byte_seconds,
+            self.sram_approx_byte_seconds,
+            self.dram_precise_byte_seconds,
+            self.dram_approx_byte_seconds
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn op_counting_and_fractions() {
+        let mut s = Stats::new();
+        for _ in 0..3 {
+            s.record_op(OpKind::Int, false);
+        }
+        s.record_op(OpKind::Int, true);
+        for _ in 0..4 {
+            s.record_op(OpKind::Fp, true);
+        }
+        assert_eq!(s.total_ops(OpKind::Int), 4);
+        assert_eq!(s.total_ops(OpKind::Fp), 4);
+        assert!((s.approx_op_fraction(OpKind::Int) - 0.25).abs() < 1e-12);
+        assert_eq!(s.approx_op_fraction(OpKind::Fp), 1.0);
+        assert_eq!(s.fp_proportion(), 0.5);
+    }
+
+    #[test]
+    fn empty_fractions_are_zero() {
+        let s = Stats::new();
+        assert_eq!(s.approx_op_fraction(OpKind::Int), 0.0);
+        assert_eq!(s.approx_storage_fraction(MemKind::Dram), 0.0);
+        assert_eq!(s.fp_proportion(), 0.0);
+    }
+
+    #[test]
+    fn storage_accounting() {
+        let mut s = Stats::new();
+        s.record_storage(MemKind::Dram, true, 100.0, 2.0);
+        s.record_storage(MemKind::Dram, false, 50.0, 2.0);
+        s.record_storage(MemKind::Sram, true, 8.0, 1.0);
+        assert!((s.approx_storage_fraction(MemKind::Dram) - 200.0 / 300.0).abs() < 1e-12);
+        assert_eq!(s.approx_storage_fraction(MemKind::Sram), 1.0);
+    }
+
+    #[test]
+    fn merge_sums_everything() {
+        let mut a = Stats::new();
+        a.record_op(OpKind::Int, true);
+        a.record_fault();
+        let mut b = Stats::new();
+        b.record_op(OpKind::Int, true);
+        b.record_storage(MemKind::Sram, false, 4.0, 1.0);
+        a.merge(&b);
+        assert_eq!(a.int_approx_ops, 2);
+        assert_eq!(a.faults_injected, 1);
+        assert_eq!(a.sram_precise_byte_seconds, 4.0);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        assert!(!Stats::new().to_string().is_empty());
+    }
+}

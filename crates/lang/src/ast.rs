@@ -1,0 +1,315 @@
+//! The abstract syntax of FEnerJ (paper Figure 1).
+//!
+//! The formal language is extended with two conveniences that desugar to
+//! nothing interesting — `let x = e in e` and sequencing `e; e` — so that
+//! realistic programs can be written; everything else matches Figure 1:
+//! classes with fields and (receiver-precision-overloaded) methods, field
+//! reads and writes, method invocation, casts, binary primitive operations
+//! and conditionals. `endorse(e)` from full EnerJ (section 2.2) is included;
+//! the non-interference property is stated for programs that do not use it.
+
+use crate::error::Span;
+use crate::types::Type;
+use std::fmt;
+
+/// A unique identifier assigned to every expression node by the parser;
+/// the type checker stores each node's type and operator precision under it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub u32);
+
+/// A binary operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `%`
+    Rem,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+impl BinOp {
+    /// Whether this operator is a comparison (result type `int`).
+    pub fn is_comparison(self) -> bool {
+        matches!(self, BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge)
+    }
+}
+
+impl fmt::Display for BinOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+            BinOp::Rem => "%",
+            BinOp::Eq => "==",
+            BinOp::Ne => "!=",
+            BinOp::Lt => "<",
+            BinOp::Le => "<=",
+            BinOp::Gt => ">",
+            BinOp::Ge => ">=",
+        };
+        f.write_str(s)
+    }
+}
+
+/// An expression.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Expr {
+    /// Unique node id (the key into the checker's type tables).
+    pub id: NodeId,
+    /// Source span.
+    pub span: Span,
+    /// The syntactic form.
+    pub kind: ExprKind,
+}
+
+/// The syntactic forms of expressions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExprKind {
+    /// `null`
+    Null,
+    /// Integer literal.
+    IntLit(i64),
+    /// Float literal.
+    FloatLit(f64),
+    /// Local variable or parameter read.
+    Var(String),
+    /// `this`
+    This,
+    /// `new q C()`
+    New(Type),
+    /// `new T[e]`: a new array of approximate or precise elements with a
+    /// precise length (section 2.6).
+    NewArray(Type, Box<Expr>),
+    /// `e[e]`: array element read; the index must be precise.
+    Index(Box<Expr>, Box<Expr>),
+    /// `e[e] := e`: array element write.
+    IndexSet(Box<Expr>, Box<Expr>, Box<Expr>),
+    /// `e.length`: the (always precise) array length.
+    Length(Box<Expr>),
+    /// `e.f`
+    FieldGet(Box<Expr>, String),
+    /// `e.f := e`
+    FieldSet(Box<Expr>, String, Box<Expr>),
+    /// `e.m(e, ...)`
+    Call(Box<Expr>, String, Vec<Expr>),
+    /// `(q C) e`
+    Cast(Type, Box<Expr>),
+    /// `e op e`
+    Binary(BinOp, Box<Expr>, Box<Expr>),
+    /// `if (e) { e } else { e }`
+    If(Box<Expr>, Box<Expr>, Box<Expr>),
+    /// `let x = e in e` (bindings are mutable, as in Java)
+    Let(String, Box<Expr>, Box<Expr>),
+    /// `x := e`: assignment to a local variable.
+    VarSet(String, Box<Expr>),
+    /// `while (e) { e }`: loops while the (precise) condition is nonzero;
+    /// evaluates to `0`.
+    While(Box<Expr>, Box<Expr>),
+    /// `e; e`
+    Seq(Box<Expr>, Box<Expr>),
+    /// `endorse(e)` — the explicit approximate→precise cast (section 2.2).
+    Endorse(Box<Expr>),
+}
+
+/// A field declaration `T f;`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FieldDecl {
+    /// Declared type.
+    pub ty: Type,
+    /// Field name.
+    pub name: String,
+    /// Source span.
+    pub span: Span,
+}
+
+/// The receiver precision a method body is written for (section 2.5.2).
+///
+/// `Precise` bodies are the default implementation; an `Approx` body is the
+/// `_APPROX` overload, invoked when the receiver has approximate type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum MethodQual {
+    /// The default implementation.
+    #[default]
+    Precise,
+    /// The `_APPROX` overload.
+    Approx,
+}
+
+impl fmt::Display for MethodQual {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MethodQual::Precise => f.write_str("precise"),
+            MethodQual::Approx => f.write_str("approx"),
+        }
+    }
+}
+
+/// A method declaration `T m(T pid, ...) q { e }`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MethodDecl {
+    /// Return type.
+    pub ret: Type,
+    /// Method name.
+    pub name: String,
+    /// Parameters (name, type).
+    pub params: Vec<(String, Type)>,
+    /// Receiver precision this body is written for.
+    pub qual: MethodQual,
+    /// The method body expression.
+    pub body: Expr,
+    /// Source span.
+    pub span: Span,
+}
+
+/// A class declaration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClassDecl {
+    /// Class name.
+    pub name: String,
+    /// Superclass name, `None` for `Object`.
+    pub superclass: Option<String>,
+    /// Field declarations.
+    pub fields: Vec<FieldDecl>,
+    /// Method declarations.
+    pub methods: Vec<MethodDecl>,
+    /// Source span.
+    pub span: Span,
+}
+
+/// A whole program: classes plus a main expression.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Program {
+    /// The class declarations.
+    pub classes: Vec<ClassDecl>,
+    /// The main expression, evaluated to run the program.
+    pub main: Expr,
+}
+
+impl Program {
+    /// Whether any expression in the program uses `endorse`.
+    ///
+    /// The non-interference theorem (section 3.3) is stated for
+    /// endorsement-free programs.
+    pub fn uses_endorse(&self) -> bool {
+        fn walk(e: &Expr) -> bool {
+            match &e.kind {
+                ExprKind::Endorse(_) => true,
+                ExprKind::Null
+                | ExprKind::IntLit(_)
+                | ExprKind::FloatLit(_)
+                | ExprKind::Var(_)
+                | ExprKind::This
+                | ExprKind::New(_) => false,
+                ExprKind::FieldGet(e0, _)
+                | ExprKind::Cast(_, e0)
+                | ExprKind::NewArray(_, e0)
+                | ExprKind::Length(e0) => walk(e0),
+                ExprKind::VarSet(_, e0) => walk(e0),
+                ExprKind::FieldSet(e0, _, e1)
+                | ExprKind::Binary(_, e0, e1)
+                | ExprKind::Let(_, e0, e1)
+                | ExprKind::Index(e0, e1)
+                | ExprKind::While(e0, e1)
+                | ExprKind::Seq(e0, e1) => walk(e0) || walk(e1),
+                ExprKind::Call(e0, _, args) => walk(e0) || args.iter().any(walk),
+                ExprKind::IndexSet(a, i, v) => walk(a) || walk(i) || walk(v),
+                ExprKind::If(c, t, f) => walk(c) || walk(t) || walk(f),
+            }
+        }
+        self.classes
+            .iter()
+            .flat_map(|c| &c.methods)
+            .any(|m| walk(&m.body))
+            || walk(&self.main)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::{BaseType, Qual};
+
+    fn lit(id: u32, v: i64) -> Expr {
+        Expr { id: NodeId(id), span: Span::default(), kind: ExprKind::IntLit(v) }
+    }
+
+    #[test]
+    fn comparison_classification() {
+        assert!(BinOp::Eq.is_comparison());
+        assert!(BinOp::Le.is_comparison());
+        assert!(!BinOp::Add.is_comparison());
+        assert!(!BinOp::Rem.is_comparison());
+    }
+
+    #[test]
+    fn uses_endorse_detects_nested() {
+        let inner = Expr {
+            id: NodeId(2),
+            span: Span::default(),
+            kind: ExprKind::Endorse(Box::new(lit(1, 5))),
+        };
+        let prog = Program {
+            classes: vec![],
+            main: Expr {
+                id: NodeId(3),
+                span: Span::default(),
+                kind: ExprKind::Seq(Box::new(lit(0, 1)), Box::new(inner)),
+            },
+        };
+        assert!(prog.uses_endorse());
+        let clean = Program { classes: vec![], main: lit(0, 1) };
+        assert!(!clean.uses_endorse());
+    }
+
+    #[test]
+    fn uses_endorse_looks_into_methods() {
+        let m = MethodDecl {
+            ret: Type::precise_int(),
+            name: "m".into(),
+            params: vec![],
+            qual: MethodQual::Precise,
+            body: Expr {
+                id: NodeId(1),
+                span: Span::default(),
+                kind: ExprKind::Endorse(Box::new(lit(0, 3))),
+            },
+            span: Span::default(),
+        };
+        let prog = Program {
+            classes: vec![ClassDecl {
+                name: "C".into(),
+                superclass: None,
+                fields: vec![],
+                methods: vec![m],
+                span: Span::default(),
+            }],
+            main: lit(2, 0),
+        };
+        assert!(prog.uses_endorse());
+    }
+
+    #[test]
+    fn type_display_in_new() {
+        let t = Type::new(Qual::Approx, BaseType::Class("Pair".into()));
+        assert_eq!(t.to_string(), "approx Pair");
+    }
+}

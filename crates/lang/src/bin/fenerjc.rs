@@ -1,0 +1,125 @@
+//! `fenerjc` — the FEnerJ command-line driver.
+//!
+//! ```text
+//! fenerjc check <file>                 type-check only
+//! fenerjc run <file> [--level L] [--seed N]
+//!                                      run (precise, or fault-injected at
+//!                                      mild/medium/aggressive)
+//! fenerjc chaos <file> [--seeds N]     verify non-interference adversarially
+//! fenerjc print <file>                 parse and pretty-print
+//! ```
+//!
+//! Exit code 0 on success, 1 on any reported failure — usable in test
+//! harnesses and CI, like the paper's JSR 308 checker plugin.
+
+use enerj_lang::interp::{run, ExecMode};
+use enerj_lang::noninterference::check_non_interference;
+use enerj_lang::{compile, pretty};
+use std::cell::RefCell;
+use std::process::ExitCode;
+use std::rc::Rc;
+
+use enerj_hw::config::{HwConfig, Level};
+use enerj_hw::Hardware;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match dispatch(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("fenerjc: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn dispatch(args: &[String]) -> Result<(), String> {
+    let (cmd, rest) = args.split_first().ok_or_else(usage)?;
+    match cmd.as_str() {
+        "check" => {
+            let (source, path) = read_source(rest)?;
+            let program = compile(&source).map_err(|e| diagnose(&source, &path, &e))?;
+            println!(
+                "{path}: OK ({} class(es), main : {})",
+                program.program.classes.len(),
+                program.main_type()
+            );
+            Ok(())
+        }
+        "run" => {
+            let (source, path) = read_source(rest)?;
+            let program = compile(&source).map_err(|e| diagnose(&source, &path, &e))?;
+            let mode = parse_mode(rest)?;
+            let out = run(&program, mode).map_err(|e| e.to_string())?;
+            println!("{}", out.value.describe());
+            Ok(())
+        }
+        "chaos" => {
+            let (source, path) = read_source(rest)?;
+            let program = compile(&source).map_err(|e| diagnose(&source, &path, &e))?;
+            let seeds = flag_value(rest, "--seeds")?.unwrap_or(50);
+            check_non_interference(&program, 0..seeds).map_err(|e| e.to_string())?;
+            println!("{path}: non-interference holds over {seeds} adversarial runs");
+            Ok(())
+        }
+        "print" => {
+            let (source, path) = read_source(rest)?;
+            let program =
+                enerj_lang::parser::parse(&source).map_err(|e| format!("{path}: {e}"))?;
+            print!("{}", pretty::program_to_string(&program));
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`\n{}", usage())),
+    }
+}
+
+fn usage() -> String {
+    "usage: fenerjc <check|run|chaos|print> <file.fej> \
+     [--level mild|medium|aggressive] [--seed N] [--seeds N]"
+        .to_owned()
+}
+
+fn read_source(rest: &[String]) -> Result<(String, String), String> {
+    let path = rest
+        .iter()
+        .find(|a| !a.starts_with("--") && !a.chars().all(|c| c.is_ascii_digit()))
+        .ok_or_else(usage)?;
+    let source = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    Ok((source, path.clone()))
+}
+
+fn flag_value(rest: &[String], flag: &str) -> Result<Option<u64>, String> {
+    match rest.iter().position(|a| a == flag) {
+        None => Ok(None),
+        Some(i) => {
+            let v = rest.get(i + 1).ok_or_else(|| format!("{flag} needs a value"))?;
+            v.parse().map(Some).map_err(|_| format!("{flag} needs an integer"))
+        }
+    }
+}
+
+fn parse_mode(rest: &[String]) -> Result<ExecMode, String> {
+    let level = match rest.iter().position(|a| a == "--level") {
+        None => return Ok(ExecMode::Reliable),
+        Some(i) => rest.get(i + 1).ok_or("--level needs a value")?,
+    };
+    let level = match level.as_str() {
+        "mild" => Level::Mild,
+        "medium" => Level::Medium,
+        "aggressive" => Level::Aggressive,
+        other => return Err(format!("unknown level `{other}`")),
+    };
+    let seed = flag_value(rest, "--seed")?.unwrap_or(0);
+    let hw = Rc::new(RefCell::new(Hardware::new(HwConfig::for_level(level), seed)));
+    Ok(ExecMode::Faulty(hw))
+}
+
+/// Renders a compile error with line/column information.
+fn diagnose(source: &str, path: &str, err: &enerj_lang::CompileError) -> String {
+    let span = match err {
+        enerj_lang::CompileError::Parse(e) => e.span,
+        enerj_lang::CompileError::Type(e) => e.span,
+    };
+    let (line, col) = span.line_col(source);
+    format!("{path}:{line}:{col}: {err}")
+}

@@ -1,0 +1,313 @@
+//! Pretty-printing of FEnerJ programs back to concrete syntax.
+//!
+//! The printer produces text that re-parses to an equal AST (modulo node
+//! ids and spans), which the property tests use as a round-trip check.
+
+use crate::ast::{ClassDecl, Expr, ExprKind, MethodQual, Program};
+use crate::types::{Qual, Type};
+use std::fmt::Write as _;
+
+/// Renders a whole program.
+pub fn program_to_string(program: &Program) -> String {
+    let mut out = String::new();
+    for class in &program.classes {
+        class_to_string(class, &mut out);
+    }
+    out.push_str("main {\n    ");
+    expr_to_string(&program.main, &mut out);
+    out.push_str("\n}\n");
+    out
+}
+
+/// Renders a single expression.
+pub fn expr_to_display(expr: &Expr) -> String {
+    let mut out = String::new();
+    expr_to_string(expr, &mut out);
+    out
+}
+
+fn type_to_string(ty: &Type) -> String {
+    match &ty.base {
+        crate::types::BaseType::Array(elem) => format!("{}[]", type_to_string(elem)),
+        base if ty.qual == Qual::Precise => base.to_string(),
+        base => format!("{} {base}", ty.qual),
+    }
+}
+
+fn class_to_string(class: &ClassDecl, out: &mut String) {
+    let _ = write!(out, "class {}", class.name);
+    if let Some(sup) = &class.superclass {
+        let _ = write!(out, " extends {sup}");
+    }
+    out.push_str(" {\n");
+    for field in &class.fields {
+        let _ = writeln!(out, "    {} {};", type_to_string(&field.ty), field.name);
+    }
+    for method in &class.methods {
+        let _ = write!(out, "    {} {}(", type_to_string(&method.ret), method.name);
+        for (i, (name, ty)) in method.params.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            let _ = write!(out, "{} {name}", type_to_string(ty));
+        }
+        out.push(')');
+        if method.qual == MethodQual::Approx {
+            out.push_str(" approx");
+        }
+        out.push_str(" { ");
+        expr_to_string(&method.body, out);
+        out.push_str(" }\n");
+    }
+    out.push_str("}\n");
+}
+
+fn expr_to_string(expr: &Expr, out: &mut String) {
+    match &expr.kind {
+        ExprKind::Null => out.push_str("null"),
+        ExprKind::IntLit(v) => {
+            let _ = write!(out, "{v}");
+        }
+        ExprKind::FloatLit(v) => {
+            if v.fract() == 0.0 && v.is_finite() {
+                let _ = write!(out, "{v:.1}");
+            } else {
+                let _ = write!(out, "{v}");
+            }
+        }
+        ExprKind::Var(name) => out.push_str(name),
+        ExprKind::This => out.push_str("this"),
+        ExprKind::New(ty) => {
+            let _ = write!(out, "new {}()", type_to_string(ty));
+        }
+        ExprKind::NewArray(elem, len) => {
+            let _ = write!(out, "new {}[", type_to_string(elem));
+            expr_to_string(len, out);
+            out.push(']');
+        }
+        ExprKind::Index(arr, idx) => {
+            paren(arr, out);
+            out.push('[');
+            expr_to_string(idx, out);
+            out.push(']');
+        }
+        ExprKind::IndexSet(arr, idx, value) => {
+            paren(arr, out);
+            out.push('[');
+            expr_to_string(idx, out);
+            out.push_str("] := ");
+            paren(value, out);
+        }
+        ExprKind::Length(arr) => {
+            paren(arr, out);
+            out.push_str(".length");
+        }
+        ExprKind::FieldGet(recv, field) => {
+            expr_to_string(recv, out);
+            let _ = write!(out, ".{field}");
+        }
+        ExprKind::FieldSet(recv, field, value) => {
+            expr_to_string(recv, out);
+            let _ = write!(out, ".{field} := ");
+            paren(value, out);
+        }
+        ExprKind::Call(recv, name, args) => {
+            expr_to_string(recv, out);
+            let _ = write!(out, ".{name}(");
+            for (i, arg) in args.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                paren(arg, out);
+            }
+            out.push(')');
+        }
+        ExprKind::Cast(ty, operand) => {
+            let _ = write!(out, "({} {}) ", ty.qual, ty.base);
+            paren(operand, out);
+        }
+        ExprKind::Binary(op, lhs, rhs) => {
+            paren(lhs, out);
+            let _ = write!(out, " {op} ");
+            paren(rhs, out);
+        }
+        ExprKind::If(cond, then, els) => {
+            out.push_str("if (");
+            expr_to_string(cond, out);
+            out.push_str(") { ");
+            expr_to_string(then, out);
+            out.push_str(" } else { ");
+            expr_to_string(els, out);
+            out.push_str(" }");
+        }
+        ExprKind::Let(name, value, body) => {
+            let _ = write!(out, "let {name} = ");
+            paren(value, out);
+            out.push_str(" in ");
+            expr_to_string(body, out);
+        }
+        ExprKind::VarSet(name, value) => {
+            let _ = write!(out, "{name} := ");
+            paren(value, out);
+        }
+        ExprKind::While(cond, body) => {
+            out.push_str("while (");
+            expr_to_string(cond, out);
+            out.push_str(") { ");
+            expr_to_string(body, out);
+            out.push_str(" }");
+        }
+        ExprKind::Seq(first, rest) => {
+            paren(first, out);
+            out.push_str("; ");
+            expr_to_string(rest, out);
+        }
+        ExprKind::Endorse(inner) => {
+            out.push_str("endorse(");
+            expr_to_string(inner, out);
+            out.push(')');
+        }
+    }
+}
+
+/// Prints compound expressions parenthesized so precedence is preserved.
+fn paren(expr: &Expr, out: &mut String) {
+    let needs = matches!(
+        expr.kind,
+        ExprKind::Binary(_, _, _)
+            | ExprKind::If(_, _, _)
+            | ExprKind::Let(_, _, _)
+            | ExprKind::Seq(_, _)
+            | ExprKind::Cast(_, _)
+            | ExprKind::VarSet(_, _)
+            | ExprKind::While(_, _)
+    );
+    if needs {
+        out.push('(');
+        expr_to_string(expr, out);
+        out.push(')');
+    } else {
+        expr_to_string(expr, out);
+    }
+}
+
+/// Structural equality of expressions ignoring node ids and spans.
+pub fn expr_structurally_eq(a: &Expr, b: &Expr) -> bool {
+    match (&a.kind, &b.kind) {
+        (ExprKind::Null, ExprKind::Null) | (ExprKind::This, ExprKind::This) => true,
+        (ExprKind::IntLit(x), ExprKind::IntLit(y)) => x == y,
+        (ExprKind::FloatLit(x), ExprKind::FloatLit(y)) => x == y,
+        (ExprKind::Var(x), ExprKind::Var(y)) => x == y,
+        (ExprKind::New(x), ExprKind::New(y)) => x == y,
+        (ExprKind::NewArray(t1, l1), ExprKind::NewArray(t2, l2)) => {
+            t1 == t2 && expr_structurally_eq(l1, l2)
+        }
+        (ExprKind::Index(a1, i1), ExprKind::Index(a2, i2)) => {
+            expr_structurally_eq(a1, a2) && expr_structurally_eq(i1, i2)
+        }
+        (ExprKind::IndexSet(a1, i1, v1), ExprKind::IndexSet(a2, i2, v2)) => {
+            expr_structurally_eq(a1, a2)
+                && expr_structurally_eq(i1, i2)
+                && expr_structurally_eq(v1, v2)
+        }
+        (ExprKind::Length(a1), ExprKind::Length(a2)) => expr_structurally_eq(a1, a2),
+        (ExprKind::FieldGet(r1, f1), ExprKind::FieldGet(r2, f2)) => {
+            f1 == f2 && expr_structurally_eq(r1, r2)
+        }
+        (ExprKind::FieldSet(r1, f1, v1), ExprKind::FieldSet(r2, f2, v2)) => {
+            f1 == f2 && expr_structurally_eq(r1, r2) && expr_structurally_eq(v1, v2)
+        }
+        (ExprKind::Call(r1, n1, a1), ExprKind::Call(r2, n2, a2)) => {
+            n1 == n2
+                && expr_structurally_eq(r1, r2)
+                && a1.len() == a2.len()
+                && a1.iter().zip(a2).all(|(x, y)| expr_structurally_eq(x, y))
+        }
+        (ExprKind::Cast(t1, e1), ExprKind::Cast(t2, e2)) => {
+            t1 == t2 && expr_structurally_eq(e1, e2)
+        }
+        (ExprKind::Binary(o1, l1, r1), ExprKind::Binary(o2, l2, r2)) => {
+            o1 == o2 && expr_structurally_eq(l1, l2) && expr_structurally_eq(r1, r2)
+        }
+        (ExprKind::If(c1, t1, e1), ExprKind::If(c2, t2, e2)) => {
+            expr_structurally_eq(c1, c2)
+                && expr_structurally_eq(t1, t2)
+                && expr_structurally_eq(e1, e2)
+        }
+        (ExprKind::Let(n1, v1, b1), ExprKind::Let(n2, v2, b2)) => {
+            n1 == n2 && expr_structurally_eq(v1, v2) && expr_structurally_eq(b1, b2)
+        }
+        (ExprKind::VarSet(n1, v1), ExprKind::VarSet(n2, v2)) => {
+            n1 == n2 && expr_structurally_eq(v1, v2)
+        }
+        (ExprKind::While(c1, b1), ExprKind::While(c2, b2)) => {
+            expr_structurally_eq(c1, c2) && expr_structurally_eq(b1, b2)
+        }
+        (ExprKind::Seq(f1, r1), ExprKind::Seq(f2, r2)) => {
+            expr_structurally_eq(f1, f2) && expr_structurally_eq(r1, r2)
+        }
+        (ExprKind::Endorse(e1), ExprKind::Endorse(e2)) => expr_structurally_eq(e1, e2),
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::{parse, parse_expr};
+
+    #[test]
+    fn expr_roundtrips() {
+        for src in [
+            "1 + 2 * 3",
+            "let x = 4 in x == 4",
+            "new approx Pair()",
+            "this.x := (1 + 2)",
+            "endorse(a.val)",
+            "if (x < 1) { 0 } else { p.m(1, 2.5) }",
+            "(top C) o; null",
+        ] {
+            let original = parse_expr(src).unwrap();
+            let printed = expr_to_display(&original);
+            let reparsed = parse_expr(&printed)
+                .unwrap_or_else(|e| panic!("reprint of {src:?} -> {printed:?} failed: {e}"));
+            assert!(
+                expr_structurally_eq(&original, &reparsed),
+                "round-trip mismatch for {src:?}: printed {printed:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn program_roundtrips() {
+        let src = "
+            class Pair extends Object {
+                context int x;
+                approx float rate;
+                context int getX() { this.x }
+                float mean() approx { 2.0 }
+            }
+            main { new Pair().getX() }
+        ";
+        let original = parse(src).unwrap();
+        let printed = program_to_string(&original);
+        let reparsed = parse(&printed).unwrap_or_else(|e| panic!("{printed}\n{e}"));
+        assert_eq!(original.classes.len(), reparsed.classes.len());
+        assert!(expr_structurally_eq(&original.main, &reparsed.main));
+        assert_eq!(original.classes[0].fields, {
+            // Spans differ; compare names and types only.
+            let f = &reparsed.classes[0].fields;
+            original
+                .classes[0]
+                .fields
+                .iter()
+                .zip(f)
+                .map(|(a, b)| {
+                    assert_eq!(a.name, b.name);
+                    assert_eq!(a.ty, b.ty);
+                    a.clone()
+                })
+                .collect::<Vec<_>>()
+        });
+    }
+}

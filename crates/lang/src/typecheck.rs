@@ -1,0 +1,892 @@
+//! The FEnerJ precision type checker (section 3.1).
+//!
+//! Implements the typing rules of the paper's formal system: qualifier
+//! subtyping (with the primitive-only `precise <: approx` axiom), context
+//! adaptation at field and method boundaries, the prohibition on writing
+//! through `lost`-qualified types, and the requirement that conditions have
+//! type `precise int` — the rule that makes implicit flows impossible
+//! (section 2.4).
+//!
+//! Checking produces a [`TypedProgram`]: the AST plus side tables giving
+//! every expression's type and every operation's precision, which the
+//! interpreter uses to decide which (possibly imprecise) functional unit a
+//! binary operation executes on — including the bidirectional refinement of
+//! section 2.3, where an operation whose result flows into an approximate
+//! context is executed approximately even if both operands are precise.
+
+use std::collections::HashMap;
+
+use crate::ast::{Expr, ExprKind, NodeId, Program};
+use crate::classtable::ClassTable;
+use crate::error::TypeError;
+use crate::types::{BaseType, Qual, Type};
+
+/// A checked program: AST plus the checker's side tables.
+#[derive(Debug, Clone)]
+pub struct TypedProgram {
+    /// The program.
+    pub program: Program,
+    /// The validated class table.
+    pub table: ClassTable,
+    /// The type of every expression node.
+    pub types: HashMap<NodeId, Type>,
+    /// For every `Binary` node, the qualifier its operation runs under:
+    /// `Precise`, `Approx`, or `Context` (resolved against the enclosing
+    /// instance at run time).
+    pub op_prec: HashMap<NodeId, Qual>,
+    /// For every `Call` node, the static qualifier of the receiver (drives
+    /// the section 2.5.2 overload selection).
+    pub call_recv_qual: HashMap<NodeId, Qual>,
+    /// For every `FieldGet`/`FieldSet` node, the adapted qualifier of the
+    /// accessed field (may be `Context`).
+    pub field_qual: HashMap<NodeId, Qual>,
+}
+
+impl TypedProgram {
+    /// The static type of the main expression.
+    pub fn main_type(&self) -> &Type {
+        &self.types[&self.program.main.id]
+    }
+}
+
+/// Type-checks a parsed program.
+///
+/// # Errors
+///
+/// Returns the first [`TypeError`] found: an ill-formed class table, an
+/// illegal approximate→precise flow, an approximate condition, a write
+/// through `lost`, an unknown member, or an arity/type mismatch.
+pub fn check(program: Program) -> Result<TypedProgram, TypeError> {
+    let table = ClassTable::build(&program)?;
+    let mut checker = Checker {
+        table,
+        types: HashMap::new(),
+        op_prec: HashMap::new(),
+        call_recv_qual: HashMap::new(),
+        field_qual: HashMap::new(),
+    };
+
+    for class in &program.classes {
+        for method in &class.methods {
+            // The qualifier of `this` inside the body (section 2.5.2): a
+            // body overloaded on receiver precision is only dispatched to
+            // receivers of that precision, so `this` may assume it. A
+            // method without an overloaded sibling serves every instance
+            // and is checked generically, with `this : context C`.
+            let has_sibling = class
+                .methods
+                .iter()
+                .any(|m| m.name == method.name && m.qual != method.qual);
+            let this_qual = match (method.qual, has_sibling) {
+                (crate::ast::MethodQual::Approx, _) => Qual::Approx,
+                (crate::ast::MethodQual::Precise, true) => Qual::Precise,
+                (crate::ast::MethodQual::Precise, false) => Qual::Context,
+            };
+            let mut env = Env::method(&class.name, this_qual, &method.params);
+            let body_ty = checker.infer(&method.body, &mut env)?;
+            // The body must produce the declared return type; the expected
+            // type also drives the bidirectional refinement.
+            checker.require_subtype(&body_ty, &method.ret, method.body.span)?;
+            checker.bidirectional(&method.body, &method.ret);
+        }
+    }
+
+    let mut env = Env::main();
+    let main_ty = checker.infer(&program.main, &mut env)?;
+    if main_ty.qual == Qual::Context {
+        return Err(TypeError::new(
+            program.main.span,
+            "the main expression cannot have context type",
+        ));
+    }
+
+    Ok(TypedProgram {
+        program,
+        table: checker.table,
+        types: checker.types,
+        op_prec: checker.op_prec,
+        call_recv_qual: checker.call_recv_qual,
+        field_qual: checker.field_qual,
+    })
+}
+
+/// The static environment `sΓ`: local variables plus the current class.
+struct Env {
+    vars: Vec<(String, Type)>,
+    current_class: Option<String>,
+    this_qual: Qual,
+}
+
+impl Env {
+    fn main() -> Env {
+        Env { vars: Vec::new(), current_class: None, this_qual: Qual::Context }
+    }
+
+    fn method(class: &str, this_qual: Qual, params: &[(String, Type)]) -> Env {
+        Env { vars: params.to_vec(), current_class: Some(class.to_owned()), this_qual }
+    }
+
+    fn lookup(&self, name: &str) -> Option<&Type> {
+        self.vars.iter().rev().find(|(n, _)| n == name).map(|(_, t)| t)
+    }
+}
+
+struct Checker {
+    table: ClassTable,
+    types: HashMap<NodeId, Type>,
+    op_prec: HashMap<NodeId, Qual>,
+    call_recv_qual: HashMap<NodeId, Qual>,
+    field_qual: HashMap<NodeId, Qual>,
+}
+
+impl Checker {
+    fn record(&mut self, e: &Expr, ty: Type) -> Type {
+        self.types.insert(e.id, ty.clone());
+        ty
+    }
+
+    /// Subtyping `T1 <: T2`: qualifier ordering plus subclassing; for
+    /// primitives additionally `precise <: approx` (section 2.1); `null` is
+    /// below every class and array type; arrays are invariant in their
+    /// element type (standard soundness for mutable containers).
+    fn is_subtype(&self, t1: &Type, t2: &Type) -> bool {
+        match (&t1.base, &t2.base) {
+            (BaseType::Null, BaseType::Class(_))
+            | (BaseType::Null, BaseType::Array(_))
+            | (BaseType::Null, BaseType::Null) => true,
+            (b1, b2) if b1.is_prim() && b1 == b2 => prim_qual_sub(t1.qual, t2.qual),
+            (BaseType::Class(c1), BaseType::Class(c2)) => {
+                t1.qual.is_sub(t2.qual) && self.table.is_subclass(c1, c2)
+            }
+            (BaseType::Array(e1), BaseType::Array(e2)) => {
+                t1.qual.is_sub(t2.qual) && e1 == e2
+            }
+            _ => false,
+        }
+    }
+
+    fn require_subtype(
+        &self,
+        t1: &Type,
+        t2: &Type,
+        span: crate::error::Span,
+    ) -> Result<(), TypeError> {
+        if self.is_subtype(t1, t2) {
+            Ok(())
+        } else {
+            Err(TypeError::new(span, format!("`{t1}` is not a subtype of `{t2}`")))
+        }
+    }
+
+    /// Least upper bound of two expression types, for joining `if` branches.
+    fn lub(&self, t1: &Type, t2: &Type, span: crate::error::Span) -> Result<Type, TypeError> {
+        match (&t1.base, &t2.base) {
+            (b1, b2) if b1.is_prim() && b1 == b2 => {
+                Ok(Type::new(t1.qual.lub_prim(t2.qual), b1.clone()))
+            }
+            (BaseType::Null, _) => Ok(t2.clone()),
+            (_, BaseType::Null) => Ok(t1.clone()),
+            (BaseType::Class(c1), BaseType::Class(c2)) => Ok(Type::new(
+                t1.qual.lub(t2.qual),
+                BaseType::Class(self.table.join_classes(c1, c2)),
+            )),
+            (BaseType::Array(e1), BaseType::Array(e2)) if e1 == e2 => {
+                Ok(Type::new(t1.qual.lub(t2.qual), t1.base.clone()))
+            }
+            _ => Err(TypeError::new(
+                span,
+                format!("branches have incompatible types `{t1}` and `{t2}`"),
+            )),
+        }
+    }
+
+    fn infer(&mut self, e: &Expr, env: &mut Env) -> Result<Type, TypeError> {
+        let ty = match &e.kind {
+            ExprKind::Null => Type::null(),
+            ExprKind::IntLit(_) => Type::precise_int(),
+            ExprKind::FloatLit(_) => Type::precise_float(),
+            ExprKind::Var(name) => env
+                .lookup(name)
+                .cloned()
+                .ok_or_else(|| TypeError::new(e.span, format!("unknown variable `{name}`")))?,
+            ExprKind::This => {
+                let class = env.current_class.clone().ok_or_else(|| {
+                    TypeError::new(e.span, "`this` outside of a class body")
+                })?;
+                // `this` has @Context type in generic bodies (section
+                // 3.1) and the overload's precision in overloaded bodies.
+                Type::new(env.this_qual, BaseType::Class(class))
+            }
+            ExprKind::New(ty) => {
+                let BaseType::Class(name) = &ty.base else {
+                    return Err(TypeError::new(e.span, "`new` requires a class type"));
+                };
+                if !self.table.is_class(name) {
+                    return Err(TypeError::new(e.span, format!("unknown class `{name}`")));
+                }
+                match ty.qual {
+                    Qual::Precise | Qual::Approx => {}
+                    Qual::Context => {
+                        if env.current_class.is_none() {
+                            return Err(TypeError::new(
+                                e.span,
+                                "`new context` outside of a class body",
+                            ));
+                        }
+                    }
+                    q => {
+                        return Err(TypeError::new(
+                            e.span,
+                            format!("cannot instantiate with qualifier `{q}`"),
+                        ))
+                    }
+                }
+                ty.clone()
+            }
+            ExprKind::NewArray(elem, len) => {
+                match elem.qual {
+                    Qual::Precise | Qual::Approx => {}
+                    Qual::Context => {
+                        if env.current_class.is_none() {
+                            return Err(TypeError::new(
+                                e.span,
+                                "`new context T[...]` outside of a class body",
+                            ));
+                        }
+                    }
+                    q => {
+                        return Err(TypeError::new(
+                            e.span,
+                            format!("cannot allocate array elements with qualifier `{q}`"),
+                        ))
+                    }
+                }
+                if let BaseType::Class(name) = &elem.base {
+                    if !self.table.is_class(name) {
+                        return Err(TypeError::new(e.span, format!("unknown class `{name}`")));
+                    }
+                }
+                let lt = self.infer(len, env)?;
+                if lt != Type::precise_int() {
+                    return Err(TypeError::new(
+                        len.span,
+                        format!("array lengths must be `precise int`, got `{lt}`"),
+                    ));
+                }
+                Type::new(Qual::Precise, BaseType::Array(Box::new(elem.clone())))
+            }
+            ExprKind::Index(arr, idx) => {
+                let at = self.infer(arr, env)?;
+                let BaseType::Array(elem) = &at.base else {
+                    return Err(TypeError::new(arr.span, format!("`{at}` is not an array")));
+                };
+                let elem = (**elem).clone();
+                let it = self.infer(idx, env)?;
+                // "EnerJ prohibits approximate integers from being used as
+                // array subscripts" (section 2.6).
+                if it != Type::precise_int() {
+                    return Err(TypeError::new(
+                        idx.span,
+                        format!("array indices must be `precise int`, got `{it}`; endorse it first"),
+                    ));
+                }
+                self.field_qual.insert(e.id, elem.qual);
+                elem
+            }
+            ExprKind::IndexSet(arr, idx, value) => {
+                let at = self.infer(arr, env)?;
+                let BaseType::Array(elem) = &at.base else {
+                    return Err(TypeError::new(arr.span, format!("`{at}` is not an array")));
+                };
+                let elem = (**elem).clone();
+                let it = self.infer(idx, env)?;
+                if it != Type::precise_int() {
+                    return Err(TypeError::new(
+                        idx.span,
+                        format!("array indices must be `precise int`, got `{it}`; endorse it first"),
+                    ));
+                }
+                if elem.has_lost() {
+                    return Err(TypeError::new(
+                        e.span,
+                        "cannot write an array element whose adapted type lost precision information",
+                    ));
+                }
+                let vt = self.infer(value, env)?;
+                self.require_subtype(&vt, &elem, value.span)?;
+                self.bidirectional(value, &elem);
+                self.field_qual.insert(e.id, elem.qual);
+                elem
+            }
+            ExprKind::Length(arr) => {
+                let at = self.infer(arr, env)?;
+                if !matches!(at.base, BaseType::Array(_)) {
+                    return Err(TypeError::new(
+                        arr.span,
+                        format!("`{at}` has no length; only arrays do"),
+                    ));
+                }
+                // Lengths are always precise (section 2.6).
+                Type::precise_int()
+            }
+            ExprKind::FieldGet(recv, field) => {
+                let recv_ty = self.infer(recv, env)?;
+                let (qual, class) = as_class(&recv_ty, recv.span)?;
+                let ft = self.table.ftype(qual, &class, field).ok_or_else(|| {
+                    TypeError::new(e.span, format!("unknown field `{field}` on `{class}`"))
+                })?;
+                self.field_qual.insert(e.id, ft.qual);
+                ft
+            }
+            ExprKind::FieldSet(recv, field, value) => {
+                let recv_ty = self.infer(recv, env)?;
+                let (qual, class) = as_class(&recv_ty, recv.span)?;
+                let ft = self.table.ftype(qual, &class, field).ok_or_else(|| {
+                    TypeError::new(e.span, format!("unknown field `{field}` on `{class}`"))
+                })?;
+                if ft.has_lost() {
+                    return Err(TypeError::new(
+                        e.span,
+                        format!("cannot write field `{field}`: its adapted type lost precision information"),
+                    ));
+                }
+                let vt = self.infer(value, env)?;
+                self.require_subtype(&vt, &ft, value.span)?;
+                self.bidirectional(value, &ft);
+                self.field_qual.insert(e.id, ft.qual);
+                ft
+            }
+            ExprKind::Call(recv, name, args) => {
+                let recv_ty = self.infer(recv, env)?;
+                let (qual, class) = as_class(&recv_ty, recv.span)?;
+                let sig = self.table.msig(qual, &class, name).ok_or_else(|| {
+                    TypeError::new(e.span, format!("unknown method `{name}` on `{class}`"))
+                })?;
+                if args.len() != sig.params.len() {
+                    return Err(TypeError::new(
+                        e.span,
+                        format!(
+                            "`{name}` expects {} argument(s), got {}",
+                            sig.params.len(),
+                            args.len()
+                        ),
+                    ));
+                }
+                for (arg, pty) in args.iter().zip(&sig.params) {
+                    if pty.has_lost() {
+                        return Err(TypeError::new(
+                            e.span,
+                            format!("cannot call `{name}`: a parameter's adapted type lost precision information"),
+                        ));
+                    }
+                    let at = self.infer(arg, env)?;
+                    self.require_subtype(&at, pty, arg.span)?;
+                    self.bidirectional(arg, pty);
+                }
+                self.call_recv_qual.insert(e.id, qual);
+                sig.ret
+            }
+            ExprKind::Cast(target, operand) => {
+                let ot = self.infer(operand, env)?;
+                let BaseType::Class(tc) = &target.base else {
+                    return Err(TypeError::new(e.span, "casts apply to class types"));
+                };
+                if !self.table.is_class(tc) {
+                    return Err(TypeError::new(e.span, format!("unknown class `{tc}`")));
+                }
+                match &ot.base {
+                    BaseType::Class(oc) => {
+                        if !self.table.is_subclass(oc, tc) && !self.table.is_subclass(tc, oc) {
+                            return Err(TypeError::new(
+                                e.span,
+                                format!("classes `{oc}` and `{tc}` are unrelated"),
+                            ));
+                        }
+                    }
+                    BaseType::Null => {}
+                    _ => return Err(TypeError::new(e.span, "cannot cast a primitive; use endorse")),
+                }
+                // Qualifier casts may only widen: endorsement is the sole
+                // route from approx to precise.
+                if !ot.qual.is_sub(target.qual) && ot.base != BaseType::Null {
+                    return Err(TypeError::new(
+                        e.span,
+                        format!(
+                            "cast cannot change qualifier `{}` to `{}`",
+                            ot.qual, target.qual
+                        ),
+                    ));
+                }
+                target.clone()
+            }
+            ExprKind::Binary(op, lhs, rhs) => {
+                let lt = self.infer(lhs, env)?;
+                let rt = self.infer(rhs, env)?;
+                if !lt.is_prim() || !rt.is_prim() {
+                    return Err(TypeError::new(
+                        e.span,
+                        format!("operator `{op}` requires primitive operands, got `{lt}` and `{rt}`"),
+                    ));
+                }
+                for q in [lt.qual, rt.qual] {
+                    if matches!(q, Qual::Top | Qual::Lost) {
+                        return Err(TypeError::new(
+                            e.span,
+                            format!("cannot compute on a `{q}`-qualified value; cast or endorse it first"),
+                        ));
+                    }
+                }
+                let qual = lt.qual.lub_prim(rt.qual);
+                self.op_prec.insert(e.id, qual);
+                // Binary numeric promotion, as in Java: int op float runs
+                // in floating point.
+                let promoted = if lt.base == BaseType::Float || rt.base == BaseType::Float {
+                    BaseType::Float
+                } else {
+                    BaseType::Int
+                };
+                let base = if op.is_comparison() { BaseType::Int } else { promoted };
+                Type::new(qual, base)
+            }
+            ExprKind::If(cond, then, els) => {
+                let ct = self.infer(cond, env)?;
+                // The condition must be a *precise* primitive (section 2.4):
+                // approximate data may never decide control flow.
+                if ct != Type::precise_int() {
+                    return Err(TypeError::new(
+                        cond.span,
+                        format!(
+                            "condition must have type `precise int`, got `{ct}`; \
+                             wrap it in endorse(...) to accept the risk"
+                        ),
+                    ));
+                }
+                let tt = self.infer(then, env)?;
+                let et = self.infer(els, env)?;
+                self.lub(&tt, &et, e.span)?
+            }
+            ExprKind::Let(name, value, body) => {
+                let vt = self.infer(value, env)?;
+                if vt.qual == Qual::Lost {
+                    return Err(TypeError::new(
+                        value.span,
+                        "cannot bind a value whose type lost precision information",
+                    ));
+                }
+                env.vars.push((name.clone(), vt));
+                let bt = self.infer(body, env)?;
+                env.vars.pop();
+                bt
+            }
+            ExprKind::VarSet(name, value) => {
+                let declared = env
+                    .lookup(name)
+                    .cloned()
+                    .ok_or_else(|| TypeError::new(e.span, format!("unknown variable `{name}`")))?;
+                let vt = self.infer(value, env)?;
+                self.require_subtype(&vt, &declared, value.span)?;
+                self.bidirectional(value, &declared);
+                declared
+            }
+            ExprKind::While(cond, body) => {
+                let ct = self.infer(cond, env)?;
+                // Loop conditions are control flow: precise only
+                // (section 2.4), exactly like `if`.
+                if ct != Type::precise_int() {
+                    return Err(TypeError::new(
+                        cond.span,
+                        format!(
+                            "loop condition must have type `precise int`, got `{ct}`; \
+                             wrap it in endorse(...) to accept the risk"
+                        ),
+                    ));
+                }
+                self.infer(body, env)?;
+                Type::precise_int()
+            }
+            ExprKind::Seq(first, rest) => {
+                self.infer(first, env)?;
+                self.infer(rest, env)?
+            }
+            ExprKind::Endorse(inner) => {
+                let it = self.infer(inner, env)?;
+                if !it.is_prim() {
+                    return Err(TypeError::new(
+                        e.span,
+                        "endorse applies to primitive types only",
+                    ));
+                }
+                Type::new(Qual::Precise, it.base.clone())
+            }
+        };
+        Ok(self.record(e, ty))
+    }
+
+    /// Bidirectional refinement (section 2.3): when an expression's value
+    /// flows into an approximate context, its top-level arithmetic is
+    /// re-tagged to run on the approximate unit even if both operands are
+    /// precise. Applied at assignment right-hand sides, method arguments and
+    /// return positions.
+    fn bidirectional(&mut self, e: &Expr, expected: &Type) {
+        if expected.qual != Qual::Approx {
+            return;
+        }
+        if let ExprKind::Binary(_, _, _) = &e.kind {
+            if let Some(q) = self.op_prec.get_mut(&e.id) {
+                if *q == Qual::Precise {
+                    *q = Qual::Approx;
+                }
+            }
+        }
+    }
+}
+
+fn prim_qual_sub(q1: Qual, q2: Qual) -> bool {
+    q1.is_sub(q2)
+        || q1 == Qual::Precise
+        || (q1 == Qual::Context && q2 == Qual::Approx)
+}
+
+fn as_class(ty: &Type, span: crate::error::Span) -> Result<(Qual, String), TypeError> {
+    match &ty.base {
+        BaseType::Class(name) => Ok((ty.qual, name.clone())),
+        BaseType::Null => Err(TypeError::new(span, "receiver is statically null")),
+        _ => Err(TypeError::new(span, format!("`{ty}` is not an object type"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn check_src(src: &str) -> Result<TypedProgram, TypeError> {
+        check(parse(src).expect("parse"))
+    }
+
+    fn main_ty(src: &str) -> Type {
+        check_src(src).unwrap().main_type().clone()
+    }
+
+    #[test]
+    fn literals_are_precise() {
+        assert_eq!(main_ty("main { 42 }"), Type::precise_int());
+        assert_eq!(main_ty("main { 4.5 }"), Type::precise_float());
+    }
+
+    #[test]
+    fn let_propagates_types() {
+        assert_eq!(main_ty("main { let x = 1 in x + x }"), Type::precise_int());
+    }
+
+    // The paper's core example: assigning approx to precise is illegal...
+    #[test]
+    fn approx_to_precise_flow_rejected() {
+        let err = check_src(
+            "class C extends Object {
+                 approx int a;
+                 int p;
+             }
+             main {
+                 let c = new C() in
+                 c.p := c.a
+             }",
+        )
+        .unwrap_err();
+        assert!(err.message.contains("not a subtype"));
+    }
+
+    // ...but the reverse direction is subtyping...
+    #[test]
+    fn precise_to_approx_flow_allowed() {
+        check_src(
+            "class C extends Object {
+                 approx int a;
+                 int p;
+             }
+             main {
+                 let c = new C() in
+                 c.a := c.p
+             }",
+        )
+        .unwrap();
+    }
+
+    // ...and endorse makes the illegal flow legal.
+    #[test]
+    fn endorse_permits_the_flow() {
+        check_src(
+            "class C extends Object {
+                 approx int a;
+                 int p;
+             }
+             main {
+                 let c = new C() in
+                 c.p := endorse(c.a)
+             }",
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn approximate_conditions_rejected() {
+        // The paper's flag example (section 2.4).
+        let err = check_src(
+            "class C extends Object { approx int val; }
+             main {
+                 let c = new C() in
+                 if (c.val == 5) { 1 } else { 0 }
+             }",
+        )
+        .unwrap_err();
+        assert!(err.message.contains("precise int"));
+    }
+
+    #[test]
+    fn endorsed_conditions_accepted() {
+        check_src(
+            "class C extends Object { approx int val; }
+             main {
+                 let c = new C() in
+                 if (endorse(c.val == 5)) { 1 } else { 0 }
+             }",
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn comparison_of_approx_data_is_approx_int() {
+        let tp = check_src(
+            "class C extends Object { approx int val; }
+             main { let c = new C() in c.val == 5 }",
+        )
+        .unwrap();
+        assert_eq!(tp.main_type(), &Type::new(Qual::Approx, BaseType::Int));
+    }
+
+    #[test]
+    fn context_fields_adapt_to_instance_qualifier() {
+        // The paper's IntPair example (section 2.5.1).
+        let src = "
+            class IntPair extends Object {
+                context int x;
+                context int y;
+                approx int numAdditions;
+                context int getX() { this.x }
+            }
+            main {
+                let a = new approx IntPair() in
+                let p = new IntPair() in
+                p.x := p.y
+            }
+        ";
+        check_src(src).unwrap();
+        // Writing an approximate instance's context field with precise data
+        // is fine (precise <: approx)...
+        check_src(
+            "class IntPair extends Object { context int x; }
+             main { let a = new approx IntPair() in a.x := 3 }",
+        )
+        .unwrap();
+        // ...but its field cannot flow into a precise one.
+        let err = check_src(
+            "class IntPair extends Object { context int x; int p; }
+             main { let a = new approx IntPair() in a.p := a.x }",
+        )
+        .unwrap_err();
+        assert!(err.message.contains("not a subtype"));
+    }
+
+    #[test]
+    fn context_write_through_top_receiver_rejected() {
+        // FType adapts context to lost through a top receiver; writes
+        // through lost are unsound and rejected (section 3.1).
+        let err = check_src(
+            "class C extends Object { context int x; }
+             main {
+                 let t = (top C) new C() in
+                 t.x := 1
+             }",
+        )
+        .unwrap_err();
+        assert!(err.message.contains("lost"));
+    }
+
+    #[test]
+    fn reading_through_top_receiver_is_allowed() {
+        // Reads of lost-typed fields are fine; the value can only flow on
+        // into lost/top contexts.
+        check_src(
+            "class C extends Object { context int x; }
+             main {
+                 let t = (top C) new C() in
+                 let v = endorse(t.x + 0) in 0
+             }",
+        )
+        .unwrap_err(); // computing on lost is rejected...
+        check_src(
+            "class C extends Object { context int x; }
+             main {
+                 let t = (top C) new C() in
+                 endorse(t.x)
+             }",
+        )
+        .unwrap(); // ...but endorsing it is allowed.
+    }
+
+    #[test]
+    fn qualifier_narrowing_cast_rejected() {
+        let err = check_src(
+            "class C extends Object {}
+             main { (precise C) new approx C() }",
+        )
+        .unwrap_err();
+        assert!(err.message.contains("qualifier"));
+    }
+
+    #[test]
+    fn method_overloading_selects_by_receiver() {
+        let src = "
+            class FloatSet extends Object {
+                float mean() { 1.0 }
+                float mean() approx { 2.0 }
+            }
+            main { new approx FloatSet().mean() }
+        ";
+        let tp = check_src(src).unwrap();
+        // The call's receiver qualifier is recorded for dispatch.
+        let quals: Vec<_> = tp.call_recv_qual.values().collect();
+        assert_eq!(quals, vec![&Qual::Approx]);
+        // Return type of the approx overload through an approx receiver.
+        assert_eq!(tp.main_type().base, BaseType::Float);
+    }
+
+    #[test]
+    fn approx_receiver_makes_context_params_approx() {
+        let src = "
+            class Pair extends Object {
+                context int x;
+                int setX(context int v) { this.x := v; 0 }
+            }
+            class Holder extends Object { approx int a; }
+            main {
+                let p = new approx Pair() in
+                let h = new Holder() in
+                p.setX(h.a)
+            }
+        ";
+        check_src(src).unwrap();
+        // Through a precise receiver the same argument is rejected.
+        let err = check_src(
+            "class Pair extends Object {
+                 context int x;
+                 int setX(context int v) { this.x := v; 0 }
+             }
+             class Holder extends Object { approx int a; }
+             main {
+                 let p = new Pair() in
+                 let h = new Holder() in
+                 p.setX(h.a)
+             }",
+        )
+        .unwrap_err();
+        assert!(err.message.contains("not a subtype"));
+    }
+
+    #[test]
+    fn branches_join_with_lub() {
+        // precise int vs approx int joins at approx int.
+        let tp = check_src(
+            "class C extends Object { approx int a; }
+             main {
+                 let c = new C() in
+                 if (1 < 2) { c.a } else { 3 }
+             }",
+        )
+        .unwrap();
+        assert_eq!(tp.main_type(), &Type::new(Qual::Approx, BaseType::Int));
+    }
+
+    #[test]
+    fn class_branches_join_at_common_superclass() {
+        let tp = check_src(
+            "class A extends Object {}
+             class B extends A {}
+             class C extends A {}
+             main { if (1 == 1) { new B() } else { new C() } }",
+        )
+        .unwrap();
+        assert_eq!(tp.main_type().base, BaseType::Class("A".into()));
+    }
+
+    #[test]
+    fn arithmetic_promotes_int_to_float() {
+        // Binary numeric promotion, as in Java.
+        let tp = check_src("main { 1 + 2.0 }").unwrap();
+        assert_eq!(tp.main_type().base, BaseType::Float);
+        assert!(check_src("main { 1.0 % 2.0 }").is_ok());
+        // Objects are still not operands.
+        assert!(check_src("class C extends Object {} main { new C() + 1 }").is_err());
+    }
+
+    #[test]
+    fn bidirectional_refinement_marks_ops_approx() {
+        // b + c with both precise, assigned into an approximate field:
+        // the addition itself becomes approximate (section 2.3).
+        let tp = check_src(
+            "class C extends Object { approx int a; int b; int c; }
+             main {
+                 let c = new C() in
+                 c.a := c.b + c.c
+             }",
+        )
+        .unwrap();
+        let approx_ops = tp.op_prec.values().filter(|q| **q == Qual::Approx).count();
+        assert_eq!(approx_ops, 1, "the addition should be re-tagged approximate");
+    }
+
+    #[test]
+    fn plain_precise_arithmetic_stays_precise() {
+        let tp = check_src("main { 1 + 2 }").unwrap();
+        assert_eq!(tp.op_prec.values().collect::<Vec<_>>(), vec![&Qual::Precise]);
+    }
+
+    #[test]
+    fn unknown_names_are_reported() {
+        assert!(check_src("main { x }").is_err());
+        assert!(check_src("main { new Missing() }").is_err());
+        assert!(check_src(
+            "class C extends Object {} main { new C().nope() }"
+        )
+        .is_err());
+        assert!(check_src(
+            "class C extends Object {} main { new C().f }"
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn this_outside_class_rejected() {
+        assert!(check_src("main { this }").is_err());
+    }
+
+    #[test]
+    fn arity_mismatch_rejected() {
+        let err = check_src(
+            "class C extends Object { int m(int x) { x } }
+             main { new C().m() }",
+        )
+        .unwrap_err();
+        assert!(err.message.contains("argument"));
+    }
+
+    #[test]
+    fn endorse_on_objects_rejected() {
+        let err = check_src(
+            "class C extends Object {}
+             main { endorse(new C()); 0 }",
+        )
+        .unwrap_err();
+        assert!(err.message.contains("primitive"));
+    }
+}

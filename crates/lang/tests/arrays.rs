@@ -1,0 +1,225 @@
+//! Tests for FEnerJ arrays (paper section 2.6): approximate element types,
+//! always-precise lengths, mandatory-precise indices, and always-on bounds
+//! checks.
+
+use enerj_lang::compile;
+use enerj_lang::error::EvalError;
+use enerj_lang::interp::{run, ExecMode, Value};
+use enerj_lang::noninterference::check_non_interference;
+
+fn eval(src: &str) -> Value {
+    let tp = compile(src).expect("well-typed");
+    run(&tp, ExecMode::Reliable).expect("evaluates").value
+}
+
+#[test]
+fn allocate_fill_and_sum() {
+    let src = "
+        class Sum extends Object {
+            int go(int[] xs, int i, int acc) {
+                if (i == xs.length) { acc }
+                else { this.go(xs, i + 1, acc + xs[i]) }
+            }
+            int fill(int[] xs, int i) {
+                if (i == xs.length) { 0 }
+                else { xs[i] := i * i; this.fill(xs, i + 1) }
+            }
+        }
+        main {
+            let xs = new int[10] in
+            let s = new Sum() in
+            s.fill(xs, 0);
+            s.go(xs, 0, 0)
+        }
+    ";
+    assert_eq!(eval(src), Value::Int(285)); // sum of squares 0..9
+}
+
+#[test]
+fn approximate_elements_flow_like_approx_data() {
+    // @Approx float[]: writing precise data in is subtyping; reading out
+    // requires an endorsement.
+    let src = "
+        main {
+            let xs = new approx float[4] in
+            xs[0] := 1.5;
+            xs[1] := 2.5;
+            endorse(xs[0] + xs[1])
+        }
+    ";
+    assert_eq!(eval(src), Value::Float(4.0));
+}
+
+#[test]
+fn approx_element_cannot_reach_precise_code() {
+    let err = compile(
+        "main {
+             let xs = new approx int[4] in
+             let p = 0 in
+             let q = xs[0] + 1 in
+             if (q == 1) { 1 } else { 0 }
+         }",
+    )
+    .unwrap_err();
+    assert!(err.to_string().contains("precise int"), "{err}");
+}
+
+#[test]
+fn approximate_indices_are_rejected() {
+    // The paper's rule: approximate integers cannot subscript arrays.
+    let err = compile(
+        "class C extends Object { approx int i; }
+         main {
+             let c = new C() in
+             let xs = new int[4] in
+             xs[c.i]
+         }",
+    )
+    .unwrap_err();
+    assert!(err.to_string().contains("indices must be `precise int`"), "{err}");
+    // Endorsing the index makes it legal.
+    compile(
+        "class C extends Object { approx int i; }
+         main {
+             let c = new C() in
+             let xs = new int[4] in
+             xs[endorse(c.i)]
+         }",
+    )
+    .expect("endorsed index is precise");
+}
+
+#[test]
+fn lengths_are_precise_even_for_approx_arrays() {
+    // xs.length drives control flow with no endorsement: it is precise by
+    // construction (memory safety, section 2.6).
+    let src = "
+        main {
+            let xs = new approx float[7] in
+            if (xs.length == 7) { 1 } else { 0 }
+        }
+    ";
+    assert_eq!(eval(src), Value::Int(1));
+}
+
+#[test]
+fn array_lengths_must_be_precise() {
+    let err = compile(
+        "class C extends Object { approx int n; }
+         main { let c = new C() in new int[c.n] }",
+    )
+    .unwrap_err();
+    assert!(err.to_string().contains("lengths must be `precise int`"), "{err}");
+}
+
+#[test]
+fn bounds_are_always_checked() {
+    let tp = compile("main { let xs = new int[3] in xs[3] }").expect("well-typed");
+    let err = run(&tp, ExecMode::Reliable).unwrap_err();
+    assert!(matches!(err, EvalError::IndexOutOfBounds(_, 3, 3)));
+
+    let tp = compile("main { let xs = new int[3] in xs[0 - 1] }").expect("well-typed");
+    let err = run(&tp, ExecMode::Reliable).unwrap_err();
+    assert!(matches!(err, EvalError::IndexOutOfBounds(_, -1, 3)));
+}
+
+#[test]
+fn negative_lengths_are_runtime_errors() {
+    let tp = compile("main { let xs = new int[0 - 2] in 0 }").expect("well-typed");
+    let err = run(&tp, ExecMode::Reliable).unwrap_err();
+    assert!(matches!(err, EvalError::BadArrayLength(_, -2)));
+}
+
+#[test]
+fn context_element_arrays_follow_the_instance() {
+    // The paper's FloatSet: a @Context float[] member is approximate in
+    // approximate instances. Reading it into the precise overload is fine;
+    // in the approx overload it is approximate.
+    let src = "
+        class Holder extends Object {
+            context int stored;
+            int probe() { this.stored }
+            approx int probe() approx { this.stored }
+        }
+        main {
+            let p = new Holder() in
+            p.stored := 5;
+            p.probe()
+        }
+    ";
+    assert_eq!(eval(src), Value::Int(5));
+}
+
+#[test]
+fn chaos_respects_precise_arrays_but_not_approx_ones() {
+    // Precise array contents are part of the non-interference observables.
+    let src = "
+        class F extends Object {
+            int fill(int[] xs, approx float[] noise, int i) {
+                if (i == xs.length) { xs[0] }
+                else {
+                    xs[i] := i * 7;
+                    noise[i] := 0.5;
+                    this.fill(xs, noise, i + 1)
+                }
+            }
+        }
+        main {
+            let xs = new int[8] in
+            let noise = new approx float[8] in
+            new F().fill(xs, noise, 0)
+        }
+    ";
+    let tp = compile(src).expect("well-typed");
+    check_non_interference(&tp, 0..25).expect("precise array survives chaos");
+}
+
+#[test]
+fn chaos_can_change_approximate_array_results() {
+    let src = "
+        main {
+            let xs = new approx int[2] in
+            xs[0] := 5;
+            xs[0] + 1
+        }
+    ";
+    let tp = compile(src).expect("well-typed");
+    let reliable = run(&tp, ExecMode::Reliable).unwrap().value;
+    let changed =
+        (0..10).any(|seed| run(&tp, ExecMode::Chaos { seed }).unwrap().value != reliable);
+    assert!(changed);
+}
+
+#[test]
+fn arrays_pretty_print_and_reparse() {
+    let src = "
+        class A extends Object {
+            approx float[] data;
+            int touch(int i) { this.data[i] := 1.0; 0 }
+        }
+        main { let xs = new approx float[4] in xs.length }
+    ";
+    let tp = compile(src).expect("well-typed");
+    let printed = enerj_lang::pretty::program_to_string(&tp.program);
+    let reparsed = enerj_lang::parser::parse(&printed)
+        .unwrap_or_else(|e| panic!("{printed}\n{e}"));
+    enerj_lang::typecheck::check(reparsed).unwrap_or_else(|e| panic!("{printed}\n{e}"));
+}
+
+#[test]
+fn array_fields_adapt_through_receivers() {
+    // A context-element array field read through an approx receiver gives
+    // approximate elements; writing them from precise data is subtyping.
+    let src = "
+        class Buf extends Object {
+            context float[] data;
+            int init(int n) { this.data := new context float[n]; 0 }
+        }
+        main {
+            let b = new approx Buf() in
+            b.init(4);
+            0
+        }
+    ";
+    assert_eq!(eval(src), Value::Int(0));
+}

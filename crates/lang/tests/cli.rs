@@ -1,0 +1,87 @@
+//! Integration tests driving the `fenerjc` binary end to end.
+
+use std::process::Command;
+
+fn fenerjc() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_fenerjc"))
+}
+
+fn program(name: &str) -> String {
+    format!("{}/programs/{name}", env!("CARGO_MANIFEST_DIR"))
+}
+
+#[test]
+fn check_accepts_well_typed_programs() {
+    for name in ["mean.fej", "isolated.fej", "checksum.fej", "sor.fej"] {
+        let out = fenerjc().args(["check", &program(name)]).output().expect("spawn");
+        assert!(out.status.success(), "{name}: {}", String::from_utf8_lossy(&out.stderr));
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        assert!(stdout.contains("OK"), "{name}: {stdout}");
+    }
+}
+
+#[test]
+fn check_rejects_illegal_flow_with_location() {
+    let out = fenerjc().args(["check", &program("illegal_flow.fej")]).output().expect("spawn");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("not a subtype"), "{stderr}");
+    assert!(stderr.contains("illegal_flow.fej:"), "diagnostic has file:line:col: {stderr}");
+}
+
+#[test]
+fn run_prints_the_result() {
+    let out = fenerjc().args(["run", &program("checksum.fej")]).output().expect("spawn");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let expected: i64 = (0..32).map(|i: i64| (i * 13 + 7) % 256).sum();
+    assert_eq!(stdout.trim(), expected.to_string());
+}
+
+#[test]
+fn run_with_level_injects_faults_deterministically() {
+    let run = || {
+        let out = fenerjc()
+            .args(["run", &program("sor.fej"), "--level", "aggressive", "--seed", "9"])
+            .output()
+            .expect("spawn");
+        assert!(out.status.success());
+        String::from_utf8_lossy(&out.stdout).trim().to_owned()
+    };
+    assert_eq!(run(), run(), "same seed, same faulty output");
+}
+
+#[test]
+fn chaos_verifies_non_interference() {
+    let out = fenerjc()
+        .args(["chaos", &program("isolated.fej"), "--seeds", "20"])
+        .output()
+        .expect("spawn");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("non-interference holds"), "{stdout}");
+}
+
+#[test]
+fn chaos_refuses_endorsing_programs() {
+    let out = fenerjc().args(["chaos", &program("checksum.fej")]).output().expect("spawn");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("endorse"), "{stderr}");
+}
+
+#[test]
+fn print_emits_reparseable_source() {
+    let out = fenerjc().args(["print", &program("mean.fej")]).output().expect("spawn");
+    assert!(out.status.success());
+    let printed = String::from_utf8_lossy(&out.stdout).into_owned();
+    enerj_lang::compile(&printed).expect("printed program is well-typed");
+}
+
+#[test]
+fn unknown_commands_and_files_fail_cleanly() {
+    let out = fenerjc().args(["frobnicate", "x.fej"]).output().expect("spawn");
+    assert!(!out.status.success());
+    let out = fenerjc().args(["check", "/nonexistent.fej"]).output().expect("spawn");
+    assert!(!out.status.success());
+}

@@ -1,0 +1,247 @@
+//! Tests for `while` loops and mutable locals, and the FEnerJ SOR kernel
+//! cross-validated against a plain-Rust model of the same algorithm.
+
+use enerj_lang::compile;
+use enerj_lang::interp::{run, run_with_fuel, ExecMode, Value};
+use enerj_lang::noninterference::check_non_interference;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use enerj_hw::config::{HwConfig, Level, StrategyMask};
+use enerj_hw::Hardware;
+
+fn eval(src: &str) -> Value {
+    let tp = compile(src).expect("well-typed");
+    run(&tp, ExecMode::Reliable).expect("evaluates").value
+}
+
+#[test]
+fn while_loops_iterate_and_yield_zero() {
+    let src = "
+        main {
+            let i = 0 in
+            let acc = 0 in
+            let unit = while (i < 10) { acc := acc + i; i := i + 1; 0 } in
+            acc * 1000 + unit
+        }
+    ";
+    assert_eq!(eval(src), Value::Int(45_000));
+}
+
+#[test]
+fn variable_assignment_respects_declared_types() {
+    // A variable bound from approximate data keeps its approximate type;
+    // precise values may be assigned into it (subtyping)...
+    compile(
+        "class C extends Object { approx int a; }
+         main {
+             let c = new C() in
+             let x = c.a in
+             x := 3;
+             0
+         }",
+    )
+    .expect("precise into approx is subtyping");
+    // ...but not the other way around.
+    let err = compile(
+        "class C extends Object { approx int a; }
+         main {
+             let c = new C() in
+             let x = 3 in
+             x := c.a;
+             0
+         }",
+    )
+    .unwrap_err();
+    assert!(err.to_string().contains("not a subtype"), "{err}");
+}
+
+#[test]
+fn approximate_loop_conditions_are_rejected() {
+    let err = compile(
+        "class C extends Object { approx int n; }
+         main {
+             let c = new C() in
+             while (c.n > 0) { 0 }
+         }",
+    )
+    .unwrap_err();
+    assert!(err.to_string().contains("precise int"), "{err}");
+}
+
+#[test]
+fn nonterminating_loops_run_out_of_fuel() {
+    let tp = compile("main { while (1 == 1) { 0 } }").expect("well-typed");
+    let err = run_with_fuel(&tp, ExecMode::Reliable, 10_000).unwrap_err();
+    assert_eq!(err, enerj_lang::error::EvalError::OutOfFuel);
+}
+
+fn load_sor() -> String {
+    let path = format!("{}/programs/sor.fej", env!("CARGO_MANIFEST_DIR"));
+    std::fs::read_to_string(&path).expect("sor.fej exists")
+}
+
+/// Plain-Rust model of sor.fej, bit-for-bit.
+fn sor_model(n: usize, sweeps: usize) -> f64 {
+    let mut g = vec![0.0f64; n * n];
+    for r in 1..n - 1 {
+        for c in 1..n - 1 {
+            g[r * n + c] = ((r * 37 + c * 17) % 100) as f64 / 100.0;
+        }
+    }
+    for _ in 0..sweeps {
+        for r in 1..n - 1 {
+            for c in 1..n - 1 {
+                let i = r * n + c;
+                g[i] = 0.3125 * (g[i - n] + g[i + n] + g[i - 1] + g[i + 1]) - 0.25 * g[i];
+            }
+        }
+    }
+    g.iter().sum()
+}
+
+#[test]
+fn fenerj_sor_matches_the_rust_model_exactly() {
+    let tp = compile(&load_sor()).expect("well-typed");
+    // Masked hardware: approximate ops run exactly but are accounted.
+    let cfg = HwConfig::for_level(Level::Aggressive).with_mask(StrategyMask::NONE);
+    let hw = Rc::new(RefCell::new(Hardware::new(cfg, 0)));
+    let out = run(&tp, ExecMode::Faulty(Rc::clone(&hw))).expect("runs");
+    let expected = sor_model(12, 8);
+    let Value::Float(got) = out.value else { panic!("float result") };
+    assert!((got - expected).abs() < 1e-12, "{got} vs {expected}");
+    // The kernel's approximate work was charged to the imprecise units.
+    let stats = *hw.borrow().stats();
+    assert!(stats.fp_approx_ops > 1_000, "stencil math is approximate FP");
+    assert!(stats.int_precise_ops > 1_000, "loop control is precise int");
+}
+
+#[test]
+fn fenerj_sor_degrades_gracefully_under_faults() {
+    let tp = compile(&load_sor()).expect("well-typed");
+    let expected = sor_model(12, 8);
+    for seed in 0..3 {
+        let hw = Rc::new(RefCell::new(Hardware::new(
+            HwConfig::for_level(Level::Mild),
+            seed,
+        )));
+        let out = run(&tp, ExecMode::Faulty(hw)).expect("never crashes");
+        let Value::Float(got) = out.value else { panic!("float result") };
+        // Mild faults are rare; the checksum is usually spot-on.
+        assert!(
+            (got - expected).abs() < 1.0 || got.is_nan(),
+            "seed {seed}: {got} vs {expected}"
+        );
+    }
+}
+
+#[test]
+fn loop_heavy_program_satisfies_non_interference() {
+    let src = "
+        class W extends Object {
+            approx float junk;
+            int exact;
+        }
+        main {
+            let w = new W() in
+            let i = 0 in
+            while (i < 100) {
+                w.junk := w.junk * 1.5 + 2.0;
+                w.exact := w.exact + 3;
+                i := i + 1;
+                0
+            };
+            w.exact
+        }
+    ";
+    let tp = compile(src).expect("well-typed");
+    check_non_interference(&tp, 0..25).expect("non-interference");
+    assert_eq!(
+        run(&tp, ExecMode::Reliable).unwrap().value,
+        Value::Int(300)
+    );
+}
+
+/// Plain-Rust model of wht.fej, bit-for-bit.
+fn wht_model(n: usize) -> f64 {
+    let mut x: Vec<f64> = (0..n)
+        .map(|i| ((i * 13 + 5) % 32) as f64 / 32.0 - 0.5)
+        .collect();
+    let mut len = 1;
+    while len < n {
+        let mut base = 0;
+        while base < n {
+            for i in base..base + len {
+                let (a, b) = (x[i], x[i + len]);
+                x[i] = a + b;
+                x[i + len] = a - b;
+            }
+            base += 2 * len;
+        }
+        len *= 2;
+    }
+    x.iter()
+        .enumerate()
+        .map(|(i, &v)| v * ((i % 5) as f64 + 1.0))
+        .sum()
+}
+
+#[test]
+fn fenerj_wht_matches_the_rust_model_exactly() {
+    let path = format!("{}/programs/wht.fej", env!("CARGO_MANIFEST_DIR"));
+    let src = std::fs::read_to_string(&path).expect("wht.fej exists");
+    let tp = compile(&src).expect("well-typed");
+    let cfg = HwConfig::for_level(Level::Aggressive).with_mask(StrategyMask::NONE);
+    let hw = Rc::new(RefCell::new(Hardware::new(cfg, 0)));
+    let out = run(&tp, ExecMode::Faulty(Rc::clone(&hw))).expect("runs");
+    let Value::Float(got) = out.value else { panic!("float result") };
+    let expected = wht_model(32);
+    assert!((got - expected).abs() < 1e-12, "{got} vs {expected}");
+    assert!(hw.borrow().stats().fp_approx_ops > 100, "butterflies are approximate");
+}
+
+#[test]
+fn fenerj_wht_satisfies_non_interference_without_the_checksum() {
+    // Strip the endorsing checksum: the transform alone is endorsement-
+    // free and must be chaos-immune in its precise observables.
+    let src = "
+        class Wht extends Object {
+            approx float[] x;
+            int n;
+            int init(int n) {
+                this.n := n;
+                this.x := new approx float[n];
+                0
+            }
+            int transform() {
+                let len = 1 in
+                while (len < this.n) {
+                    let base = 0 in
+                    while (base < this.n) {
+                        let i = base in
+                        while (i < base + len) {
+                            let a = this.x[i] in
+                            let b = this.x[i + len] in
+                            this.x[i] := a + b;
+                            this.x[i + len] := a - b;
+                            i := i + 1;
+                            0
+                        };
+                        base := base + 2 * len;
+                        0
+                    };
+                    len := 2 * len;
+                    0
+                }
+            }
+        }
+        main {
+            let w = new Wht() in
+            w.init(16);
+            w.transform();
+            w.n
+        }
+    ";
+    let tp = compile(src).expect("well-typed");
+    check_non_interference(&tp, 0..20).expect("non-interference");
+}

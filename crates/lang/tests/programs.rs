@@ -1,0 +1,64 @@
+//! Drives the sample `.fej` programs shipped in `programs/` through the
+//! full pipeline, pinning their behaviour.
+
+use enerj_lang::compile;
+use enerj_lang::interp::{run, ExecMode, Value};
+use enerj_lang::noninterference::check_non_interference;
+
+fn load(name: &str) -> String {
+    let path = format!("{}/programs/{name}", env!("CARGO_MANIFEST_DIR"));
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("{path}: {e}"))
+}
+
+#[test]
+fn mean_fej_runs_and_dispatches_overloads() {
+    let tp = compile(&load("mean.fej")).expect("well-typed");
+    let out = run(&tp, ExecMode::Reliable).expect("runs");
+    // Precise mean of 1..=16 is 8.5 (scaled by 1000); the approximate
+    // overload averages the odd values 1,3,..,15 = 2*64/16 = 8.
+    assert_eq!(out.value, Value::Float(8500.0 + 8.0));
+}
+
+#[test]
+fn isolated_fej_satisfies_non_interference() {
+    let tp = compile(&load("isolated.fej")).expect("well-typed");
+    assert!(!tp.program.uses_endorse());
+    check_non_interference(&tp, 0..30).expect("non-interference");
+    let out = run(&tp, ExecMode::Reliable).expect("runs");
+    assert_eq!(out.value, Value::Int(80));
+}
+
+#[test]
+fn illegal_flow_fej_is_rejected() {
+    let err = compile(&load("illegal_flow.fej")).unwrap_err();
+    assert!(err.to_string().contains("not a subtype"), "{err}");
+}
+
+#[test]
+fn checksum_fej_computes_a_stable_checksum() {
+    let tp = compile(&load("checksum.fej")).expect("well-typed");
+    let out = run(&tp, ExecMode::Reliable).expect("runs");
+    // sum over i of (13 i + 7) mod 256 for i in 0..32.
+    let expected: i64 = (0..32).map(|i: i64| (i * 13 + 7) % 256).sum();
+    assert_eq!(out.value, Value::Int(expected));
+}
+
+#[test]
+fn montecarlo_fej_estimates_pi() {
+    let tp = compile(&load("montecarlo.fej")).expect("well-typed");
+    let out = run(&tp, ExecMode::Reliable).expect("runs");
+    let Value::Float(pi) = out.value else { panic!("float result") };
+    assert!((pi - std::f64::consts::PI).abs() < 0.15, "pi = {pi}");
+}
+
+#[test]
+fn all_programs_pretty_print_stably() {
+    for name in ["mean.fej", "isolated.fej", "checksum.fej", "sor.fej", "montecarlo.fej", "wht.fej"] {
+        let tp = compile(&load(name)).expect("well-typed");
+        let printed = enerj_lang::pretty::program_to_string(&tp.program);
+        let reparsed = enerj_lang::parser::parse(&printed)
+            .unwrap_or_else(|e| panic!("{name}: {printed}\n{e}"));
+        enerj_lang::typecheck::check(reparsed)
+            .unwrap_or_else(|e| panic!("{name}: {printed}\n{e}"));
+    }
+}

@@ -1,0 +1,66 @@
+//! The negative corpus: every `.fej` file under `programs/bad/` must be
+//! rejected by the checker, with the error its header comment predicts.
+//! This is the test the paper's own checker artifact would ship with.
+
+use enerj_lang::compile;
+
+fn corpus_dir() -> String {
+    format!("{}/programs/bad", env!("CARGO_MANIFEST_DIR"))
+}
+
+/// Extracts the "Expected error: ..." phrase from a program's header.
+fn expected_error(source: &str) -> String {
+    source
+        .lines()
+        .find_map(|l| l.split("Expected error:").nth(1))
+        .expect("bad programs declare their expected error")
+        .trim()
+        .trim_end_matches('.')
+        .to_owned()
+}
+
+#[test]
+fn every_bad_program_is_rejected_with_the_predicted_error() {
+    let mut seen = 0;
+    for entry in std::fs::read_dir(corpus_dir()).expect("corpus exists") {
+        let path = entry.expect("readable entry").path();
+        if path.extension().is_none_or(|e| e != "fej") {
+            continue;
+        }
+        seen += 1;
+        let source = std::fs::read_to_string(&path).expect("readable program");
+        let expected = expected_error(&source);
+        match compile(&source) {
+            Ok(_) => panic!("{} should be rejected", path.display()),
+            Err(err) => {
+                let msg = err.to_string();
+                assert!(
+                    msg.contains(&expected),
+                    "{}: expected {expected:?} in {msg:?}",
+                    path.display()
+                );
+            }
+        }
+    }
+    assert!(seen >= 5, "corpus should contain at least five programs, found {seen}");
+}
+
+#[test]
+fn fixing_each_bad_program_with_endorse_makes_it_compile() {
+    // The positive twins of three corpus entries: one explicit endorsement
+    // turns each illegal flow into a legal one (section 2.2).
+    let fixed = [
+        "class C extends Object { approx int val; }
+         main { let c = new C() in if (endorse(c.val == 5)) { 1 } else { 0 } }",
+        "class C extends Object { approx int i; }
+         main { let c = new C() in let xs = new int[8] in xs[endorse(c.i)] }",
+        "class C extends Object {
+             approx int a;
+             int id(int x) { x }
+         }
+         main { let c = new C() in c.id(endorse(c.a)) }",
+    ];
+    for (i, src) in fixed.iter().enumerate() {
+        compile(src).unwrap_or_else(|e| panic!("fixed program {i}: {e}"));
+    }
+}

@@ -1,0 +1,38 @@
+//! # EnerJ-RS
+//!
+//! A Rust reproduction of *EnerJ: Approximate Data Types for Safe and General
+//! Low-Power Computation* (Sampson et al., PLDI 2011).
+//!
+//! This umbrella crate re-exports the four member crates:
+//!
+//! * [`hw`] — the approximation-aware hardware substrate: fault-injecting
+//!   models of SRAM, DRAM and functional units, the cache-line layout scheme,
+//!   and the paper's energy model (§4–§5).
+//! * [`core`] — the EnerJ programming model embedded in Rust: the
+//!   [`Approx`](core::Approx) qualifier type, [`endorse`](core::endorse),
+//!   approximate arithmetic and approximate collections (§2).
+//! * [`lang`] — FEnerJ, the paper's formal core language (§3), with a lexer,
+//!   parser, type checker and big-step interpreter, plus a non-interference
+//!   test harness.
+//! * [`apps`] — the ported benchmark applications and their quality-of-service
+//!   metrics (§6, Table 3).
+//!
+//! ## Quick start
+//!
+//! ```
+//! use enerj::core::{Approx, endorse, Runtime};
+//! use enerj::hw::config::Level;
+//!
+//! let rt = Runtime::new(Level::Medium, 42);
+//! let out = rt.run(|| {
+//!     let a = Approx::new(2.0f32);
+//!     let b = Approx::new(3.0f32);
+//!     endorse(a * b) // approximate multiply, explicit endorsement
+//! });
+//! assert!(out.is_finite());
+//! ```
+
+pub use enerj_apps as apps;
+pub use enerj_core as core;
+pub use enerj_hw as hw;
+pub use enerj_lang as lang;
