@@ -32,6 +32,7 @@ pub mod meta;
 pub mod qos;
 pub mod raytracer;
 pub mod scimark;
+pub mod trials;
 pub mod tuner;
 pub mod workload;
 pub mod zxing;
@@ -81,6 +82,9 @@ pub mod harness {
     use enerj_hw::config::{HwConfig, Level, StrategyMask};
     use enerj_hw::energy::EnergyBreakdown;
     use enerj_hw::stats::Stats;
+    use std::sync::Arc;
+
+    pub use crate::trials;
 
     /// Base seed for fault-injection runs (XORed with the run index).
     pub const FAULT_SEED_BASE: u64 = 0x5A17_2011;
@@ -119,14 +123,33 @@ pub mod harness {
     /// Mean output error over `runs` fault-injection runs at `level`
     /// (the Figure 5 protocol: the paper uses 20 runs), given a
     /// precomputed reference output.
+    ///
+    /// `runs == 0` means "no fault-injection evidence", which scores a
+    /// mean error of 0.0 rather than dividing by zero and producing NaN.
+    ///
+    /// The runs go through the campaign runner ([`trials::run_campaign`])
+    /// with the machine's available parallelism; seeds
+    /// (`FAULT_SEED_BASE ^ i`) and summation order are those of the
+    /// original serial loop, so the result is bit-identical regardless of
+    /// thread count, and a run that panics under fault injection scores
+    /// error 1.0 instead of aborting the measurement.
     pub fn mean_output_error_vs(app: &App, reference: &Output, level: Level, runs: u64) -> f64 {
-        let total: f64 = (0..runs)
+        if runs == 0 {
+            return 0.0;
+        }
+        let reference = Arc::new(reference.clone());
+        let specs: Vec<trials::TrialSpec> = (0..runs)
             .map(|i| {
-                let m = approximate(app, level, FAULT_SEED_BASE ^ i);
-                crate::qos::output_error(app.meta.metric, reference, &m.output)
+                trials::TrialSpec::scored(
+                    app,
+                    level.to_string(),
+                    HwConfig::for_level(level),
+                    FAULT_SEED_BASE ^ i,
+                    Arc::clone(&reference),
+                )
             })
-            .sum();
-        total / runs as f64
+            .collect();
+        trials::run_campaign(&specs, trials::default_threads()).mean_error()
     }
 
     /// Mean output error over `runs` fault-injection runs at `level`,
@@ -177,12 +200,17 @@ mod tests {
             let reference = harness::reference(&app).output;
             let m = harness::approximate(&app, Level::Mild, 1);
             let err = qos::output_error(app.meta.metric, &reference, &m.output);
-            assert!(
-                err < 0.2,
-                "{}: mild error {err} unexpectedly high",
-                app.meta.name
-            );
+            assert!(err < 0.2, "{}: mild error {err} unexpectedly high", app.meta.name);
         }
+    }
+
+    #[test]
+    fn zero_runs_mean_error_is_zero_not_nan() {
+        let apps = all_apps();
+        let app = &apps[0];
+        let reference = harness::reference(app).output;
+        let err = harness::mean_output_error_vs(app, &reference, Level::Medium, 0);
+        assert_eq!(err, 0.0);
     }
 
     #[test]
@@ -191,16 +219,8 @@ mod tests {
             let s = app.meta.annotation_stats();
             assert!(s.loc > 20, "{}: loc {}", app.meta.name, s.loc);
             assert!(s.total_decls > 5, "{}: decls {}", app.meta.name, s.total_decls);
-            assert!(
-                s.annotated_decls > 0,
-                "{}: no annotations found",
-                app.meta.name
-            );
-            assert!(
-                s.annotated_decls <= s.total_decls,
-                "{}: annotated > total",
-                app.meta.name
-            );
+            assert!(s.annotated_decls > 0, "{}: no annotations found", app.meta.name);
+            assert!(s.annotated_decls <= s.total_decls, "{}: annotated > total", app.meta.name);
         }
     }
 }

@@ -140,7 +140,10 @@ mod tests {
     #[test]
     fn empty_source_is_all_zero() {
         let s = measure("");
-        assert_eq!(s, AnnotationStats { loc: 0, total_decls: 0, annotated_decls: 0, endorsements: 0 });
+        assert_eq!(
+            s,
+            AnnotationStats { loc: 0, total_decls: 0, annotated_decls: 0, endorsements: 0 }
+        );
         assert_eq!(s.annotated_percent(), 0.0);
     }
 }

@@ -68,50 +68,79 @@ impl fmt::Display for QosMetric {
 
 /// Computes the output error in `[0, 1]` of `observed` against `reference`.
 ///
+/// A fault-injected run can corrupt control flow badly enough to change
+/// the *shape* of its output — a different variant, or a `Values` list of
+/// a different length. Following the paper's reading that a crashed or
+/// structurally wrong run delivers worst-case quality, any such mismatch
+/// scores error 1.0 (logged in debug builds, since for a reference-vs-
+/// reference comparison it would indicate a harness bug).
+///
 /// # Panics
 ///
-/// Panics if the outputs have mismatched shapes (different variants or
-/// lengths) — that indicates a harness bug, not output degradation.
+/// Panics only if `metric` does not apply to the shape of `reference`
+/// itself — the reference comes from the precise run, so that really is a
+/// harness bug.
 pub fn output_error(metric: QosMetric, reference: &Output, observed: &Output) -> f64 {
-    match (metric, reference, observed) {
-        (QosMetric::MeanEntryDiff, Output::Values(r), Output::Values(o)) => {
-            mean_over(r, o, capped_abs_diff)
+    match (metric, reference) {
+        (QosMetric::MeanEntryDiff, Output::Values(r)) => match observed {
+            Output::Values(o) if o.len() == r.len() => mean_over(r, o, capped_abs_diff),
+            other => shape_mismatch(metric, reference, other),
+        },
+        (QosMetric::NormalizedDiff | QosMetric::MeanNormalizedDiff, Output::Values(r)) => {
+            match observed {
+                Output::Values(o) if o.len() == r.len() => mean_over(r, o, normalized_diff),
+                other => shape_mismatch(metric, reference, other),
+            }
         }
-        (QosMetric::NormalizedDiff, Output::Values(r), Output::Values(o)) => {
-            mean_over(r, o, normalized_diff)
-        }
-        (QosMetric::MeanNormalizedDiff, Output::Values(r), Output::Values(o)) => {
-            mean_over(r, o, normalized_diff)
-        }
-        (QosMetric::MeanPixelDiff { full_scale }, Output::Values(r), Output::Values(o)) => {
-            mean_over(r, o, |a, b| {
+        (QosMetric::MeanPixelDiff { full_scale }, Output::Values(r)) => match observed {
+            Output::Values(o) if o.len() == r.len() => mean_over(r, o, |a, b| {
                 if b.is_nan() {
                     1.0
                 } else {
                     ((a - b).abs() / full_scale).min(1.0)
                 }
-            })
-        }
-        (QosMetric::BinaryCorrect, Output::Text(r), Output::Text(o)) => {
-            if r == o {
-                0.0
-            } else {
-                1.0
+            }),
+            other => shape_mismatch(metric, reference, other),
+        },
+        (QosMetric::BinaryCorrect, Output::Text(r)) => match observed {
+            Output::Text(o) => {
+                if r == o {
+                    0.0
+                } else {
+                    1.0
+                }
             }
-        }
-        (QosMetric::DecisionFraction, Output::Decisions(r), Output::Decisions(o)) => {
-            assert_eq!(r.len(), o.len(), "decision counts must match");
-            if r.is_empty() {
-                return 0.0;
+            other => shape_mismatch(metric, reference, other),
+        },
+        (QosMetric::DecisionFraction, Output::Decisions(r)) => match observed {
+            Output::Decisions(o) if o.len() == r.len() => {
+                if r.is_empty() {
+                    return 0.0;
+                }
+                let correct = r.iter().zip(o).filter(|(a, b)| a == b).count();
+                let frac = correct as f64 / r.len() as f64;
+                // Random guessing gets ~0.5 of boolean decisions right; an
+                // error of 1 means "no better than guessing".
+                ((1.0 - frac) / 0.5).clamp(0.0, 1.0)
             }
-            let correct = r.iter().zip(o).filter(|(a, b)| a == b).count();
-            let frac = correct as f64 / r.len() as f64;
-            // Random guessing gets ~0.5 of boolean decisions right; an
-            // error of 1 means "no better than guessing".
-            ((1.0 - frac) / 0.5).clamp(0.0, 1.0)
-        }
-        (m, r, o) => panic!("metric {m:?} does not apply to outputs {r} vs {o}"),
+            other => shape_mismatch(metric, reference, other),
+        },
+        (m, r) => panic!("metric {m:?} does not apply to reference output {r}"),
     }
+}
+
+/// Worst-case score for an observed output whose shape does not match the
+/// reference. Logged in debug builds: legitimate for a fault-injected run,
+/// a harness bug anywhere else.
+fn shape_mismatch(metric: QosMetric, reference: &Output, observed: &Output) -> f64 {
+    #[cfg(debug_assertions)]
+    eprintln!(
+        "qos: shape mismatch under {metric:?}: reference {reference} vs observed {observed}; \
+         scoring worst-case error 1.0"
+    );
+    #[cfg(not(debug_assertions))]
+    let _ = (metric, reference, observed);
+    1.0
 }
 
 /// |a − b| capped at 1; NaN counts as fully wrong (the paper: "if an entry
@@ -134,7 +163,8 @@ fn normalized_diff(a: f64, b: f64) -> f64 {
 }
 
 fn mean_over(r: &[f64], o: &[f64], f: impl Fn(f64, f64) -> f64) -> f64 {
-    assert_eq!(r.len(), o.len(), "output lengths must match");
+    // Callers route length mismatches through `shape_mismatch` first.
+    debug_assert_eq!(r.len(), o.len(), "output lengths must match");
     if r.is_empty() {
         return 0.0;
     }
@@ -221,10 +251,44 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "lengths must match")]
-    fn shape_mismatch_panics() {
+    fn mismatched_values_lengths_score_worst_case() {
         let r = Output::Values(vec![1.0]);
         let o = Output::Values(vec![1.0, 2.0]);
+        assert_eq!(output_error(QosMetric::MeanEntryDiff, &r, &o), 1.0);
+        assert_eq!(output_error(QosMetric::MeanNormalizedDiff, &r, &o), 1.0);
+        assert_eq!(output_error(QosMetric::MeanPixelDiff { full_scale: 255.0 }, &r, &o), 1.0);
+    }
+
+    #[test]
+    fn values_vs_text_scores_worst_case() {
+        let r = Output::Values(vec![1.0, 2.0]);
+        let o = Output::Text(Some("garbage".into()));
+        assert_eq!(output_error(QosMetric::MeanEntryDiff, &r, &o), 1.0);
+    }
+
+    #[test]
+    fn decisions_length_mismatch_scores_worst_case() {
+        let r = Output::Decisions(vec![true, false, true]);
+        let o = Output::Decisions(vec![true]);
+        assert_eq!(output_error(QosMetric::DecisionFraction, &r, &o), 1.0);
+        let t = Output::Text(None);
+        assert_eq!(output_error(QosMetric::DecisionFraction, &r, &t), 1.0);
+    }
+
+    #[test]
+    fn text_metric_vs_values_scores_worst_case() {
+        let r = Output::Text(Some("CODE-123".into()));
+        let o = Output::Values(vec![67.0, 79.0]);
+        assert_eq!(output_error(QosMetric::BinaryCorrect, &r, &o), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not apply to reference output")]
+    fn metric_reference_mismatch_is_a_harness_bug() {
+        // The reference comes from the precise run, so a metric that cannot
+        // score the reference's shape is a harness bug, not degradation.
+        let r = Output::Text(Some("CODE-123".into()));
+        let o = Output::Text(Some("CODE-123".into()));
         let _ = output_error(QosMetric::MeanEntryDiff, &r, &o);
     }
 }

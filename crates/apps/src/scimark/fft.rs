@@ -130,12 +130,7 @@ mod tests {
                 sr += re[t] * ang.cos() - im[t] * ang.sin();
                 si += re[t] * ang.sin() + im[t] * ang.cos();
             }
-            assert!(
-                (ours[k] - sr).abs() < 1e-6,
-                "bin {k} real: {} vs {}",
-                ours[k],
-                sr
-            );
+            assert!((ours[k] - sr).abs() < 1e-6, "bin {k} real: {} vs {}", ours[k], sr);
             assert!((ours[N + k] - si).abs() < 1e-6, "bin {k} imag");
         }
     }

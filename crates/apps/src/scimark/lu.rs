@@ -66,7 +66,8 @@ fn factorize(a: &mut ApproxVec<f64>) {
             for c in k + 1..N {
                 let idx = (row + c as i64).get() as usize;
                 let cur = a.get(idx);
-                let scaled = factor * a.get((Precise::new((k * N) as i64) + c as i64).get() as usize);
+                let scaled =
+                    factor * a.get((Precise::new((k * N) as i64) + c as i64).get() as usize);
                 a.set(idx, cur - scaled);
             }
         }

@@ -36,9 +36,8 @@ pub fn meta() -> AppMeta {
 pub fn run() -> Output {
     let (row_ptr, col_idx, vals, x0) = workload::sparse_system(N, NZ_PER_ROW);
     // Index structure in precise DRAM.
-    let mut rows: PreciseVec<i64> = PreciseVec::from_slice(
-        &row_ptr.iter().map(|&v| v as i64).collect::<Vec<_>>(),
-    );
+    let mut rows: PreciseVec<i64> =
+        PreciseVec::from_slice(&row_ptr.iter().map(|&v| v as i64).collect::<Vec<_>>());
     let mut cols: PreciseVec<i64> =
         PreciseVec::from_slice(&col_idx.iter().map(|&v| v as i64).collect::<Vec<_>>());
     // Numeric payload in approximate DRAM.

@@ -1,0 +1,497 @@
+//! Parallel, crash-isolated trial campaigns.
+//!
+//! Every figure in the paper's evaluation is a *campaign*: a batch of
+//! independent simulated runs, each fully determined by an application, a
+//! hardware configuration and a fault seed. This module runs such batches
+//! across worker threads ([`run_campaign`]) with two guarantees the naive
+//! serial loops could not give:
+//!
+//! * **Determinism.** Each trial's seed is fixed up front in its
+//!   [`TrialSpec`], every trial builds its own [`Runtime`](enerj_core::Runtime)
+//!   (fault PRNG state is per-run, never shared), and aggregation happens
+//!   in trial-index order after all workers finish. Results are therefore
+//!   bit-identical for any thread count, including the serial path.
+//! * **Crash isolation.** A fault-injected run can panic — an endorsed
+//!   index goes out of bounds, a corrupted loop bound overflows. The paper
+//!   treats a crashed run as producing worst-case output, so each trial
+//!   body runs under [`catch_unwind`]; a panic scores output error 1.0,
+//!   contributes nothing to the merged statistics, and is recorded in the
+//!   trial's [`panic`](TrialResult::panic) field instead of killing the
+//!   campaign.
+//!
+//! The resulting [`CampaignReport`] carries per-trial errors, merged
+//! [`Stats`], per-trial [`EnergyBreakdown`]s and wall-clock times, and
+//! serializes to JSON (`schema: "enerj-campaign/1"`) for the bench
+//! binaries' `results/BENCH_*.json` reports.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use crate::harness::{self, FAULT_SEED_BASE};
+use crate::qos::{output_error, Output};
+use crate::App;
+use enerj_hw::config::{HwConfig, Level, StrategyMask};
+use enerj_hw::energy::EnergyBreakdown;
+use enerj_hw::stats::Stats;
+
+/// One fully determined trial: an app, a hardware configuration, a seed.
+#[derive(Clone)]
+pub struct TrialSpec {
+    /// The application to run.
+    pub app: App,
+    /// Free-form grouping label (typically the level or strategy name).
+    pub label: String,
+    /// Hardware configuration for this run.
+    pub cfg: HwConfig,
+    /// Fault seed (the serial loops use `FAULT_SEED_BASE ^ i`).
+    pub seed: u64,
+    /// Reference output to score against; `None` records error 0.0 and is
+    /// how reference-collection campaigns are expressed.
+    pub reference: Option<Arc<Output>>,
+    /// Keep the trial's output in the result (reference campaigns need it;
+    /// large fault campaigns usually don't).
+    pub keep_output: bool,
+}
+
+impl TrialSpec {
+    /// A fault-injection trial scored against `reference`.
+    pub fn scored(
+        app: &App,
+        label: impl Into<String>,
+        cfg: HwConfig,
+        seed: u64,
+        reference: Arc<Output>,
+    ) -> Self {
+        TrialSpec {
+            app: app.clone(),
+            label: label.into(),
+            cfg,
+            seed,
+            reference: Some(reference),
+            keep_output: false,
+        }
+    }
+
+    /// A reference (fault-free) trial that keeps its output.
+    pub fn reference(app: &App) -> Self {
+        TrialSpec {
+            app: app.clone(),
+            label: "reference".to_owned(),
+            cfg: HwConfig::for_level(Level::Medium).with_mask(StrategyMask::NONE),
+            seed: 0,
+            reference: None,
+            keep_output: true,
+        }
+    }
+}
+
+/// Outcome of one trial.
+#[derive(Debug, Clone)]
+pub struct TrialResult {
+    /// Position in the campaign's spec list (aggregation order).
+    pub index: usize,
+    /// Application name.
+    pub app: &'static str,
+    /// The spec's grouping label.
+    pub label: String,
+    /// The fault seed used.
+    pub seed: u64,
+    /// Output error in `[0, 1]` against the spec's reference (0.0 when the
+    /// spec had none; 1.0 when the trial panicked).
+    pub error: f64,
+    /// The trial's output, when the spec asked to keep it.
+    pub output: Option<Output>,
+    /// Operation and storage statistics (zeroed for panicked trials).
+    pub stats: Stats,
+    /// Normalized energy (pinned to the precise baseline, 1.0, for
+    /// panicked trials — a crashed run saves nothing we can claim).
+    pub energy: EnergyBreakdown,
+    /// Wall-clock time of this trial.
+    pub wall: Duration,
+    /// The panic payload, when the trial crashed.
+    pub panic: Option<String>,
+}
+
+impl TrialResult {
+    /// Whether the trial crashed (and was scored worst-case).
+    pub fn panicked(&self) -> bool {
+        self.panic.is_some()
+    }
+}
+
+/// The aggregated outcome of a campaign.
+#[derive(Debug, Clone)]
+pub struct CampaignReport {
+    /// Per-trial results, in spec order.
+    pub trials: Vec<TrialResult>,
+    /// Statistics of all non-panicked trials, merged in trial order.
+    pub merged_stats: Stats,
+    /// Wall-clock time of the whole campaign.
+    pub wall: Duration,
+    /// Worker threads used.
+    pub threads: usize,
+}
+
+impl CampaignReport {
+    /// Mean output error over all trials, summed in trial-index order
+    /// (bit-identical to the serial loop). Empty campaigns score 0.0.
+    pub fn mean_error(&self) -> f64 {
+        mean_in_order(self.trials.iter())
+    }
+
+    /// Mean output error over the trials of one `(app, label)` group,
+    /// summed in trial-index order. Empty groups score 0.0.
+    pub fn mean_error_for(&self, app: &str, label: &str) -> f64 {
+        mean_in_order(self.trials.iter().filter(|t| t.app == app && t.label == label))
+    }
+
+    /// The trials of one `(app, label)` group, in trial-index order.
+    pub fn trials_for<'a>(
+        &'a self,
+        app: &'a str,
+        label: &'a str,
+    ) -> impl Iterator<Item = &'a TrialResult> {
+        self.trials.iter().filter(move |t| t.app == app && t.label == label)
+    }
+
+    /// Number of trials that panicked.
+    pub fn panic_count(&self) -> usize {
+        self.trials.iter().filter(|t| t.panicked()).count()
+    }
+
+    /// Serializes the report as a JSON object (`schema: "enerj-campaign/1"`).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(256 + 256 * self.trials.len());
+        out.push_str("{\"schema\":\"enerj-campaign/1\"");
+        out.push_str(&format!(",\"threads\":{}", self.threads));
+        out.push_str(&format!(",\"wall_seconds\":{:.6}", self.wall.as_secs_f64()));
+        out.push_str(&format!(",\"mean_error\":{}", json_f64(self.mean_error())));
+        out.push_str(&format!(",\"panics\":{}", self.panic_count()));
+        out.push_str(",\"merged_stats\":");
+        out.push_str(&stats_json(&self.merged_stats));
+        out.push_str(",\"trials\":[");
+        for (i, t) in self.trials.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"index\":{},\"app\":{},\"label\":{},\"seed\":{},\"error\":{},\
+                 \"wall_seconds\":{:.6},\"panic\":{},\"stats\":{},\"energy\":{}}}",
+                t.index,
+                json_string(t.app),
+                json_string(&t.label),
+                t.seed,
+                json_f64(t.error),
+                t.wall.as_secs_f64(),
+                match &t.panic {
+                    Some(msg) => json_string(msg),
+                    None => "null".to_owned(),
+                },
+                stats_json(&t.stats),
+                energy_json(&t.energy),
+            ));
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// Writes [`to_json`](Self::to_json) (plus a trailing newline) to `path`,
+    /// creating parent directories as needed.
+    pub fn write_json(&self, path: &std::path::Path) -> std::io::Result<()> {
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        std::fs::write(path, self.to_json() + "\n")
+    }
+}
+
+fn mean_in_order<'a>(trials: impl Iterator<Item = &'a TrialResult>) -> f64 {
+    let mut total = 0.0;
+    let mut n = 0u64;
+    for t in trials {
+        total += t.error;
+        n += 1;
+    }
+    if n == 0 {
+        0.0
+    } else {
+        total / n as f64
+    }
+}
+
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// JSON has no NaN/Infinity literals; clamp them to the error scale's ends.
+fn json_f64(x: f64) -> String {
+    if x.is_nan() {
+        "1.0".to_owned()
+    } else if x.is_infinite() {
+        if x > 0.0 {
+            "1e308".to_owned()
+        } else {
+            "-1e308".to_owned()
+        }
+    } else {
+        format!("{x}")
+    }
+}
+
+fn stats_json(s: &Stats) -> String {
+    format!(
+        "{{\"int_approx_ops\":{},\"int_precise_ops\":{},\"fp_approx_ops\":{},\
+         \"fp_precise_ops\":{},\"sram_approx_byte_seconds\":{},\
+         \"sram_precise_byte_seconds\":{},\"dram_approx_byte_seconds\":{},\
+         \"dram_precise_byte_seconds\":{},\"faults_injected\":{}}}",
+        s.int_approx_ops,
+        s.int_precise_ops,
+        s.fp_approx_ops,
+        s.fp_precise_ops,
+        json_f64(s.sram_approx_byte_seconds),
+        json_f64(s.sram_precise_byte_seconds),
+        json_f64(s.dram_approx_byte_seconds),
+        json_f64(s.dram_precise_byte_seconds),
+        s.faults_injected,
+    )
+}
+
+fn energy_json(e: &EnergyBreakdown) -> String {
+    format!(
+        "{{\"instructions\":{},\"sram\":{},\"dram\":{},\"total\":{}}}",
+        json_f64(e.instructions),
+        json_f64(e.sram),
+        json_f64(e.dram),
+        json_f64(e.total),
+    )
+}
+
+/// The default worker count: the machine's available parallelism.
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// Runs one trial, catching panics from fault-corrupted executions.
+fn run_trial(index: usize, spec: &TrialSpec) -> TrialResult {
+    let start = Instant::now();
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        let m = harness::measure_with(&spec.app, spec.cfg, spec.seed);
+        let error = match &spec.reference {
+            Some(reference) => output_error(spec.app.meta.metric, reference, &m.output),
+            None => 0.0,
+        };
+        (m, error)
+    }));
+    let wall = start.elapsed();
+    match outcome {
+        Ok((m, error)) => TrialResult {
+            index,
+            app: spec.app.meta.name,
+            label: spec.label.clone(),
+            seed: spec.seed,
+            error,
+            output: spec.keep_output.then_some(m.output),
+            stats: m.stats,
+            energy: m.energy,
+            wall,
+            panic: None,
+        },
+        Err(payload) => {
+            let msg = if let Some(s) = payload.downcast_ref::<&str>() {
+                (*s).to_owned()
+            } else if let Some(s) = payload.downcast_ref::<String>() {
+                s.clone()
+            } else {
+                "non-string panic payload".to_owned()
+            };
+            TrialResult {
+                index,
+                app: spec.app.meta.name,
+                label: spec.label.clone(),
+                seed: spec.seed,
+                // The paper's protocol: a crashed run delivers worst-case
+                // quality and claims no savings over the precise baseline.
+                error: 1.0,
+                output: None,
+                stats: Stats::new(),
+                energy: EnergyBreakdown { instructions: 1.0, sram: 1.0, dram: 1.0, total: 1.0 },
+                wall,
+                panic: Some(msg),
+            }
+        }
+    }
+}
+
+/// Runs every spec, fanning trials across `threads` workers (`0` means
+/// [`default_threads`]). Results and all aggregates are bit-identical for
+/// any thread count.
+pub fn run_campaign(specs: &[TrialSpec], threads: usize) -> CampaignReport {
+    let start = Instant::now();
+    let threads = if threads == 0 { default_threads() } else { threads };
+    let threads = threads.min(specs.len()).max(1);
+
+    let trials: Vec<TrialResult> = if threads <= 1 {
+        specs.iter().enumerate().map(|(i, s)| run_trial(i, s)).collect()
+    } else {
+        // One pre-claimed slot per trial: workers pull the next index from
+        // a shared counter, so results land at their spec's position no
+        // matter which worker ran them or in what order they finished.
+        let slots: Vec<Mutex<Option<TrialResult>>> =
+            specs.iter().map(|_| Mutex::new(None)).collect();
+        let next = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= specs.len() {
+                        break;
+                    }
+                    let result = run_trial(i, &specs[i]);
+                    *slots[i].lock().expect("unpoisoned slot") = Some(result);
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner().expect("unpoisoned slot").expect("every slot was claimed")
+            })
+            .collect()
+    };
+
+    // Aggregate serially, in trial-index order, for bit-exact determinism.
+    let mut merged_stats = Stats::new();
+    for t in &trials {
+        if !t.panicked() {
+            merged_stats.merge(&t.stats);
+        }
+    }
+    CampaignReport { trials, merged_stats, wall: start.elapsed(), threads }
+}
+
+/// The Figure 5 protocol as one campaign: per app, a fault-free reference,
+/// then `runs` fault-injection trials at each level (seeds
+/// `FAULT_SEED_BASE ^ i`, labels the level names). References are
+/// themselves collected in a parallel campaign first.
+pub fn run_level_campaign(
+    apps: &[App],
+    levels: &[Level],
+    runs: u64,
+    threads: usize,
+) -> CampaignReport {
+    let ref_specs: Vec<TrialSpec> = apps.iter().map(TrialSpec::reference).collect();
+    let references = run_campaign(&ref_specs, threads);
+    let mut specs = Vec::with_capacity(apps.len() * levels.len() * runs as usize);
+    for (app, r) in apps.iter().zip(&references.trials) {
+        assert!(!r.panicked(), "{}: reference (fault-free) run panicked", app.meta.name);
+        let reference = Arc::new(r.output.clone().expect("reference trials keep their output"));
+        for level in levels {
+            for i in 0..runs {
+                specs.push(TrialSpec::scored(
+                    app,
+                    level.to_string(),
+                    HwConfig::for_level(*level),
+                    FAULT_SEED_BASE ^ i,
+                    Arc::clone(&reference),
+                ));
+            }
+        }
+    }
+    run_campaign(&specs, threads)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::all_apps;
+
+    fn app(name: &str) -> App {
+        all_apps().into_iter().find(|a| a.meta.name == name).expect("registered")
+    }
+
+    #[test]
+    fn empty_campaign_is_well_defined() {
+        let report = run_campaign(&[], 4);
+        assert_eq!(report.trials.len(), 0);
+        assert_eq!(report.mean_error(), 0.0);
+        assert_eq!(report.merged_stats, Stats::new());
+    }
+
+    #[test]
+    fn reference_trials_score_zero_and_keep_output() {
+        let specs: Vec<TrialSpec> = all_apps().iter().take(3).map(TrialSpec::reference).collect();
+        let report = run_campaign(&specs, 2);
+        for t in &report.trials {
+            assert_eq!(t.error, 0.0, "{}", t.app);
+            assert!(t.output.is_some(), "{}", t.app);
+            assert!(!t.panicked());
+        }
+    }
+
+    #[test]
+    fn results_keep_spec_order() {
+        let mc = app("MonteCarlo");
+        let reference = Arc::new(harness::reference(&mc).output);
+        let specs: Vec<TrialSpec> = (0..8)
+            .map(|i| {
+                TrialSpec::scored(
+                    &mc,
+                    "Medium",
+                    HwConfig::for_level(Level::Medium),
+                    FAULT_SEED_BASE ^ i,
+                    Arc::clone(&reference),
+                )
+            })
+            .collect();
+        let report = run_campaign(&specs, 4);
+        for (i, t) in report.trials.iter().enumerate() {
+            assert_eq!(t.index, i);
+            assert_eq!(t.seed, FAULT_SEED_BASE ^ i as u64);
+        }
+    }
+
+    #[test]
+    fn json_report_has_schema_and_trials() {
+        let specs = vec![TrialSpec::reference(&app("MonteCarlo"))];
+        let report = run_campaign(&specs, 1);
+        let json = report.to_json();
+        assert!(json.starts_with("{\"schema\":\"enerj-campaign/1\""));
+        assert!(json.contains("\"app\":\"MonteCarlo\""));
+        assert!(json.contains("\"merged_stats\""));
+        assert!(json.contains("\"panic\":null"));
+    }
+
+    #[test]
+    fn json_escaping_and_nonfinite_numbers() {
+        assert_eq!(json_string("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+        assert_eq!(json_string("\u{1}"), "\"\\u0001\"");
+        assert_eq!(json_f64(f64::NAN), "1.0");
+        assert_eq!(json_f64(f64::INFINITY), "1e308");
+        assert_eq!(json_f64(0.25), "0.25");
+    }
+
+    #[test]
+    fn level_campaign_matches_serial_mean_error() {
+        let apps = [app("MonteCarlo")];
+        let report = run_level_campaign(&apps, &[Level::Mild], 3, 2);
+        let serial = harness::mean_output_error(&apps[0], Level::Mild, 3);
+        let parallel = report.mean_error_for("MonteCarlo", "Mild");
+        assert_eq!(serial.to_bits(), parallel.to_bits());
+    }
+}

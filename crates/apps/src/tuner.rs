@@ -12,10 +12,12 @@
 //! specified budget. The result pairs the chosen level with the energy it
 //! buys, making the accuracy-for-energy trade explicit.
 
+use std::sync::Arc;
+
 use crate::harness;
-use crate::qos::output_error;
+use crate::trials::{default_threads, run_campaign, TrialSpec};
 use crate::App;
-use enerj_hw::config::Level;
+use enerj_hw::config::{HwConfig, Level};
 
 /// Outcome of profiling one application against an error budget.
 #[derive(Debug, Clone)]
@@ -60,19 +62,46 @@ impl TuningResult {
 ///
 /// Panics if `error_budget` is negative or `runs` is zero.
 pub fn tune(app: &App, error_budget: f64, runs: u64) -> TuningResult {
+    tune_with_threads(app, error_budget, runs, default_threads())
+}
+
+/// [`tune`] with an explicit worker-thread count for the profiling
+/// campaign. The result is bit-identical for any thread count: seeds are
+/// fixed per `(level, run)` and errors are averaged in run order.
+///
+/// # Panics
+///
+/// Panics if `error_budget` is negative or `runs` is zero.
+pub fn tune_with_threads(app: &App, error_budget: f64, runs: u64, threads: usize) -> TuningResult {
     assert!(error_budget >= 0.0, "error budget must be non-negative");
     assert!(runs > 0, "profiling needs at least one run");
-    let reference = harness::reference(app).output;
+    let reference = Arc::new(harness::reference(app).output);
+    let specs: Vec<TrialSpec> = Level::ALL
+        .iter()
+        .flat_map(|level| {
+            let reference = Arc::clone(&reference);
+            (0..runs).map(move |r| {
+                TrialSpec::scored(
+                    app,
+                    level.to_string(),
+                    HwConfig::for_level(*level),
+                    harness::FAULT_SEED_BASE ^ (r + 1),
+                    Arc::clone(&reference),
+                )
+            })
+        })
+        .collect();
+    let report = run_campaign(&specs, threads);
     let mut errors = [0.0f64; 3];
     let mut energy = [1.0f64; 3];
     for (i, level) in Level::ALL.iter().enumerate() {
-        let mut total = 0.0;
-        for r in 0..runs {
-            let m = harness::approximate(app, *level, harness::FAULT_SEED_BASE ^ (r + 1));
-            total += output_error(app.meta.metric, &reference, &m.output);
-            energy[i] = m.energy.total;
+        let label = level.to_string();
+        errors[i] = report.mean_error_for(app.meta.name, &label);
+        // Energy depends only on annotation fractions, not on injected
+        // faults; keep the serial loop's last-run value.
+        if let Some(last) = report.trials_for(app.meta.name, &label).last() {
+            energy[i] = last.energy.total;
         }
-        errors[i] = total / runs as f64;
     }
     let chosen = Level::ALL
         .iter()
@@ -133,5 +162,17 @@ mod tests {
     #[should_panic(expected = "at least one run")]
     fn zero_runs_rejected() {
         let _ = tune(&app("MonteCarlo"), 0.1, 0);
+    }
+
+    #[test]
+    fn thread_count_does_not_change_the_result() {
+        let a = app("FFT");
+        let serial = tune_with_threads(&a, 0.05, 3, 1);
+        let parallel = tune_with_threads(&a, 0.05, 3, 4);
+        assert_eq!(serial.chosen, parallel.chosen);
+        for i in 0..3 {
+            assert_eq!(serial.errors[i].to_bits(), parallel.errors[i].to_bits());
+            assert_eq!(serial.energy[i].to_bits(), parallel.energy[i].to_bits());
+        }
     }
 }

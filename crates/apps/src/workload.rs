@@ -91,11 +91,7 @@ pub fn triangle_cases(count: usize) -> Vec<[f32; 15]> {
             // Triangle in the z = 2 plane, near the origin.
             let cx = rng.gen::<f32>() * 2.0 - 1.0;
             let cy = rng.gen::<f32>() * 2.0 - 1.0;
-            let verts = [
-                (cx - 0.5, cy - 0.3),
-                (cx + 0.5, cy - 0.3),
-                (cx, cy + 0.6),
-            ];
+            let verts = [(cx - 0.5, cy - 0.3), (cx + 0.5, cy - 0.3), (cx, cy + 0.6)];
             for (i, (x, y)) in verts.iter().enumerate() {
                 case[6 + i * 3] = *x;
                 case[6 + i * 3 + 1] = *y;
@@ -238,10 +234,6 @@ mod tests {
     }
 
     fn cross(a: [f32; 3], b: [f32; 3]) -> [f32; 3] {
-        [
-            a[1] * b[2] - a[2] * b[1],
-            a[2] * b[0] - a[0] * b[2],
-            a[0] * b[1] - a[1] * b[0],
-        ]
+        [a[1] * b[2] - a[2] * b[1], a[2] * b[0] - a[0] * b[2], a[0] * b[1] - a[1] * b[0]]
     }
 }

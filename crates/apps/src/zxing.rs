@@ -101,10 +101,7 @@ fn encode(message: &str) -> Vec<bool> {
     let mut bytes: Vec<u8> = message.bytes().collect();
     let checksum = bytes.iter().fold(0u8, |a, b| a ^ b);
     bytes.push(checksum);
-    bytes
-        .iter()
-        .flat_map(|b| (0..8).rev().map(move |i| (b >> i) & 1 == 1))
-        .collect()
+    bytes.iter().flat_map(|b| (0..8).rev().map(move |i| (b >> i) & 1 == 1)).collect()
 }
 
 /// Renders the module grid to a noisy grayscale image with an illumination

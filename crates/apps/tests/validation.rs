@@ -9,10 +9,7 @@ use enerj_core::Runtime;
 use enerj_hw::config::{HwConfig, Level, StrategyMask};
 
 fn exact_rt() -> Runtime {
-    Runtime::with_config(
-        HwConfig::for_level(Level::Aggressive).with_mask(StrategyMask::NONE),
-        0,
-    )
+    Runtime::with_config(HwConfig::for_level(Level::Aggressive).with_mask(StrategyMask::NONE), 0)
 }
 
 /// Parseval's theorem on the masked FFT: time-domain and frequency-domain
@@ -26,10 +23,8 @@ fn fft_satisfies_parseval() {
     let n = enerj_apps::scimark::fft::N;
     let (re, im) = workload::complex_signal(n);
     let time_energy: f64 = re.iter().zip(&im).map(|(r, i)| r * r + i * i).sum();
-    let freq_energy: f64 = (0..n)
-        .map(|k| spec[k] * spec[k] + spec[n + k] * spec[n + k])
-        .sum::<f64>()
-        / n as f64;
+    let freq_energy: f64 =
+        (0..n).map(|k| spec[k] * spec[k] + spec[n + k] * spec[n + k]).sum::<f64>() / n as f64;
     assert!(
         (time_energy - freq_energy).abs() / time_energy < 1e-9,
         "Parseval violated: {time_energy} vs {freq_energy}"
@@ -82,9 +77,8 @@ fn lu_factors_preserve_row_sum_multiset() {
                 .sum()
         })
         .collect();
-    let mut original_sums: Vec<f64> = (0..n)
-        .map(|r| workload::lu_matrix(n)[r * n..(r + 1) * n].iter().sum())
-        .collect();
+    let mut original_sums: Vec<f64> =
+        (0..n).map(|r| workload::lu_matrix(n)[r * n..(r + 1) * n].iter().sum()).collect();
     reconstructed_sums.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
     original_sums.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
     for (a, b) in reconstructed_sums.iter().zip(&original_sums) {

@@ -10,10 +10,16 @@
 //! * `--error-modes`: the three functional-unit error models compared
 //!   (single bit flip / last value / random value); the paper reports
 //!   ~25% QoS loss for the former two against ~40% for random-value.
+//!
+//! All trials of a study run as one parallel, crash-isolated campaign
+//! (labels `"{level}/{strategy}"` / `"{mode}"`); reports land in
+//! `results/BENCH_ablation.json` / `results/BENCH_ablation_error_modes.json`.
 
-use enerj_apps::{all_apps, harness};
-use enerj_apps::qos::output_error;
-use enerj_bench::{err3, render_table, Options};
+use std::sync::Arc;
+
+use enerj_apps::trials::{run_campaign, TrialSpec};
+use enerj_apps::{all_apps, harness, App};
+use enerj_bench::{err3, render_table, write_bench_report, Options};
 use enerj_hw::config::{ErrorMode, HwConfig, Level, StrategyMask};
 
 fn main() {
@@ -25,29 +31,50 @@ fn main() {
     }
 }
 
-/// Mean output error with a given configuration over `runs` seeds.
-fn mean_error(app: &enerj_apps::App, cfg: HwConfig, runs: u64) -> f64 {
-    let reference = harness::reference(app).output;
-    let total: f64 = (0..runs)
-        .map(|i| {
-            let m = harness::measure_with(app, cfg, harness::FAULT_SEED_BASE ^ i);
-            output_error(app.meta.metric, &reference, &m.output)
+/// Collects each app's fault-free reference output, in parallel.
+fn references(apps: &[App], threads: usize) -> Vec<Arc<enerj_apps::qos::Output>> {
+    let specs: Vec<TrialSpec> = apps.iter().map(TrialSpec::reference).collect();
+    run_campaign(&specs, threads)
+        .trials
+        .into_iter()
+        .map(|t| {
+            assert!(!t.panicked(), "{}: reference run panicked", t.app);
+            Arc::new(t.output.expect("reference trials keep their output"))
         })
-        .sum();
-    total / runs as f64
+        .collect()
 }
 
 fn strategy_isolation(opts: &Options) {
     let singles = StrategyMask::singletons();
     let apps = all_apps();
+    let refs = references(&apps, opts.threads);
+
+    let mut specs = Vec::new();
+    for level in [Level::Medium, Level::Aggressive] {
+        for (app, reference) in apps.iter().zip(&refs) {
+            for (name, mask) in &singles {
+                let cfg = HwConfig::for_level(level).with_mask(*mask);
+                for i in 0..opts.runs {
+                    specs.push(TrialSpec::scored(
+                        app,
+                        format!("{level}/{name}"),
+                        cfg,
+                        harness::FAULT_SEED_BASE ^ i,
+                        Arc::clone(reference),
+                    ));
+                }
+            }
+        }
+    }
+    let report = run_campaign(&specs, opts.threads);
+
     for level in [Level::Medium, Level::Aggressive] {
         let mut rows = Vec::new();
         let mut column_sums = vec![0.0f64; singles.len()];
         for app in &apps {
             let mut row = vec![app.meta.name.to_owned()];
-            for (i, (name, mask)) in singles.iter().enumerate() {
-                let cfg = HwConfig::for_level(level).with_mask(*mask);
-                let err = mean_error(app, cfg, opts.runs);
+            for (i, (name, _)) in singles.iter().enumerate() {
+                let err = report.mean_error_for(app.meta.name, &format!("{level}/{name}"));
                 column_sums[i] += err;
                 row.push(err3(err));
                 if opts.json {
@@ -60,9 +87,8 @@ fn strategy_isolation(opts: &Options) {
             rows.push(row);
         }
         if !opts.json {
-            let headers: Vec<&str> = std::iter::once("Application")
-                .chain(singles.iter().map(|(n, _)| *n))
-                .collect();
+            let headers: Vec<&str> =
+                std::iter::once("Application").chain(singles.iter().map(|(n, _)| *n)).collect();
             println!(
                 "Section 6.2 ablation: each strategy enabled in isolation ({level}, mean of {} runs)",
                 opts.runs
@@ -83,17 +109,36 @@ fn strategy_isolation(opts: &Options) {
         println!("Aggressive); SRAM writes worse than reads (visible at Medium, where the");
         println!("probabilities are asymmetric); FU voltage scaling (timing) worst.");
     }
+    write_bench_report("ablation", &report);
 }
 
 fn error_modes(opts: &Options) {
+    let apps = all_apps();
+    let refs = references(&apps, opts.threads);
+
+    let mut specs = Vec::new();
+    for (app, reference) in apps.iter().zip(&refs) {
+        for mode in ErrorMode::ALL {
+            let cfg = HwConfig::for_level(Level::Medium).with_error_mode(mode);
+            for i in 0..opts.runs {
+                specs.push(TrialSpec::scored(
+                    app,
+                    mode.to_string(),
+                    cfg,
+                    harness::FAULT_SEED_BASE ^ i,
+                    Arc::clone(reference),
+                ));
+            }
+        }
+    }
+    let report = run_campaign(&specs, opts.threads);
+
     let mut rows = Vec::new();
     let mut sums = [0.0f64; 3];
-    let apps = all_apps();
     for app in &apps {
         let mut row = vec![app.meta.name.to_owned()];
         for (i, mode) in ErrorMode::ALL.iter().enumerate() {
-            let cfg = HwConfig::for_level(Level::Medium).with_error_mode(*mode);
-            let err = mean_error(app, cfg, opts.runs);
+            let err = report.mean_error_for(app.meta.name, &mode.to_string());
             sums[i] += err;
             row.push(err3(err));
             if opts.json {
@@ -113,10 +158,7 @@ fn error_modes(opts: &Options) {
         println!();
         println!(
             "{}",
-            render_table(
-                &["Application", "single-bit-flip", "last-value", "random-value"],
-                &rows
-            )
+            render_table(&["Application", "single-bit-flip", "last-value", "random-value"], &rows)
         );
         let n = apps.len() as f64;
         println!(
@@ -128,4 +170,5 @@ fn error_modes(opts: &Options) {
         println!("Paper: random-value degrades QoS most (~40% vs ~25%); it is also the");
         println!("most realistic model and is the default everywhere else.");
     }
+    write_bench_report("ablation_error_modes", &report);
 }

@@ -5,18 +5,24 @@
 //! used storing approximate data; for functional-unit operations, the
 //! fraction of dynamic operations that executed approximately. These
 //! fractions depend only on the annotations, so a single masked run per
-//! application suffices.
+//! application suffices — the nine reference runs go through one parallel
+//! campaign whose report lands in `results/BENCH_fig3.json`.
 
-use enerj_apps::{all_apps, harness};
-use enerj_bench::{pct, render_table, Options};
+use enerj_apps::all_apps;
+use enerj_apps::trials::{run_campaign, TrialSpec};
+use enerj_bench::{pct, render_table, write_bench_report, Options};
 use enerj_hw::{MemKind, OpKind};
 
 fn main() {
     let opts = Options::parse(std::env::args(), 1);
+    let apps = all_apps();
+    let specs: Vec<TrialSpec> = apps.iter().map(TrialSpec::reference).collect();
+    let report = run_campaign(&specs, opts.threads);
+
     let mut rows = Vec::new();
-    for app in all_apps() {
-        let m = harness::reference(&app);
-        let s = m.stats;
+    for (app, trial) in apps.iter().zip(&report.trials) {
+        assert!(!trial.panicked(), "{}: reference run panicked", app.meta.name);
+        let s = trial.stats;
         let dram = s.approx_storage_fraction(MemKind::Dram);
         let sram = s.approx_storage_fraction(MemKind::Sram);
         let int = s.approx_op_fraction(OpKind::Int);
@@ -49,4 +55,5 @@ fn main() {
         println!("Fractions are approximate byte-seconds (storage) and approximate");
         println!("dynamic operations (functional units), as in the paper.");
     }
+    write_bench_report("fig3", &report);
 }

@@ -3,27 +3,51 @@
 //! Medium and Aggressive configurations.
 //!
 //! Energy depends on the *fractions* of approximate work and storage (one
-//! run per level), not on which faults happened to be injected.
+//! run per level), not on which faults happened to be injected. The
+//! `apps x levels` runs go through one parallel campaign whose report
+//! lands in `results/BENCH_fig4.json`.
 
-use enerj_apps::{all_apps, harness};
-use enerj_bench::{render_table, Options};
-use enerj_hw::config::Level;
+use enerj_apps::all_apps;
+use enerj_apps::trials::{run_campaign, TrialSpec};
+use enerj_bench::{render_table, write_bench_report, Options};
+use enerj_hw::config::{HwConfig, Level};
 
 fn main() {
     let opts = Options::parse(std::env::args(), 1);
+    let apps = all_apps();
+    let specs: Vec<TrialSpec> = apps
+        .iter()
+        .flat_map(|app| {
+            Level::ALL.iter().map(move |level| TrialSpec {
+                app: app.clone(),
+                label: level.to_string(),
+                cfg: HwConfig::for_level(*level),
+                seed: 1,
+                reference: None,
+                keep_output: false,
+            })
+        })
+        .collect();
+    let report = run_campaign(&specs, opts.threads);
+
     let mut rows = Vec::new();
     let mut savings_sum = [0.0f64; 3];
-    let apps = all_apps();
     for app in &apps {
         let mut row = vec![app.meta.name.to_owned(), "1.000".to_owned()];
         for (i, level) in Level::ALL.iter().enumerate() {
-            let m = harness::approximate(app, *level, 1);
-            row.push(format!("{:.3}", m.energy.total));
-            savings_sum[i] += m.energy.savings();
+            let label = level.to_string();
+            let trial = report
+                .trials_for(app.meta.name, &label)
+                .next()
+                .expect("one trial per app and level");
+            assert!(!trial.panicked(), "{}: energy run panicked", app.meta.name);
+            let energy = trial.energy;
+            row.push(format!("{:.3}", energy.total));
+            savings_sum[i] += energy.savings();
             if opts.json {
                 println!(
                     "{{\"app\":\"{}\",\"level\":\"{level}\",\"energy\":{:.4},\"instr\":{:.4},\"sram\":{:.4},\"dram\":{:.4}}}",
-                    app.meta.name, m.energy.total, m.energy.instructions, m.energy.sram, m.energy.dram
+                    app.meta.name, energy.total, energy.instructions, energy.sram, energy.dram
                 );
             }
         }
@@ -44,4 +68,5 @@ fn main() {
             100.0 * savings_sum[2] / n
         );
     }
+    write_bench_report("fig4", &report);
 }

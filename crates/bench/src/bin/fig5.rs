@@ -1,19 +1,26 @@
 //! Regenerates **Figure 5**: output error for the three approximation
 //! levels applied together; each bar is the mean over N fault-injection
 //! runs (the paper uses 20; override with `--runs N`).
+//!
+//! All `apps x levels x runs` trials go through one parallel,
+//! crash-isolated campaign ([`enerj_apps::trials`]); the full per-trial
+//! record is written to `results/BENCH_fig5.json`.
 
-use enerj_apps::{all_apps, harness};
-use enerj_bench::{err3, render_table, Options};
+use enerj_apps::all_apps;
+use enerj_apps::trials::run_level_campaign;
+use enerj_bench::{err3, render_table, write_bench_report, Options};
 use enerj_hw::config::Level;
 
 fn main() {
     let opts = Options::parse(std::env::args(), 20);
+    let apps = all_apps();
+    let report = run_level_campaign(&apps, &Level::ALL, opts.runs, opts.threads);
+
     let mut rows = Vec::new();
-    for app in all_apps() {
-        let reference = harness::reference(&app).output;
+    for app in &apps {
         let mut row = vec![app.meta.name.to_owned()];
         for level in Level::ALL {
-            let err = harness::mean_output_error_vs(&app, &reference, level, opts.runs);
+            let err = report.mean_error_for(app.meta.name, &level.to_string());
             row.push(err3(err));
             if opts.json {
                 println!(
@@ -30,10 +37,14 @@ fn main() {
             opts.runs
         );
         println!();
-        println!(
-            "{}",
-            render_table(&["Application", "Mild", "Medium", "Aggressive"], &rows)
-        );
+        println!("{}", render_table(&["Application", "Mild", "Medium", "Aggressive"], &rows));
         println!("0 = identical to precise output, 1 = meaningless output.");
+        if report.panic_count() > 0 {
+            println!(
+                "{} fault-injected runs crashed and were scored as worst-case (error 1).",
+                report.panic_count()
+            );
+        }
     }
+    write_bench_report("fig5", &report);
 }

@@ -1,11 +1,13 @@
 //! Regenerates **Table 2**: the approximation strategies simulated in the
 //! evaluation, with their error probabilities and energy savings at the
-//! Mild / Medium / Aggressive levels.
+//! Mild / Medium / Aggressive levels. Static content (no trials); `--json`
+//! emits one row object per strategy.
 
-use enerj_bench::render_table;
+use enerj_bench::{render_table, Options};
 use enerj_hw::config::Level;
 
 fn main() {
+    let opts = Options::parse(std::env::args(), 0);
     let [mild, medium, aggressive] =
         [Level::Mild.params(), Level::Medium.params(), Level::Aggressive.params()];
 
@@ -72,6 +74,15 @@ fn main() {
         ],
     ];
 
+    if opts.json {
+        for row in &rows {
+            println!(
+                "{{\"strategy\":{:?},\"mild\":{:?},\"medium\":{:?},\"aggressive\":{:?}}}",
+                row[0], row[1], row[2], row[3]
+            );
+        }
+        return;
+    }
     println!("Table 2: approximation strategies simulated in the evaluation");
     println!();
     println!("{}", render_table(&["Strategy", "Mild", "Medium", "Aggressive"], &rows));

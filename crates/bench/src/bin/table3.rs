@@ -4,18 +4,25 @@
 //! Lines of code, declaration counts, annotation percentages and
 //! endorsement counts are *measured from this repository's ports* (the
 //! paper's column values describe the original Java ports); "Proportion
-//! FP" is measured dynamically from a reference run, as in the paper.
+//! FP" is measured dynamically from a reference run, as in the paper. The
+//! reference runs go through one parallel campaign whose report lands in
+//! `results/BENCH_table3.json`.
 
-use enerj_apps::{all_apps, harness};
-use enerj_bench::{pct, render_table, Options};
+use enerj_apps::all_apps;
+use enerj_apps::trials::{run_campaign, TrialSpec};
+use enerj_bench::{pct, render_table, write_bench_report, Options};
 
 fn main() {
     let opts = Options::parse(std::env::args(), 1);
+    let apps = all_apps();
+    let specs: Vec<TrialSpec> = apps.iter().map(TrialSpec::reference).collect();
+    let report = run_campaign(&specs, opts.threads);
+
     let mut rows = Vec::new();
-    for app in all_apps() {
+    for (app, trial) in apps.iter().zip(&report.trials) {
+        assert!(!trial.panicked(), "{}: reference run panicked", app.meta.name);
         let ann = app.meta.annotation_stats();
-        let reference = harness::reference(&app);
-        let fp = reference.stats.fp_proportion();
+        let fp = trial.stats.fp_proportion();
         if opts.json {
             println!(
                 "{{\"app\":\"{}\",\"metric\":\"{}\",\"loc\":{},\"fp\":{:.4},\"decls\":{},\"annotated\":{},\"endorsements\":{}}}",
@@ -58,4 +65,5 @@ fn main() {
         );
         println!("LoC / declaration counts describe the Rust ports in crates/apps.");
     }
+    write_bench_report("table3", &report);
 }

@@ -3,10 +3,11 @@
 //! Table 2 levels and report the most aggressive admissible configuration
 //! and the energy it buys — quantifying the paper's remark that the
 //! substrate "could benefit from tuning to the characteristics of each
-//! application".
+//! application". Profiling runs go through the parallel campaign runner
+//! (`--threads N` to bound workers).
 
-use enerj_apps::tuner::tune;
 use enerj_apps::all_apps;
+use enerj_apps::tuner::tune_with_threads;
 use enerj_bench::{render_table, Options};
 
 fn main() {
@@ -16,7 +17,7 @@ fn main() {
     for app in all_apps() {
         let mut row = vec![app.meta.name.to_owned()];
         for &budget in &budgets {
-            let r = tune(&app, budget, opts.runs);
+            let r = tune_with_threads(&app, budget, opts.runs, opts.threads);
             let label = match r.chosen {
                 None => "precise".to_owned(),
                 Some(level) => format!("{level}"),
@@ -33,17 +34,12 @@ fn main() {
         rows.push(row);
     }
     if !opts.json {
-        println!(
-            "Offline QoS tuning (section 6.2 extension): most aggressive level within budget"
-        );
+        println!("Offline QoS tuning (section 6.2 extension): most aggressive level within budget");
         println!("(cell = chosen level, energy saved); {} profiling runs per level", opts.runs);
         println!();
         println!(
             "{}",
-            render_table(
-                &["Application", "budget 1%", "budget 5%", "budget 10%"],
-                &rows
-            )
+            render_table(&["Application", "budget 1%", "budget 5%", "budget 10%"], &rows)
         );
         println!("Robust apps (MonteCarlo, ImageJ) earn Medium/Aggressive even at tight");
         println!("budgets; fragile apps (FFT, SOR) are pinned to Mild — the per-app");

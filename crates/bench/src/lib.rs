@@ -15,18 +15,27 @@
 //! | `tuning` | section 6.2 extension — offline per-app QoS tuning |
 //!
 //! Each binary accepts `--runs N` where sampling applies and prints
-//! fixed-width text tables; pass `--json` for machine-readable rows.
+//! fixed-width text tables; pass `--json` for machine-readable rows and
+//! `--threads N` to bound the trial campaign's worker count (default: all
+//! available cores). Campaign-backed binaries also drop a machine-readable
+//! `results/BENCH_<name>.json` campaign report (schema
+//! `enerj-campaign/1`) on every run.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use std::fmt::Write as _;
+use std::path::PathBuf;
+
+use enerj_apps::trials::CampaignReport;
 
 /// Simple command-line options shared by the binaries.
 #[derive(Debug, Clone)]
 pub struct Options {
     /// Fault-injection runs per data point (Figure 5 uses 20).
     pub runs: u64,
+    /// Worker threads for trial campaigns (`0` = available parallelism).
+    pub threads: usize,
     /// Emit JSON rows instead of a text table.
     pub json: bool,
     /// Extra mode flag (e.g. `--error-modes` for the ablation binary).
@@ -40,7 +49,7 @@ impl Options {
     ///
     /// Panics with a usage message on malformed arguments.
     pub fn parse(args: impl Iterator<Item = String>, default_runs: u64) -> Options {
-        let mut opts = Options { runs: default_runs, json: false, flags: Vec::new() };
+        let mut opts = Options { runs: default_runs, threads: 0, json: false, flags: Vec::new() };
         let mut args = args.skip(1);
         while let Some(arg) = args.next() {
             match arg.as_str() {
@@ -48,11 +57,43 @@ impl Options {
                     let v = args.next().expect("--runs needs a value");
                     opts.runs = v.parse().expect("--runs needs an integer");
                 }
+                "--threads" => {
+                    let v = args.next().expect("--threads needs a value");
+                    opts.threads = v.parse().expect("--threads needs an integer");
+                }
                 "--json" => opts.json = true,
                 other => opts.flags.push(other.to_owned()),
             }
         }
         opts
+    }
+}
+
+/// The repository's `results/` directory (resolved relative to this crate,
+/// so it lands at the workspace root from any working directory).
+pub fn results_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../results")
+}
+
+/// Where a binary's campaign report lands: `results/BENCH_<name>.json`.
+pub fn bench_report_path(name: &str) -> PathBuf {
+    results_dir().join(format!("BENCH_{name}.json"))
+}
+
+/// Writes a campaign report to [`bench_report_path`] and prints where it
+/// went (on stderr, so `--json` stdout stays machine-readable).
+pub fn write_bench_report(name: &str, report: &CampaignReport) {
+    let path = bench_report_path(name);
+    match report.write_json(&path) {
+        Ok(()) => eprintln!(
+            "campaign report: {} trials, {} panics, {:.2}s on {} threads -> {}",
+            report.trials.len(),
+            report.panic_count(),
+            report.wall.as_secs_f64(),
+            report.threads,
+            path.display()
+        ),
+        Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
     }
 }
 
@@ -102,12 +143,15 @@ mod tests {
     use super::*;
 
     #[test]
-    fn parses_runs_and_json() {
+    fn parses_runs_threads_and_json() {
         let opts = Options::parse(
-            ["bin", "--runs", "7", "--json", "--error-modes"].iter().map(|s| s.to_string()),
+            ["bin", "--runs", "7", "--threads", "3", "--json", "--error-modes"]
+                .iter()
+                .map(|s| s.to_string()),
             20,
         );
         assert_eq!(opts.runs, 7);
+        assert_eq!(opts.threads, 3);
         assert!(opts.json);
         assert_eq!(opts.flags, vec!["--error-modes"]);
     }
@@ -116,17 +160,21 @@ mod tests {
     fn default_runs_apply() {
         let opts = Options::parse(["bin"].iter().map(|s| s.to_string()), 20);
         assert_eq!(opts.runs, 20);
+        assert_eq!(opts.threads, 0, "default = available parallelism");
         assert!(!opts.json);
+    }
+
+    #[test]
+    fn report_paths_land_in_results() {
+        let p = bench_report_path("fig5");
+        assert!(p.ends_with("results/BENCH_fig5.json"), "{}", p.display());
     }
 
     #[test]
     fn table_is_aligned() {
         let t = render_table(
             &["name", "value"],
-            &[
-                vec!["a".into(), "1".into()],
-                vec!["longer".into(), "2".into()],
-            ],
+            &[vec!["a".into(), "1".into()], vec!["longer".into(), "2".into()]],
         );
         let lines: Vec<&str> = t.lines().collect();
         assert_eq!(lines.len(), 4);

@@ -43,8 +43,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-pub mod context;
 mod approx;
+pub mod context;
 mod math;
 mod precise;
 mod prim;

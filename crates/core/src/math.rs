@@ -107,11 +107,7 @@ impl Approx<bool> {
     }
 }
 
-fn bool_binary(
-    x: Approx<bool>,
-    y: Approx<bool>,
-    f: fn(bool, bool) -> bool,
-) -> Approx<bool> {
+fn bool_binary(x: Approx<bool>, y: Approx<bool>, f: fn(bool, bool) -> bool) -> Approx<bool> {
     with_hw(|hw| match hw {
         Some(hw) => {
             let a = load(hw, x);

@@ -222,7 +222,8 @@ impl ApproxRecord {
         let i = self.schema.index_of(field);
         let decl = &self.schema.fields[i];
         assert_eq!(
-            decl.approx, want_approx,
+            decl.approx,
+            want_approx,
             "field `{}.{field}` is {}; use the matching accessor",
             self.schema.name,
             if decl.approx { "approximate" } else { "precise" }
@@ -248,8 +249,8 @@ impl Drop for ApproxRecord {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::runtime::Runtime;
     use crate::endorse;
+    use crate::runtime::Runtime;
     use enerj_hw::config::{HwConfig, Level, StrategyMask};
 
     fn exact_rt() -> Runtime {
@@ -303,15 +304,17 @@ mod tests {
         let rt = exact_rt();
         rt.run(|| {
             let mut builder = RecordSchema::builder("Big").precise_field::<i64>("id");
-            for name in [
-                "a0", "a1", "a2", "a3", "a4", "a5", "a6", "a7", "a8", "a9",
-            ] {
+            for name in ["a0", "a1", "a2", "a3", "a4", "a5", "a6", "a7", "a8", "a9"] {
                 builder = builder.approx_field::<f64>(name);
             }
             let schema = builder.build();
             let p = ApproxRecord::new(&schema);
             let approx_fields = (0..10)
-                .filter(|i| p.field_storage_approx(["a0", "a1", "a2", "a3", "a4", "a5", "a6", "a7", "a8", "a9"][*i]))
+                .filter(|i| {
+                    p.field_storage_approx(
+                        ["a0", "a1", "a2", "a3", "a4", "a5", "a6", "a7", "a8", "a9"][*i],
+                    )
+                })
                 .count();
             assert_eq!(approx_fields, 4, "6 of 10 absorbed by the precise line");
         });
@@ -361,8 +364,6 @@ mod tests {
     #[test]
     #[should_panic(expected = "duplicate field")]
     fn duplicate_fields_are_rejected() {
-        let _ = RecordSchema::builder("Bad")
-            .precise_field::<i64>("x")
-            .approx_field::<f64>("x");
+        let _ = RecordSchema::builder("Bad").precise_field::<i64>("x").approx_field::<f64>("x");
     }
 }

@@ -110,11 +110,7 @@ impl Runtime {
 
     /// A snapshot of the retained fault events (empty if tracing is off).
     pub fn fault_trace(&self) -> Vec<enerj_hw::trace::FaultEvent> {
-        self.hw
-            .borrow()
-            .trace()
-            .map(|t| t.events().copied().collect())
-            .unwrap_or_default()
+        self.hw.borrow().trace().map(|t| t.events().copied().collect()).unwrap_or_default()
     }
 
     /// The shared hardware handle, for substrate-level extensions.
@@ -202,6 +198,34 @@ mod tests {
     }
 
     #[test]
+    fn installations_are_per_thread() {
+        // The trial-campaign runner (enerj-apps' `trials` module) relies on
+        // `CURRENT` being thread-local: workers install and pop their own
+        // runtimes without observing each other's, and a runtime installed
+        // on one thread is invisible on another.
+        let rt = Runtime::new(Level::Mild, 0);
+        rt.run(|| {
+            assert!(current_hw().is_some());
+            std::thread::scope(|scope| {
+                for seed in 0..4u64 {
+                    scope.spawn(move || {
+                        assert!(current_hw().is_none(), "other thread's runtime leaked in");
+                        let local = Runtime::new(Level::Aggressive, seed);
+                        local.run(|| {
+                            with_hw(|hw| hw.unwrap().precise_op(OpKind::Int));
+                        });
+                        assert!(current_hw().is_none());
+                        assert_eq!(local.stats().int_precise_ops, 1);
+                    });
+                }
+            });
+            // The spawning thread's installation survived its workers.
+            assert!(current_hw().is_some());
+        });
+        assert_eq!(rt.stats().int_precise_ops, 0, "worker ops never hit this runtime");
+    }
+
+    #[test]
     fn energy_of_untouched_runtime_is_baseline() {
         let rt = Runtime::new(Level::Aggressive, 0);
         assert!((rt.energy().total - 1.0).abs() < 1e-12);
@@ -222,10 +246,7 @@ mod tests {
         let trace = rt.fault_trace();
         assert!(!trace.is_empty(), "aggressive run should record faults");
         assert!(trace.len() as u64 <= rt.stats().faults_injected);
-        assert!(
-            trace.windows(2).all(|w| w[0].time <= w[1].time),
-            "events are time-ordered"
-        );
+        assert!(trace.windows(2).all(|w| w[0].time <= w[1].time), "events are time-ordered");
     }
 
     #[test]

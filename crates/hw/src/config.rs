@@ -73,11 +73,8 @@ pub enum ErrorMode {
 
 impl ErrorMode {
     /// All error modes, in the order discussed in section 6.2.
-    pub const ALL: [ErrorMode; 3] = [
-        ErrorMode::SingleBitFlip,
-        ErrorMode::LastValue,
-        ErrorMode::RandomValue,
-    ];
+    pub const ALL: [ErrorMode; 3] =
+        [ErrorMode::SingleBitFlip, ErrorMode::LastValue, ErrorMode::RandomValue];
 }
 
 impl fmt::Display for ErrorMode {
@@ -357,9 +354,7 @@ mod tests {
 
     #[test]
     fn strategy_mask_builders() {
-        let m = StrategyMask::NONE
-            .with_sram_read(true)
-            .with_fp_width(true);
+        let m = StrategyMask::NONE.with_sram_read(true).with_fp_width(true);
         assert!(m.sram_read && m.fp_width);
         assert!(!m.dram && !m.sram_write && !m.fu_timing);
         assert_eq!(StrategyMask::default(), StrategyMask::ALL);

@@ -71,11 +71,8 @@ impl DramArray {
             layout::DEFAULT_LINE_SIZE,
             layout::ARRAY_HEADER_BYTES,
         );
-        let first_approx_elem = if approx {
-            l.approx_bytes_on_precise_lines.div_ceil(elem_bytes.max(1))
-        } else {
-            len
-        };
+        let first_approx_elem =
+            if approx { l.approx_bytes_on_precise_lines.div_ceil(elem_bytes.max(1)) } else { len };
         let now = hw.now();
         DramArray {
             words: vec![0; len],
@@ -131,10 +128,7 @@ impl DramArray {
             let p = fault::decay_probability(hw.config().params.dram_flip_per_second, dt);
             let flipped = fault::flip_bits(stored, self.elem_width, p, hw.rng());
             if flipped != stored {
-                hw.note_fault(
-                    crate::trace::FaultKind::DramDecay,
-                    (flipped ^ stored).count_ones(),
-                );
+                hw.note_fault(crate::trace::FaultKind::DramDecay, (flipped ^ stored).count_ones());
             }
             flipped
         } else {
@@ -414,10 +408,7 @@ impl DramRecord {
             let p = fault::decay_probability(hw.config().params.dram_flip_per_second, dt);
             let flipped = fault::flip_bits(stored, self.widths[i], p, hw.rng());
             if flipped != stored {
-                hw.note_fault(
-                    crate::trace::FaultKind::DramDecay,
-                    (flipped ^ stored).count_ones(),
-                );
+                hw.note_fault(crate::trace::FaultKind::DramDecay, (flipped ^ stored).count_ones());
             }
             flipped
         } else {
@@ -491,8 +482,7 @@ mod record_tests {
             fields.push(FieldSpec::new("a", 8, true));
         }
         let rec = DramRecord::new(&mut hw, &fields);
-        let approx_count =
-            (0..rec.field_count()).filter(|&i| rec.field_storage_approx(i)).count();
+        let approx_count = (0..rec.field_count()).filter(|&i| rec.field_storage_approx(i)).count();
         assert_eq!(approx_count, 4, "10 approx fields, 6 absorbed by the precise line");
     }
 

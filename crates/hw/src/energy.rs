@@ -95,10 +95,7 @@ pub fn normalized_energy_with_split(
     params: &ApproxParams,
     dram_fraction: f64,
 ) -> EnergyBreakdown {
-    assert!(
-        (0.0..=1.0).contains(&dram_fraction),
-        "dram_fraction {dram_fraction} out of range"
-    );
+    assert!((0.0..=1.0).contains(&dram_fraction), "dram_fraction {dram_fraction} out of range");
     let cpu_fraction = 1.0 - dram_fraction;
 
     // Instruction execution: scale the non-fetch/decode component of
@@ -109,11 +106,8 @@ pub fn normalized_energy_with_split(
         + (stats.fp_precise_ops + stats.fp_approx_ops) as f64 * FP_OP_UNITS;
     let saved_instr = stats.int_approx_ops as f64 * int_exec * params.alu_energy_saved
         + stats.fp_approx_ops as f64 * fp_exec * params.fp_energy_saved;
-    let instructions = if baseline_instr == 0.0 {
-        1.0
-    } else {
-        (baseline_instr - saved_instr) / baseline_instr
-    };
+    let instructions =
+        if baseline_instr == 0.0 { 1.0 } else { (baseline_instr - saved_instr) / baseline_instr };
 
     // SRAM: approximate byte-seconds run at reduced supply power.
     let sram = scaled_storage(
@@ -234,9 +228,7 @@ mod tests {
             int.record_op(OpKind::Int, true);
         }
         let p = ApproxParams::MEDIUM;
-        assert!(
-            normalized_energy(&fp, &p).instructions < normalized_energy(&int, &p).instructions
-        );
+        assert!(normalized_energy(&fp, &p).instructions < normalized_energy(&int, &p).instructions);
     }
 
     #[test]

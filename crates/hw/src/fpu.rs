@@ -173,7 +173,8 @@ mod tests {
 
     #[test]
     fn fp_timing_error_random_value_produces_garbage_bits() {
-        let mut cfg = HwConfig::for_level(Level::Aggressive).with_error_mode(ErrorMode::RandomValue);
+        let mut cfg =
+            HwConfig::for_level(Level::Aggressive).with_error_mode(ErrorMode::RandomValue);
         cfg.params.timing_error_prob = 1.0;
         let mut hw = Hardware::new(cfg, 3);
         // With p=1 every op faults; over many trials at least one output

@@ -185,8 +185,8 @@ mod tests {
         let cfg = HwConfig::for_level(Level::Aggressive);
         let mut a = Hardware::new(cfg, 1);
         let mut b = Hardware::new(cfg, 2);
-        let diverged = (0..10_000u64)
-            .any(|i| a.approx_int_result(i, 64) != b.approx_int_result(i, 64));
+        let diverged =
+            (0..10_000u64).any(|i| a.approx_int_result(i, 64) != b.approx_int_result(i, 64));
         assert!(diverged, "aggressive config should inject some fault in 10k ops");
     }
 

@@ -235,11 +235,7 @@ impl Program {
                 ExprKind::If(c, t, f) => walk(c) || walk(t) || walk(f),
             }
         }
-        self.classes
-            .iter()
-            .flat_map(|c| &c.methods)
-            .any(|m| walk(&m.body))
-            || walk(&self.main)
+        self.classes.iter().flat_map(|c| &c.methods).any(|m| walk(&m.body)) || walk(&self.main)
     }
 }
 

@@ -64,8 +64,7 @@ fn dispatch(args: &[String]) -> Result<(), String> {
         }
         "print" => {
             let (source, path) = read_source(rest)?;
-            let program =
-                enerj_lang::parser::parse(&source).map_err(|e| format!("{path}: {e}"))?;
+            let program = enerj_lang::parser::parse(&source).map_err(|e| format!("{path}: {e}"))?;
             print!("{}", pretty::program_to_string(&program));
             Ok(())
         }

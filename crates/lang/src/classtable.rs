@@ -109,10 +109,7 @@ impl ClassTable {
                 if sigs.contains(&key) {
                     return Err(TypeError::new(
                         method.span,
-                        format!(
-                            "duplicate {} implementation of `{}`",
-                            method.qual, method.name
-                        ),
+                        format!("duplicate {} implementation of `{}`", method.qual, method.name),
                     ));
                 }
                 sigs.push(key);
@@ -123,22 +120,14 @@ impl ClassTable {
                 // Overriding must preserve the declared signature so that
                 // dynamic dispatch is type-preserving.
                 if let Some(sup) = &class.superclass {
-                    if let Some((_, inherited)) = self.method_decl(sup, &method.name, method.qual)
-                    {
+                    if let Some((_, inherited)) = self.method_decl(sup, &method.name, method.qual) {
                         let same = inherited.ret == method.ret
                             && inherited.params.len() == method.params.len()
-                            && inherited
-                                .params
-                                .iter()
-                                .zip(&method.params)
-                                .all(|(a, b)| a.1 == b.1);
+                            && inherited.params.iter().zip(&method.params).all(|(a, b)| a.1 == b.1);
                         if !same {
                             return Err(TypeError::new(
                                 method.span,
-                                format!(
-                                    "override of `{}` changes its signature",
-                                    method.name
-                                ),
+                                format!("override of `{}` changes its signature", method.name),
                             ));
                         }
                     }
@@ -174,9 +163,7 @@ impl ClassTable {
 
     /// The declared superclass of `name` (`None` for `Object`).
     pub fn superclass(&self, name: &str) -> Option<&str> {
-        self.classes
-            .get(name)
-            .map(|c| c.superclass.as_deref().unwrap_or("Object"))
+        self.classes.get(name).map(|c| c.superclass.as_deref().unwrap_or("Object"))
     }
 
     /// Whether `sub` is a (reflexive, transitive) subclass of `sup`.
@@ -385,8 +372,7 @@ mod tests {
 
     #[test]
     fn rejects_duplicate_class_and_field() {
-        assert!(table("class A extends Object {} class A extends Object {} main { 0 }")
-            .is_err());
+        assert!(table("class A extends Object {} class A extends Object {} main { 0 }").is_err());
         assert!(table("class A extends Object { int x; int x; } main { 0 }").is_err());
     }
 

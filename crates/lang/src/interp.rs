@@ -212,10 +212,9 @@ impl<'p> Interp<'p> {
         match value {
             Value::Ref(a) => Ok(a),
             Value::Null => Err(EvalError::NullDereference(span)),
-            other => Err(EvalError::Internal(format!(
-                "expected a reference, got {}",
-                other.describe()
-            ))),
+            other => {
+                Err(EvalError::Internal(format!("expected a reference, got {}", other.describe())))
+            }
         }
     }
 
@@ -309,11 +308,7 @@ impl<'p> Interp<'p> {
                     .map(|(name, ty)| (name, default_value(&ty)))
                     .collect();
                 let addr = self.heap.len();
-                self.heap.push(HeapEntry::Object(Object {
-                    class: class.clone(),
-                    qual,
-                    fields,
-                }));
+                self.heap.push(HeapEntry::Object(Object { class: class.clone(), qual, fields }));
                 Ok(Value::Ref(addr))
             }
             ExprKind::NewArray(elem, len) => {
@@ -324,8 +319,7 @@ impl<'p> Interp<'p> {
                 if n < 0 {
                     return Err(EvalError::BadArrayLength(e.span, n));
                 }
-                let elem_approx =
-                    self.resolve_qual(elem.qual, env.this) == RtQual::Approx;
+                let elem_approx = self.resolve_qual(elem.qual, env.this) == RtQual::Approx;
                 let default = default_value(elem);
                 let addr = self.heap.len();
                 self.heap.push(HeapEntry::Array(ArrayObj {
@@ -419,12 +413,7 @@ impl<'p> Interp<'p> {
                 }
                 self.depth += 1;
                 let mut callee = Env {
-                    vars: decl
-                        .params
-                        .iter()
-                        .map(|(n, _)| n.clone())
-                        .zip(arg_values)
-                        .collect(),
+                    vars: decl.params.iter().map(|(n, _)| n.clone()).zip(arg_values).collect(),
                     this: Some(addr),
                 };
                 let out = self.eval(&decl.body, &mut callee);
@@ -518,9 +507,7 @@ impl<'p> Interp<'p> {
         };
         let len = match &self.heap[addr] {
             HeapEntry::Array(a) => a.values.len(),
-            HeapEntry::Object(_) => {
-                return Err(EvalError::Internal("indexing a non-array".into()))
-            }
+            HeapEntry::Object(_) => return Err(EvalError::Internal("indexing a non-array".into())),
         };
         if i < 0 || i as usize >= len {
             return Err(EvalError::IndexOutOfBounds(idx.span, i, len));
@@ -761,10 +748,7 @@ mod tests {
     #[test]
     fn precise_division_by_zero_is_an_error() {
         let tp = check(parse("main { 1 / 0 }").unwrap()).unwrap();
-        assert!(matches!(
-            run(&tp, ExecMode::Reliable).unwrap_err(),
-            EvalError::DivisionByZero(_)
-        ));
+        assert!(matches!(run(&tp, ExecMode::Reliable).unwrap_err(), EvalError::DivisionByZero(_)));
     }
 
     #[test]
@@ -788,10 +772,7 @@ mod tests {
             main { let c = (precise C) null in c.x }
         ";
         let tp = check(parse(src).unwrap()).unwrap();
-        assert!(matches!(
-            run(&tp, ExecMode::Reliable).unwrap_err(),
-            EvalError::NullDereference(_)
-        ));
+        assert!(matches!(run(&tp, ExecMode::Reliable).unwrap_err(), EvalError::NullDereference(_)));
     }
 
     #[test]
@@ -832,10 +813,7 @@ mod tests {
             main { (precise B) new A(); 0 }
         ";
         let tp = check(parse(src).unwrap()).unwrap();
-        assert!(matches!(
-            run(&tp, ExecMode::Reliable).unwrap_err(),
-            EvalError::CastFailed(_, _)
-        ));
+        assert!(matches!(run(&tp, ExecMode::Reliable).unwrap_err(), EvalError::CastFailed(_, _)));
     }
 
     #[test]

@@ -90,10 +90,7 @@ impl Parser {
         if self.peek() == want {
             Ok(self.bump().span)
         } else {
-            Err(ParseError::new(
-                self.span(),
-                format!("expected `{want}`, found `{}`", self.peek()),
-            ))
+            Err(ParseError::new(self.span(), format!("expected `{want}`, found `{}`", self.peek())))
         }
     }
 
@@ -103,7 +100,9 @@ impl Parser {
                 let span = self.bump().span;
                 Ok((name, span))
             }
-            other => Err(ParseError::new(self.span(), format!("expected identifier, found `{other}`"))),
+            other => {
+                Err(ParseError::new(self.span(), format!("expected identifier, found `{other}`")))
+            }
         }
     }
 
@@ -340,7 +339,9 @@ impl Parser {
                 _ => ExprKind::IntLit(0),
             };
             let zero = self.node(start, zero);
-            return Ok(self.node(span, ExprKind::Binary(BinOp::Sub, Box::new(zero), Box::new(operand))));
+            return Ok(
+                self.node(span, ExprKind::Binary(BinOp::Sub, Box::new(zero), Box::new(operand)))
+            );
         }
         self.postfix()
     }
@@ -498,10 +499,7 @@ impl Parser {
                 let els = self.expr()?;
                 let end = self.expect(&Token::RBrace)?;
                 let full = span.merge(end);
-                Ok(self.node(
-                    full,
-                    ExprKind::If(Box::new(cond), Box::new(then), Box::new(els)),
-                ))
+                Ok(self.node(full, ExprKind::If(Box::new(cond), Box::new(then), Box::new(els))))
             }
             Token::LParen => {
                 // Either a cast `(qual C) e` or a parenthesized expression.
@@ -583,14 +581,8 @@ mod tests {
     fn assignment_targets() {
         // Variables, fields and array elements are assignable...
         assert!(matches!(parse_expr("x := 5").unwrap().kind, ExprKind::VarSet(_, _)));
-        assert!(matches!(
-            parse_expr("this.f := 5").unwrap().kind,
-            ExprKind::FieldSet(_, _, _)
-        ));
-        assert!(matches!(
-            parse_expr("a[0] := 5").unwrap().kind,
-            ExprKind::IndexSet(_, _, _)
-        ));
+        assert!(matches!(parse_expr("this.f := 5").unwrap().kind, ExprKind::FieldSet(_, _, _)));
+        assert!(matches!(parse_expr("a[0] := 5").unwrap().kind, ExprKind::IndexSet(_, _, _)));
         // ...but arbitrary expressions are not.
         assert!(parse_expr("(1 + 2) := 5").is_err());
         assert!(parse_expr("f() := 5").is_err());
@@ -598,10 +590,7 @@ mod tests {
 
     #[test]
     fn parses_let_if_seq_endorse() {
-        let e = parse_expr(
-            "let x = 3 in if (x < 4) { endorse(x + 1) } else { 0 }; 9",
-        )
-        .unwrap();
+        let e = parse_expr("let x = 3 in if (x < 4) { endorse(x + 1) } else { 0 }; 9").unwrap();
         assert!(matches!(e.kind, ExprKind::Let(_, _, _)));
     }
 

@@ -297,8 +297,7 @@ mod tests {
         assert_eq!(original.classes[0].fields, {
             // Spans differ; compare names and types only.
             let f = &reparsed.classes[0].fields;
-            original
-                .classes[0]
+            original.classes[0]
                 .fields
                 .iter()
                 .zip(f)

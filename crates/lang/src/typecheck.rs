@@ -73,10 +73,8 @@ pub fn check(program: Program) -> Result<TypedProgram, TypeError> {
             // receivers of that precision, so `this` may assume it. A
             // method without an overloaded sibling serves every instance
             // and is checked generically, with `this : context C`.
-            let has_sibling = class
-                .methods
-                .iter()
-                .any(|m| m.name == method.name && m.qual != method.qual);
+            let has_sibling =
+                class.methods.iter().any(|m| m.name == method.name && m.qual != method.qual);
             let this_qual = match (method.qual, has_sibling) {
                 (crate::ast::MethodQual::Approx, _) => Qual::Approx,
                 (crate::ast::MethodQual::Precise, true) => Qual::Precise,
@@ -158,9 +156,7 @@ impl Checker {
             (BaseType::Class(c1), BaseType::Class(c2)) => {
                 t1.qual.is_sub(t2.qual) && self.table.is_subclass(c1, c2)
             }
-            (BaseType::Array(e1), BaseType::Array(e2)) => {
-                t1.qual.is_sub(t2.qual) && e1 == e2
-            }
+            (BaseType::Array(e1), BaseType::Array(e2)) => t1.qual.is_sub(t2.qual) && e1 == e2,
             _ => false,
         }
     }
@@ -210,9 +206,10 @@ impl Checker {
                 .cloned()
                 .ok_or_else(|| TypeError::new(e.span, format!("unknown variable `{name}`")))?,
             ExprKind::This => {
-                let class = env.current_class.clone().ok_or_else(|| {
-                    TypeError::new(e.span, "`this` outside of a class body")
-                })?;
+                let class = env
+                    .current_class
+                    .clone()
+                    .ok_or_else(|| TypeError::new(e.span, "`this` outside of a class body"))?;
                 // `this` has @Context type in generic bodies (section
                 // 3.1) and the overload's precision in overloaded bodies.
                 Type::new(env.this_qual, BaseType::Class(class))
@@ -287,7 +284,9 @@ impl Checker {
                 if it != Type::precise_int() {
                     return Err(TypeError::new(
                         idx.span,
-                        format!("array indices must be `precise int`, got `{it}`; endorse it first"),
+                        format!(
+                            "array indices must be `precise int`, got `{it}`; endorse it first"
+                        ),
                     ));
                 }
                 self.field_qual.insert(e.id, elem.qual);
@@ -303,7 +302,9 @@ impl Checker {
                 if it != Type::precise_int() {
                     return Err(TypeError::new(
                         idx.span,
-                        format!("array indices must be `precise int`, got `{it}`; endorse it first"),
+                        format!(
+                            "array indices must be `precise int`, got `{it}`; endorse it first"
+                        ),
                     ));
                 }
                 if elem.has_lost() {
@@ -404,17 +405,16 @@ impl Checker {
                         }
                     }
                     BaseType::Null => {}
-                    _ => return Err(TypeError::new(e.span, "cannot cast a primitive; use endorse")),
+                    _ => {
+                        return Err(TypeError::new(e.span, "cannot cast a primitive; use endorse"))
+                    }
                 }
                 // Qualifier casts may only widen: endorsement is the sole
                 // route from approx to precise.
                 if !ot.qual.is_sub(target.qual) && ot.base != BaseType::Null {
                     return Err(TypeError::new(
                         e.span,
-                        format!(
-                            "cast cannot change qualifier `{}` to `{}`",
-                            ot.qual, target.qual
-                        ),
+                        format!("cast cannot change qualifier `{}` to `{}`", ot.qual, target.qual),
                     ));
                 }
                 target.clone()
@@ -425,7 +425,9 @@ impl Checker {
                 if !lt.is_prim() || !rt.is_prim() {
                     return Err(TypeError::new(
                         e.span,
-                        format!("operator `{op}` requires primitive operands, got `{lt}` and `{rt}`"),
+                        format!(
+                            "operator `{op}` requires primitive operands, got `{lt}` and `{rt}`"
+                        ),
                     ));
                 }
                 for q in [lt.qual, rt.qual] {
@@ -511,10 +513,7 @@ impl Checker {
             ExprKind::Endorse(inner) => {
                 let it = self.infer(inner, env)?;
                 if !it.is_prim() {
-                    return Err(TypeError::new(
-                        e.span,
-                        "endorse applies to primitive types only",
-                    ));
+                    return Err(TypeError::new(e.span, "endorse applies to primitive types only"));
                 }
                 Type::new(Qual::Precise, it.base.clone())
             }
@@ -542,9 +541,7 @@ impl Checker {
 }
 
 fn prim_qual_sub(q1: Qual, q2: Qual) -> bool {
-    q1.is_sub(q2)
-        || q1 == Qual::Precise
-        || (q1 == Qual::Context && q2 == Qual::Approx)
+    q1.is_sub(q2) || q1 == Qual::Precise || (q1 == Qual::Context && q2 == Qual::Approx)
 }
 
 fn as_class(ty: &Type, span: crate::error::Span) -> Result<(Qual, String), TypeError> {
@@ -855,14 +852,8 @@ mod tests {
     fn unknown_names_are_reported() {
         assert!(check_src("main { x }").is_err());
         assert!(check_src("main { new Missing() }").is_err());
-        assert!(check_src(
-            "class C extends Object {} main { new C().nope() }"
-        )
-        .is_err());
-        assert!(check_src(
-            "class C extends Object {} main { new C().f }"
-        )
-        .is_err());
+        assert!(check_src("class C extends Object {} main { new C().nope() }").is_err());
+        assert!(check_src("class C extends Object {} main { new C().f }").is_err());
     }
 
     #[test]

@@ -30,9 +30,7 @@ impl Qual {
     /// reflexive; everything below `top`; everything but `top` below `lost`.
     /// `precise` and `approx` are unrelated.
     pub fn is_sub(self, other: Qual) -> bool {
-        self == other
-            || other == Qual::Top
-            || (other == Qual::Lost && self != Qual::Top)
+        self == other || other == Qual::Top || (other == Qual::Lost && self != Qual::Top)
     }
 
     /// Context adaptation `q ⊳ q'` (section 3.1): replaces `context` in a
@@ -172,8 +170,7 @@ impl Type {
     /// such types cannot be written to (section 3.1: "it would be unsound
     /// to allow the update of such a field").
     pub fn has_lost(&self) -> bool {
-        self.qual == Qual::Lost
-            || matches!(&self.base, BaseType::Array(elem) if elem.has_lost())
+        self.qual == Qual::Lost || matches!(&self.base, BaseType::Array(elem) if elem.has_lost())
     }
 
     /// Whether this type is a primitive of some qualifier.

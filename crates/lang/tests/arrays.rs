@@ -185,8 +185,7 @@ fn chaos_can_change_approximate_array_results() {
     ";
     let tp = compile(src).expect("well-typed");
     let reliable = run(&tp, ExecMode::Reliable).unwrap().value;
-    let changed =
-        (0..10).any(|seed| run(&tp, ExecMode::Chaos { seed }).unwrap().value != reliable);
+    let changed = (0..10).any(|seed| run(&tp, ExecMode::Chaos { seed }).unwrap().value != reliable);
     assert!(changed);
 }
 
@@ -201,8 +200,7 @@ fn arrays_pretty_print_and_reparse() {
     ";
     let tp = compile(src).expect("well-typed");
     let printed = enerj_lang::pretty::program_to_string(&tp.program);
-    let reparsed = enerj_lang::parser::parse(&printed)
-        .unwrap_or_else(|e| panic!("{printed}\n{e}"));
+    let reparsed = enerj_lang::parser::parse(&printed).unwrap_or_else(|e| panic!("{printed}\n{e}"));
     enerj_lang::typecheck::check(reparsed).unwrap_or_else(|e| panic!("{printed}\n{e}"));
 }
 

@@ -121,17 +121,11 @@ fn fenerj_sor_degrades_gracefully_under_faults() {
     let tp = compile(&load_sor()).expect("well-typed");
     let expected = sor_model(12, 8);
     for seed in 0..3 {
-        let hw = Rc::new(RefCell::new(Hardware::new(
-            HwConfig::for_level(Level::Mild),
-            seed,
-        )));
+        let hw = Rc::new(RefCell::new(Hardware::new(HwConfig::for_level(Level::Mild), seed)));
         let out = run(&tp, ExecMode::Faulty(hw)).expect("never crashes");
         let Value::Float(got) = out.value else { panic!("float result") };
         // Mild faults are rare; the checksum is usually spot-on.
-        assert!(
-            (got - expected).abs() < 1.0 || got.is_nan(),
-            "seed {seed}: {got} vs {expected}"
-        );
+        assert!((got - expected).abs() < 1.0 || got.is_nan(), "seed {seed}: {got} vs {expected}");
     }
 }
 
@@ -156,17 +150,12 @@ fn loop_heavy_program_satisfies_non_interference() {
     ";
     let tp = compile(src).expect("well-typed");
     check_non_interference(&tp, 0..25).expect("non-interference");
-    assert_eq!(
-        run(&tp, ExecMode::Reliable).unwrap().value,
-        Value::Int(300)
-    );
+    assert_eq!(run(&tp, ExecMode::Reliable).unwrap().value, Value::Int(300));
 }
 
 /// Plain-Rust model of wht.fej, bit-for-bit.
 fn wht_model(n: usize) -> f64 {
-    let mut x: Vec<f64> = (0..n)
-        .map(|i| ((i * 13 + 5) % 32) as f64 / 32.0 - 0.5)
-        .collect();
+    let mut x: Vec<f64> = (0..n).map(|i| ((i * 13 + 5) % 32) as f64 / 32.0 - 0.5).collect();
     let mut len = 1;
     while len < n {
         let mut base = 0;
@@ -180,10 +169,7 @@ fn wht_model(n: usize) -> f64 {
         }
         len *= 2;
     }
-    x.iter()
-        .enumerate()
-        .map(|(i, &v)| v * ((i % 5) as f64 + 1.0))
-        .sum()
+    x.iter().enumerate().map(|(i, &v)| v * ((i % 5) as f64 + 1.0)).sum()
 }
 
 #[test]

@@ -53,12 +53,12 @@ fn montecarlo_fej_estimates_pi() {
 
 #[test]
 fn all_programs_pretty_print_stably() {
-    for name in ["mean.fej", "isolated.fej", "checksum.fej", "sor.fej", "montecarlo.fej", "wht.fej"] {
+    for name in ["mean.fej", "isolated.fej", "checksum.fej", "sor.fej", "montecarlo.fej", "wht.fej"]
+    {
         let tp = compile(&load(name)).expect("well-typed");
         let printed = enerj_lang::pretty::program_to_string(&tp.program);
         let reparsed = enerj_lang::parser::parse(&printed)
             .unwrap_or_else(|e| panic!("{name}: {printed}\n{e}"));
-        enerj_lang::typecheck::check(reparsed)
-            .unwrap_or_else(|e| panic!("{name}: {printed}\n{e}"));
+        enerj_lang::typecheck::check(reparsed).unwrap_or_else(|e| panic!("{name}: {printed}\n{e}"));
     }
 }

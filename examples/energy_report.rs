@@ -8,9 +8,7 @@
 
 use enerj::apps::{all_apps, harness};
 use enerj::hw::config::Level;
-use enerj::hw::energy::{
-    normalized_energy_with_split, DRAM_MOBILE_FRACTION, DRAM_SYSTEM_FRACTION,
-};
+use enerj::hw::energy::{normalized_energy_with_split, DRAM_MOBILE_FRACTION, DRAM_SYSTEM_FRACTION};
 
 fn main() {
     println!("Energy breakdown at the Medium configuration (normalized, 1.0 = precise)");

@@ -76,10 +76,7 @@ fn main() {
     println!("  (precise instance averages; approximate instance skips work)");
 
     banner("5. Fault injection: the same program on Aggressive hardware");
-    let hw = Rc::new(RefCell::new(Hardware::new(
-        HwConfig::for_level(Level::Aggressive),
-        1234,
-    )));
+    let hw = Rc::new(RefCell::new(Hardware::new(HwConfig::for_level(Level::Aggressive), 1234)));
     let accumulate = "
         class Acc extends Object {
             approx float total;

@@ -28,8 +28,8 @@ fn schema() -> RecordSchema {
     // }                                 // first cache line
     let mut b = RecordSchema::builder("Particle").precise_field::<i64>("id");
     for f in [
-        "x", "y", "z", "vx", "vy", "vz", "q0", "q1", "q2", "q3", "q4", "q5", "q6", "q7",
-        "q8", "q9", "q10", "q11",
+        "x", "y", "z", "vx", "vy", "vz", "q0", "q1", "q2", "q3", "q4", "q5", "q6", "q7", "q8",
+        "q9", "q10", "q11",
     ] {
         b = b.approx_field::<f32>(f);
     }
@@ -87,8 +87,7 @@ fn main() {
                 // a = -k x; semi-implicit Euler.
                 let (ax, ay, az) = endorse_vector(pos);
                 let (vx, vy, vz) = endorse_vector(vel);
-                let (nvx, nvy, nvz) =
-                    (vx - ax * DT, vy - ay * DT, vz - az * DT);
+                let (nvx, nvy, nvz) = (vx - ax * DT, vy - ay * DT, vz - az * DT);
                 p.set_approx("vx", Approx::new(nvx));
                 p.set_approx("vy", Approx::new(nvy));
                 p.set_approx("vz", Approx::new(nvz));
@@ -100,10 +99,8 @@ fn main() {
 
         // Precise identities must have survived verbatim; approximate
         // positions are best-effort.
-        let ids_ok = particles
-            .iter_mut()
-            .enumerate()
-            .all(|(i, p)| p.get_precise::<i64>("id") == i as i64);
+        let ids_ok =
+            particles.iter_mut().enumerate().all(|(i, p)| p.get_precise::<i64>("id") == i as i64);
         let mut total_r = 0.0f64;
         for p in &mut particles {
             let x = endorse(p.get_approx::<f32>("x"));

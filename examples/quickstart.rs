@@ -60,10 +60,7 @@ fn main() {
         "approximate share of DRAM storage: {:.1}%",
         100.0 * stats.approx_storage_fraction(MemKind::Dram)
     );
-    println!(
-        "approximate share of FP ops: {:.1}%",
-        100.0 * stats.approx_op_fraction(OpKind::Fp)
-    );
+    println!("approximate share of FP ops: {:.1}%", 100.0 * stats.approx_op_fraction(OpKind::Fp));
 
     let energy = rt.energy();
     println!(

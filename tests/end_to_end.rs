@@ -21,11 +21,7 @@ fn energy_savings_fall_in_the_papers_band() {
                 "{} at {level}: savings {savings:.3} outside the plausible band",
                 app.meta.name
             );
-            assert!(
-                savings >= previous - 1e-9,
-                "{} at {level}: savings decreased",
-                app.meta.name
-            );
+            assert!(savings >= previous - 1e-9, "{} at {level}: savings decreased", app.meta.name);
             previous = savings;
         }
     }
@@ -38,8 +34,7 @@ fn output_error_grows_with_aggressiveness() {
         let reference = harness::reference(&app).output;
         let runs = 5;
         let mild = harness::mean_output_error_vs(&app, &reference, Level::Mild, runs);
-        let aggressive =
-            harness::mean_output_error_vs(&app, &reference, Level::Aggressive, runs);
+        let aggressive = harness::mean_output_error_vs(&app, &reference, Level::Aggressive, runs);
         assert!(
             mild <= aggressive + 1e-9,
             "{}: mild {mild} > aggressive {aggressive}",
@@ -167,9 +162,6 @@ fn stack_resident_apps_use_no_approximate_dram() {
     for name in ["MonteCarlo", "jMonkeyEngine"] {
         let app = apps.iter().find(|a| a.meta.name == name).expect("registered");
         let s = harness::reference(app).stats;
-        assert_eq!(
-            s.dram_approx_byte_seconds, 0.0,
-            "{name} should keep data on the stack"
-        );
+        assert_eq!(s.dram_approx_byte_seconds, 0.0, "{name} should keep data on the stack");
     }
 }

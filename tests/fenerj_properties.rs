@@ -3,17 +3,17 @@
 //! *generated* well-typed programs — the strongest dynamic evidence this
 //! reproduction offers for the paper's section 3.3 result.
 
-use enerj::lang::error::EvalError;
-use enerj::lang::interp::{run, ExecMode};
 use enerj::hw::config::{HwConfig, Level};
 use enerj::hw::Hardware;
-use std::cell::RefCell;
-use std::rc::Rc;
+use enerj::lang::error::EvalError;
+use enerj::lang::interp::{run, ExecMode};
 use enerj::lang::noninterference::check_non_interference;
 use enerj::lang::parser::parse_expr;
 use enerj::lang::pretty::{expr_structurally_eq, expr_to_display};
 use enerj::lang::{compile, typecheck};
 use proptest::prelude::*;
+use std::cell::RefCell;
+use std::rc::Rc;
 
 /// A generator of syntactically valid FEnerJ integer expressions over the
 /// variables `x` and `y` (precise) — a recursive grammar sampler.
@@ -31,9 +31,8 @@ fn int_expr(depth: u32) -> BoxedStrategy<String> {
             int_expr(0),
             (sub.clone(), prop::sample::select(vec!["+", "-", "*"]), sub.clone())
                 .prop_map(|(a, op, b)| format!("({a} {op} {b})")),
-            (sub.clone(), sub.clone(), sub.clone()).prop_map(|(c, t, e)| format!(
-                "if (({c}) < 10) {{ {t} }} else {{ {e} }}"
-            )),
+            (sub.clone(), sub.clone(), sub.clone())
+                .prop_map(|(c, t, e)| format!("if (({c}) < 10) {{ {t} }} else {{ {e} }}")),
             (sub.clone(), sub).prop_map(|(v, b)| format!("let z = ({v}) in ({b})")),
         ]
         .boxed()

@@ -113,8 +113,7 @@ fn non_interference_holds_for_a_program_library() {
     ];
     for (i, src) in programs.iter().enumerate() {
         let program = compile(src).unwrap_or_else(|e| panic!("program {i}: {e}"));
-        check_non_interference(&program, 0..25)
-            .unwrap_or_else(|e| panic!("program {i}: {e}"));
+        check_non_interference(&program, 0..25).unwrap_or_else(|e| panic!("program {i}: {e}"));
     }
 }
 
@@ -159,8 +158,7 @@ fn chaos_perturbs_approximate_results() {
     ";
     let program = compile(src).expect("well-typed");
     let reliable = run(&program, ExecMode::Reliable).expect("runs").value;
-    let changed = (0..10).any(|seed| {
-        run(&program, ExecMode::Chaos { seed }).expect("runs").value != reliable
-    });
+    let changed = (0..10)
+        .any(|seed| run(&program, ExecMode::Chaos { seed }).expect("runs").value != reliable);
     assert!(changed, "the adversary must be able to change approximate results");
 }

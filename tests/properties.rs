@@ -10,10 +10,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn exact_rt(seed: u64) -> Runtime {
-    Runtime::with_config(
-        HwConfig::for_level(Level::Aggressive).with_mask(StrategyMask::NONE),
-        seed,
-    )
+    Runtime::with_config(HwConfig::for_level(Level::Aggressive).with_mask(StrategyMask::NONE), seed)
 }
 
 proptest! {

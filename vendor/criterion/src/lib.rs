@@ -1,0 +1,198 @@
+//! Offline, in-tree stand-in for the
+//! [`criterion`](https://crates.io/crates/criterion) crate.
+//!
+//! The build environment has no crates.io access, so this crate provides
+//! the API subset the workspace's benches use — [`Criterion`],
+//! [`BenchmarkGroup`], [`Bencher::iter`], [`BenchmarkId`],
+//! [`criterion_group!`] and [`criterion_main!`] — backed by a simple
+//! wall-clock measurement loop: a warm-up phase, then `sample_size`
+//! samples whose median per-iteration time is reported on stdout.
+//!
+//! No statistics beyond the median, no HTML reports, no comparison against
+//! saved baselines; enough to observe relative throughput of the kernels
+//! and fault-model primitives.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifier for one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// An id rendering just a parameter value (e.g. a size or probability).
+    pub fn from_parameter<D: Display>(parameter: D) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+
+    /// An id with a function name and a parameter.
+    pub fn new<D1: Display, D2: Display>(function: D1, parameter: D2) -> Self {
+        BenchmarkId(format!("{function}/{parameter}"))
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// The per-benchmark timing driver passed to benchmark closures.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `iters` calls of `f`, keeping the result alive via
+    /// [`black_box`] so the work is not optimized away.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// The benchmark harness entry point.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20 }
+    }
+}
+
+/// Per-iteration nanoseconds of one timed sample.
+fn time_once<F: FnMut(&mut Bencher)>(f: &mut F, iters: u64) -> f64 {
+    let mut b = Bencher { iters, elapsed: Duration::ZERO };
+    f(&mut b);
+    b.elapsed.as_secs_f64() * 1e9 / iters.max(1) as f64
+}
+
+/// Picks an iteration count that makes one sample take roughly 5 ms.
+fn calibrate<F: FnMut(&mut Bencher)>(f: &mut F) -> u64 {
+    let mut iters = 1u64;
+    loop {
+        let mut b = Bencher { iters, elapsed: Duration::ZERO };
+        f(&mut b);
+        if b.elapsed >= Duration::from_millis(5) || iters >= 1 << 20 {
+            return iters;
+        }
+        iters *= 2;
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(label: &str, samples: usize, mut f: F) {
+    let iters = calibrate(&mut f);
+    let mut ns: Vec<f64> = (0..samples.max(1)).map(|_| time_once(&mut f, iters)).collect();
+    ns.sort_by(|a, b| a.total_cmp(b));
+    let median = ns[ns.len() / 2];
+    println!("bench {label:<40} {median:>12.1} ns/iter ({samples} samples x {iters} iters)");
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group<D: Display>(&mut self, name: D) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.to_string(), sample_size: self.sample_size, _criterion: self }
+    }
+
+    /// Times a single free-standing benchmark.
+    pub fn bench_function<D: Display, F: FnMut(&mut Bencher)>(&mut self, name: D, f: F) {
+        run_benchmark(&name.to_string(), self.sample_size, f);
+    }
+}
+
+/// A named collection of benchmarks sharing a sample count.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Times one benchmark in the group.
+    pub fn bench_function<D: Display, F: FnMut(&mut Bencher)>(&mut self, id: D, f: F) {
+        run_benchmark(&format!("{}/{}", self.name, id), self.sample_size, f);
+    }
+
+    /// Times one benchmark parameterized by `input`.
+    pub fn bench_with_input<D, I, F>(&mut self, id: D, input: &I, mut f: F)
+    where
+        D: Display,
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_benchmark(&format!("{}/{}", self.name, id), self.sample_size, |b| f(b, input));
+    }
+
+    /// Ends the group (present for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Declares a group function running each listed benchmark function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main`, running each listed group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_elapsed_time() {
+        let mut b = Bencher { iters: 10, elapsed: Duration::ZERO };
+        let mut count = 0u64;
+        b.iter(|| count += 1);
+        assert_eq!(count, 10);
+    }
+
+    #[test]
+    fn ids_render() {
+        assert_eq!(BenchmarkId::from_parameter(0.5).to_string(), "0.5");
+        assert_eq!(BenchmarkId::new("f", 3).to_string(), "f/3");
+    }
+
+    #[test]
+    fn group_runs_benchmarks() {
+        let mut c = Criterion { sample_size: 2 };
+        let mut group = c.benchmark_group("g");
+        group.sample_size(2);
+        let mut ran = false;
+        group.bench_function("noop", |b| {
+            ran = true;
+            b.iter(|| 1 + 1);
+        });
+        group.finish();
+        assert!(ran);
+    }
+}

@@ -1,0 +1,810 @@
+//! Offline, in-tree stand-in for the
+//! [`proptest`](https://crates.io/crates/proptest) crate.
+//!
+//! The build environment for this repository has no crates.io access, so
+//! the workspace vendors the slice of proptest its property tests use:
+//!
+//! * the [`proptest!`] macro with `name: Type` and `name in strategy`
+//!   parameters and an optional `#![proptest_config(..)]` header;
+//! * [`strategy::Strategy`] with `prop_map` and `boxed`,
+//!   [`strategy::Just`], [`strategy::Union`] (via [`prop_oneof!`]),
+//!   range and tuple strategies, and string generation from a
+//!   (drastically simplified) pattern;
+//! * [`arbitrary::any`] / [`arbitrary::Arbitrary`] for primitives;
+//! * [`collection::vec`], [`sample::select`], [`num::f64::ANY`];
+//! * [`prop_assert!`] / [`prop_assert_eq!`] returning
+//!   [`test_runner::TestCaseError`].
+//!
+//! Differences from upstream, deliberately accepted:
+//!
+//! * **No shrinking.** A failing case reports the generated inputs and the
+//!   case number; it does not minimize them.
+//! * **String "regex" patterns** are not real regexes: `.{a,b}` (any
+//!   characters, length in `[a, b]`) is honoured, anything else falls back
+//!   to short arbitrary strings. The tests in this workspace only use the
+//!   pattern form.
+//! * Case generation is deterministic per case index (no `PROPTEST_*`
+//!   environment handling), so test runs are reproducible by construction.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Test-runner configuration, RNG and error types.
+pub mod test_runner {
+    use rand::rngs::StdRng;
+    use rand::{RngCore, SeedableRng};
+    use std::fmt;
+
+    /// Configuration for a [`proptest!`](crate::proptest) block.
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        /// Number of generated cases per test.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// A configuration running `cases` cases per test.
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config { cases: 256 }
+        }
+    }
+
+    /// A test-case failure produced by `prop_assert!`-style macros.
+    #[derive(Debug, Clone)]
+    pub struct TestCaseError(String);
+
+    impl TestCaseError {
+        /// A failure with the given message.
+        pub fn fail(message: impl Into<String>) -> Self {
+            TestCaseError(message.into())
+        }
+
+        /// Upstream-compatible alias of [`TestCaseError::fail`].
+        pub fn reject(message: impl Into<String>) -> Self {
+            TestCaseError(message.into())
+        }
+    }
+
+    impl fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str(&self.0)
+        }
+    }
+
+    impl std::error::Error for TestCaseError {}
+
+    /// The deterministic generator handed to strategies.
+    #[derive(Debug, Clone)]
+    pub struct TestRng(StdRng);
+
+    impl TestRng {
+        /// The generator for case number `case` (stable across runs).
+        pub fn for_case(case: u64) -> Self {
+            TestRng(StdRng::seed_from_u64(
+                0xC0FF_EE00_D15E_A5E5 ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            ))
+        }
+    }
+
+    impl RngCore for TestRng {
+        fn next_u64(&mut self) -> u64 {
+            self.0.next_u64()
+        }
+    }
+}
+
+/// The [`Strategy`](strategy::Strategy) trait and combinators.
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+    use std::rc::Rc;
+
+    /// A recipe for generating values of `Self::Value`.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Draws one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// A strategy applying `map` to every generated value.
+        fn prop_map<O, F: Fn(Self::Value) -> O>(self, map: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { source: self, map }
+        }
+
+        /// Type-erases the strategy (cheaply clonable).
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy { generate: Rc::new(move |rng| self.generate(rng)) }
+        }
+    }
+
+    /// A type-erased, clonable strategy.
+    pub struct BoxedStrategy<T> {
+        generate: Rc<dyn Fn(&mut TestRng) -> T>,
+    }
+
+    impl<T> Clone for BoxedStrategy<T> {
+        fn clone(&self) -> Self {
+            BoxedStrategy { generate: Rc::clone(&self.generate) }
+        }
+    }
+
+    impl<T> std::fmt::Debug for BoxedStrategy<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("BoxedStrategy")
+        }
+    }
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            (self.generate)(rng)
+        }
+    }
+
+    /// Always generates a clone of the same value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// The result of [`Strategy::prop_map`].
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        source: S,
+        map: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.map)(self.source.generate(rng))
+        }
+    }
+
+    /// Uniform choice among several strategies (see
+    /// [`prop_oneof!`](crate::prop_oneof)).
+    pub struct Union<T> {
+        options: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T> Union<T> {
+        /// A union over the given alternatives.
+        ///
+        /// # Panics
+        ///
+        /// Panics if `options` is empty.
+        pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one alternative");
+            Union { options }
+        }
+    }
+
+    impl<T> Clone for Union<T> {
+        fn clone(&self) -> Self {
+            Union { options: self.options.clone() }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let i = rng.gen_range(0..self.options.len());
+            self.options[i].generate(rng)
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! impl_float_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    // The endpoint has probability ~0 anyway; sample the
+                    // half-open range and occasionally pin the bounds so
+                    // `a..=b` actually exercises both ends.
+                    match rng.gen_range(0u32..64) {
+                        0 => *self.start(),
+                        1 => *self.end(),
+                        _ => {
+                            let u: $t = rng.gen();
+                            *self.start() + u * (*self.end() - *self.start())
+                        }
+                    }
+                }
+            }
+        )*};
+    }
+    impl_float_range_strategy!(f32, f64);
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($name:ident),+))*) => {$(
+            #[allow(non_snake_case)]
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+    impl_tuple_strategy! {
+        (A)
+        (A, B)
+        (A, B, C)
+        (A, B, C, D)
+        (A, B, C, D, E)
+        (A, B, C, D, E, F)
+    }
+
+    /// String generation from a drastically simplified pattern language:
+    /// `.{a,b}` means "any characters, length uniform in `[a, b]`"; any
+    /// other pattern falls back to arbitrary strings of length 0..=32.
+    impl Strategy for &'static str {
+        type Value = String;
+        fn generate(&self, rng: &mut TestRng) -> String {
+            let (lo, hi) = parse_dot_repeat(self).unwrap_or((0, 32));
+            let len = rng.gen_range(lo..=hi);
+            // A deliberately hostile alphabet: ASCII structure characters,
+            // quotes, digits, letters and a few multibyte code points.
+            const ALPHABET: &[char] = &[
+                'a',
+                'b',
+                'z',
+                'A',
+                'Z',
+                '0',
+                '9',
+                ' ',
+                '\t',
+                '\n',
+                '_',
+                '.',
+                ',',
+                ';',
+                ':',
+                '{',
+                '}',
+                '(',
+                ')',
+                '[',
+                ']',
+                '<',
+                '>',
+                '+',
+                '-',
+                '*',
+                '/',
+                '%',
+                '=',
+                '!',
+                '"',
+                '\'',
+                '\\',
+                '#',
+                '@',
+                '~',
+                '^',
+                '&',
+                '|',
+                '?',
+                '\u{0}',
+                'é',
+                'λ',
+                '中',
+                '\u{1F600}',
+            ];
+            (0..len).map(|_| ALPHABET[rng.gen_range(0..ALPHABET.len())]).collect()
+        }
+    }
+
+    /// Parses a `.{a,b}` pattern into its length bounds.
+    fn parse_dot_repeat(pattern: &str) -> Option<(usize, usize)> {
+        let rest = pattern.strip_prefix(".{")?;
+        let rest = rest.strip_suffix('}')?;
+        let (lo, hi) = rest.split_once(',')?;
+        Some((lo.trim().parse().ok()?, hi.trim().parse().ok()?))
+    }
+}
+
+/// `any::<T>()`: generation of arbitrary primitive values.
+pub mod arbitrary {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical "generate anything" strategy.
+    pub trait Arbitrary: Sized {
+        /// Draws one arbitrary value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> Self {
+                    // Bias toward boundary values, which find edge-case
+                    // bugs far more often than uniform sampling does.
+                    match rng.gen_range(0u32..16) {
+                        0 => 0,
+                        1 => <$t>::MAX,
+                        2 => <$t>::MIN,
+                        3 => 1,
+                        _ => rng.gen::<u64>() as $t,
+                    }
+                }
+            }
+        )*};
+    }
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for u128 {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            (rng.gen::<u64>() as u128) << 64 | rng.gen::<u64>() as u128
+        }
+    }
+
+    impl Arbitrary for i128 {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            u128::arbitrary(rng) as i128
+        }
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.gen()
+        }
+    }
+
+    impl Arbitrary for char {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            char::from_u32(rng.gen_range(0u32..=0x10FFFF)).unwrap_or('\u{FFFD}')
+        }
+    }
+
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            crate::num::f64::any_value(rng)
+        }
+    }
+
+    impl Arbitrary for f32 {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            match rng.gen_range(0u32..12) {
+                0 => f32::NAN,
+                1 => f32::INFINITY,
+                2 => f32::NEG_INFINITY,
+                3 => 0.0,
+                4 => -0.0,
+                5 => f32::MIN_POSITIVE / 2.0, // subnormal
+                6 => f32::MAX,
+                _ => f32::from_bits(rng.gen::<u32>()),
+            }
+        }
+    }
+
+    /// The strategy returned by [`any`].
+    #[derive(Debug)]
+    pub struct AnyStrategy<T>(PhantomData<T>);
+
+    impl<T> Clone for AnyStrategy<T> {
+        fn clone(&self) -> Self {
+            AnyStrategy(PhantomData)
+        }
+    }
+
+    impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// A strategy generating arbitrary values of `T`.
+    pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+        AnyStrategy(PhantomData)
+    }
+}
+
+/// Collection strategies (`prop::collection`).
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+
+    /// An inclusive range of collection sizes.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange { lo: r.start, hi: r.end - 1 }
+        }
+    }
+
+    impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+            SizeRange { lo: *r.start(), hi: *r.end() }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n }
+        }
+    }
+
+    /// The strategy returned by [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let len = rng.gen_range(self.size.lo..=self.size.hi);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// A strategy for vectors whose elements come from `element` and whose
+    /// length lies in `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+}
+
+/// Sampling strategies (`prop::sample`).
+pub mod sample {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+
+    /// The strategy returned by [`select`].
+    #[derive(Debug, Clone)]
+    pub struct Select<T: Clone> {
+        options: Vec<T>,
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            self.options[rng.gen_range(0..self.options.len())].clone()
+        }
+    }
+
+    /// A strategy drawing uniformly from `options`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `options` is empty.
+    pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+        assert!(!options.is_empty(), "select needs at least one option");
+        Select { options }
+    }
+}
+
+/// Numeric strategies (`prop::num`).
+pub mod num {
+    /// `f64` strategies.
+    pub mod f64 {
+        use crate::strategy::Strategy;
+        use crate::test_runner::TestRng;
+        use rand::Rng;
+
+        /// Draws any `f64`, including NaN, infinities, zeros and
+        /// subnormals.
+        pub(crate) fn any_value(rng: &mut TestRng) -> f64 {
+            match rng.gen_range(0u32..12) {
+                0 => f64::NAN,
+                1 => f64::INFINITY,
+                2 => f64::NEG_INFINITY,
+                3 => 0.0,
+                4 => -0.0,
+                5 => f64::MIN_POSITIVE / 2.0, // subnormal
+                6 => f64::MAX,
+                _ => f64::from_bits(rng.gen::<u64>()),
+            }
+        }
+
+        /// The strategy type of [`ANY`].
+        #[derive(Debug, Clone, Copy)]
+        pub struct Any;
+
+        impl Strategy for Any {
+            type Value = f64;
+            fn generate(&self, rng: &mut TestRng) -> f64 {
+                any_value(rng)
+            }
+        }
+
+        /// Generates any `f64` bit pattern class, NaN included.
+        pub const ANY: Any = Any;
+    }
+}
+
+/// Everything a property-test module needs, plus the `prop` path alias.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::{Config as ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Fails the current case with a message unless `cond` holds.
+///
+/// Expands to an early `return` of `Err(TestCaseError)`, so it may only be
+/// used inside functions/closures returning
+/// `Result<_, TestCaseError>` — which is what test bodies inside
+/// [`proptest!`] are.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Fails the current case unless the two expressions compare equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($left),
+            stringify!($right),
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(*left == *right, $($fmt)+);
+    }};
+}
+
+/// Fails the current case unless the two expressions compare unequal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left != *right,
+            "assertion failed: `{} != {}`\n  both: {:?}",
+            stringify!($left),
+            stringify!($right),
+            left
+        );
+    }};
+}
+
+/// Uniform choice among strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strategy)),+
+        ])
+    };
+}
+
+/// Defines property tests.
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))] // optional
+///     #[test]
+///     fn holds(x: u64, p in 0.0f64..=1.0) {
+///         prop_assert!(p <= 1.0, "x = {x}");
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::test_runner::Config::default()) $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`]: one rule per test function.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($params:tt)*) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            $crate::__proptest_case! { ($cfg) [] ($($params)*) $body }
+        }
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`]: parameter-list muncher and the
+/// per-case driver.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_case {
+    // Munch `name in strategy`.
+    (($cfg:expr) [$($acc:tt)*] ($name:ident in $strat:expr, $($rest:tt)*) $body:block) => {
+        $crate::__proptest_case! { ($cfg) [$($acc)* ($name, $strat)] ($($rest)*) $body }
+    };
+    (($cfg:expr) [$($acc:tt)*] ($name:ident in $strat:expr) $body:block) => {
+        $crate::__proptest_case! { ($cfg) [$($acc)* ($name, $strat)] () $body }
+    };
+    // Munch `name: Type` as `any::<Type>()`.
+    (($cfg:expr) [$($acc:tt)*] ($name:ident : $ty:ty, $($rest:tt)*) $body:block) => {
+        $crate::__proptest_case! {
+            ($cfg) [$($acc)* ($name, $crate::arbitrary::any::<$ty>())] ($($rest)*) $body
+        }
+    };
+    (($cfg:expr) [$($acc:tt)*] ($name:ident : $ty:ty) $body:block) => {
+        $crate::__proptest_case! {
+            ($cfg) [$($acc)* ($name, $crate::arbitrary::any::<$ty>())] () $body
+        }
+    };
+    // All parameters munched: run the cases.
+    (($cfg:expr) [$(($name:ident, $strat:expr))*] () $body:block) => {{
+        let __config: $crate::test_runner::Config = $cfg;
+        for __case in 0..__config.cases {
+            let mut __rng = $crate::test_runner::TestRng::for_case(u64::from(__case));
+            $(let $name = $crate::strategy::Strategy::generate(&($strat), &mut __rng);)*
+            let __inputs =
+                format!(concat!("[", $(stringify!($name), " = {:?}, ",)* "]"), $(&$name),*);
+            let __outcome = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(
+                move || -> ::core::result::Result<(), $crate::test_runner::TestCaseError> {
+                    $body
+                    ::core::result::Result::Ok(())
+                },
+            ));
+            match __outcome {
+                ::core::result::Result::Ok(::core::result::Result::Ok(())) => {}
+                ::core::result::Result::Ok(::core::result::Result::Err(e)) => {
+                    panic!(
+                        "proptest case {}/{} failed: {}\ninputs: {}",
+                        __case, __config.cases, e, __inputs
+                    );
+                }
+                ::core::result::Result::Err(payload) => {
+                    eprintln!(
+                        "proptest case {}/{} panicked; inputs: {}",
+                        __case, __config.cases, __inputs
+                    );
+                    ::std::panic::resume_unwind(payload);
+                }
+            }
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn ranges_tuples_and_maps_generate() {
+        let mut rng = TestRng::for_case(0);
+        let s = (0i64..10, 1u32..=3).prop_map(|(a, b)| a + i64::from(b));
+        for _ in 0..100 {
+            let v = s.generate(&mut rng);
+            assert!((1..13).contains(&v));
+        }
+    }
+
+    #[test]
+    fn union_draws_every_alternative() {
+        let s = prop_oneof![Just(1u8), Just(2u8), Just(3u8)];
+        let mut rng = TestRng::for_case(1);
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            seen[s.generate(&mut rng) as usize] = true;
+        }
+        assert!(seen[1] && seen[2] && seen[3]);
+    }
+
+    #[test]
+    fn vec_and_select_respect_bounds() {
+        let s = crate::collection::vec(crate::sample::select(vec![7usize, 9]), 2..5);
+        let mut rng = TestRng::for_case(2);
+        for _ in 0..100 {
+            let v = s.generate(&mut rng);
+            assert!((2..=4).contains(&v.len()));
+            assert!(v.iter().all(|&x| x == 7 || x == 9));
+        }
+    }
+
+    #[test]
+    fn string_pattern_controls_length() {
+        let mut rng = TestRng::for_case(3);
+        for _ in 0..100 {
+            let s = Strategy::generate(&".{0,5}", &mut rng);
+            assert!(s.chars().count() <= 5);
+        }
+    }
+
+    #[test]
+    fn f64_any_produces_special_values() {
+        let mut rng = TestRng::for_case(4);
+        let vals: Vec<f64> = (0..500).map(|_| crate::num::f64::ANY.generate(&mut rng)).collect();
+        assert!(vals.iter().any(|v| v.is_nan()));
+        assert!(vals.iter().any(|v| v.is_infinite()));
+        assert!(vals.iter().any(|v| v.is_finite()));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn macro_end_to_end(x: u8, y in 0u32..10, v in prop::collection::vec(any::<bool>(), 0..4)) {
+            prop_assert!(y < 10, "y = {y}");
+            prop_assert_eq!(u32::from(x) + y - y, u32::from(x));
+            prop_assert!(v.len() < 4);
+        }
+    }
+}
