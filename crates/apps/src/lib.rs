@@ -82,12 +82,24 @@ pub mod harness {
     use enerj_hw::config::{HwConfig, Level, StrategyMask};
     use enerj_hw::energy::EnergyBreakdown;
     use enerj_hw::stats::Stats;
+    use enerj_hw::trace::FaultEvent;
+    use enerj_hw::FaultCounters;
     use std::sync::Arc;
 
     pub use crate::trials;
 
-    /// Base seed for fault-injection runs (XORed with the run index).
+    /// Base seed for *evaluation* fault-injection runs (XORed with the run
+    /// index). Bit 63 is clear.
     pub const FAULT_SEED_BASE: u64 = 0x5A17_2011;
+
+    /// Base seed for *tuner profiling* runs (XORed with the run index).
+    ///
+    /// Bit 63 is set, and `FAULT_SEED_BASE` has bit 63 clear, so
+    /// `TUNER_SEED_BASE ^ r` and `FAULT_SEED_BASE ^ i` differ in bit 63 for
+    /// every pair of indices below `2^63`: the profiling seed set is
+    /// provably disjoint from the evaluation seed set, and tuned levels
+    /// cannot overfit the exact fault sequences they are later scored on.
+    pub const TUNER_SEED_BASE: u64 = FAULT_SEED_BASE | (1 << 63);
 
     /// Result of one simulated run.
     #[derive(Debug, Clone)]
@@ -98,6 +110,11 @@ pub mod harness {
         pub stats: Stats,
         /// Normalized energy under the run's Table 2 parameters.
         pub energy: EnergyBreakdown,
+        /// Per-kind fault counters (always collected).
+        pub fault_counts: FaultCounters,
+        /// Structured fault events (empty unless the run was measured with
+        /// the fault log enabled).
+        pub events: Vec<FaultEvent>,
     }
 
     /// Runs the app with all fault strategies masked off: the precise
@@ -115,9 +132,31 @@ pub mod harness {
 
     /// Runs the app under an arbitrary hardware configuration.
     pub fn measure_with(app: &App, cfg: HwConfig, seed: u64) -> Measurement {
+        measure_with_telemetry(app, cfg, seed, false)
+    }
+
+    /// [`measure_with`], optionally collecting the structured fault log.
+    ///
+    /// Neither the always-on counters nor the log touch the fault PRNG, so
+    /// output, statistics and energy are bit-identical either way.
+    pub fn measure_with_telemetry(
+        app: &App,
+        cfg: HwConfig,
+        seed: u64,
+        log_events: bool,
+    ) -> Measurement {
         let rt = Runtime::with_config(cfg, seed);
+        if log_events {
+            rt.enable_fault_log();
+        }
         let output = rt.run(app.run);
-        Measurement { output, stats: rt.stats(), energy: rt.energy() }
+        Measurement {
+            output,
+            stats: rt.stats(),
+            energy: rt.energy(),
+            fault_counts: rt.fault_counters(),
+            events: rt.take_fault_events(),
+        }
     }
 
     /// Mean output error over `runs` fault-injection runs at `level`

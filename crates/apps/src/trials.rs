@@ -20,9 +20,13 @@
 //!   campaign.
 //!
 //! The resulting [`CampaignReport`] carries per-trial errors, merged
-//! [`Stats`], per-trial [`EnergyBreakdown`]s and wall-clock times, and
-//! serializes to JSON (`schema: "enerj-campaign/1"`) for the bench
-//! binaries' `results/BENCH_*.json` reports.
+//! [`Stats`], per-trial [`EnergyBreakdown`]s, per-trial fault telemetry
+//! ([`FaultCounters`], plus opt-in structured [`FaultEvent`] logs) and
+//! wall-clock times, and serializes to JSON (`schema: "enerj-campaign/2"`)
+//! for the bench binaries' `results/BENCH_*.json` reports. The fault log
+//! exports as NDJSON via [`CampaignReport::write_fault_log`]. Campaigns run
+//! through [`CampaignOptions`] can also report live progress (trials done,
+//! panics, ETA) on stderr.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -35,6 +39,8 @@ use crate::App;
 use enerj_hw::config::{HwConfig, Level, StrategyMask};
 use enerj_hw::energy::EnergyBreakdown;
 use enerj_hw::stats::Stats;
+use enerj_hw::trace::FaultEvent;
+use enerj_hw::FaultCounters;
 
 /// One fully determined trial: an app, a hardware configuration, a seed.
 #[derive(Clone)]
@@ -112,6 +118,13 @@ pub struct TrialResult {
     pub wall: Duration,
     /// The panic payload, when the trial crashed.
     pub panic: Option<String>,
+    /// Per-kind fault counters (zeroed for panicked trials, whose machine
+    /// state is unrecoverable).
+    pub fault_counts: FaultCounters,
+    /// Structured fault events, when the campaign ran with
+    /// [`CampaignOptions::log_events`] (empty otherwise, and for panicked
+    /// trials).
+    pub events: Vec<FaultEvent>,
 }
 
 impl TrialResult {
@@ -161,16 +174,28 @@ impl CampaignReport {
         self.trials.iter().filter(|t| t.panicked()).count()
     }
 
-    /// Serializes the report as a JSON object (`schema: "enerj-campaign/1"`).
+    /// Per-kind fault counters merged over all trials.
+    pub fn fault_totals(&self) -> FaultCounters {
+        let mut totals = FaultCounters::new();
+        for t in &self.trials {
+            totals.merge(&t.fault_counts);
+        }
+        totals
+    }
+
+    /// Serializes the report as a JSON object (`schema: "enerj-campaign/2"`;
+    /// the telemetry-free `/1` schema is superseded — see DESIGN.md).
     pub fn to_json(&self) -> String {
         let mut out = String::with_capacity(256 + 256 * self.trials.len());
-        out.push_str("{\"schema\":\"enerj-campaign/1\"");
+        out.push_str("{\"schema\":\"enerj-campaign/2\"");
         out.push_str(&format!(",\"threads\":{}", self.threads));
         out.push_str(&format!(",\"wall_seconds\":{:.6}", self.wall.as_secs_f64()));
         out.push_str(&format!(",\"mean_error\":{}", json_f64(self.mean_error())));
         out.push_str(&format!(",\"panics\":{}", self.panic_count()));
         out.push_str(",\"merged_stats\":");
         out.push_str(&stats_json(&self.merged_stats));
+        out.push_str(",\"fault_totals\":");
+        out.push_str(&counters_json(&self.fault_totals()));
         out.push_str(",\"trials\":[");
         for (i, t) in self.trials.iter().enumerate() {
             if i > 0 {
@@ -178,7 +203,8 @@ impl CampaignReport {
             }
             out.push_str(&format!(
                 "{{\"index\":{},\"app\":{},\"label\":{},\"seed\":{},\"error\":{},\
-                 \"wall_seconds\":{:.6},\"panic\":{},\"stats\":{},\"energy\":{}}}",
+                 \"wall_seconds\":{:.6},\"panic\":{},\"stats\":{},\"energy\":{},\
+                 \"fault_counts\":{}}}",
                 t.index,
                 json_string(t.app),
                 json_string(&t.label),
@@ -191,6 +217,7 @@ impl CampaignReport {
                 },
                 stats_json(&t.stats),
                 energy_json(&t.energy),
+                counters_json(&t.fault_counts),
             ));
         }
         out.push_str("]}");
@@ -204,6 +231,39 @@ impl CampaignReport {
             std::fs::create_dir_all(parent)?;
         }
         std::fs::write(path, self.to_json() + "\n")
+    }
+
+    /// Serializes the collected fault events as NDJSON: one object per
+    /// injected fault, in trial-index then injection order. Empty unless
+    /// the campaign ran with [`CampaignOptions::log_events`].
+    pub fn fault_log_ndjson(&self) -> String {
+        let mut out = String::new();
+        for t in &self.trials {
+            for e in &t.events {
+                out.push_str(&format!(
+                    "{{\"trial\":{},\"app\":{},\"label\":{},\"seed\":{},\"time\":{},\
+                     \"unit\":{},\"width\":{},\"bits_flipped\":{}}}\n",
+                    t.index,
+                    json_string(t.app),
+                    json_string(&t.label),
+                    t.seed,
+                    json_f64(e.time),
+                    json_string(&e.kind.to_string()),
+                    e.width,
+                    e.bits_flipped,
+                ));
+            }
+        }
+        out
+    }
+
+    /// Writes [`fault_log_ndjson`](Self::fault_log_ndjson) to `path`,
+    /// creating parent directories as needed.
+    pub fn write_fault_log(&self, path: &std::path::Path) -> std::io::Result<()> {
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        std::fs::write(path, self.fault_log_ndjson())
     }
 }
 
@@ -282,16 +342,91 @@ fn energy_json(e: &EnergyBreakdown) -> String {
     )
 }
 
+fn counters_json(c: &FaultCounters) -> String {
+    let mut out = String::from("{");
+    for (i, (kind, kc)) in c.per_kind().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\"{kind}\":{{\"injections\":{},\"bits_flipped\":{}}}",
+            kc.injections, kc.bits_flipped
+        ));
+    }
+    out.push('}');
+    out
+}
+
 /// The default worker count: the machine's available parallelism.
 pub fn default_threads() -> usize {
     std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
 }
 
+/// How to run a campaign: worker count plus telemetry switches.
+#[derive(Debug, Clone, Default)]
+pub struct CampaignOptions {
+    /// Worker threads (`0` means [`default_threads`]).
+    pub threads: usize,
+    /// Collect the structured fault log on every trial (the per-kind
+    /// counters are always collected). Never changes trial outcomes.
+    pub log_events: bool,
+    /// Print live progress (trials done, panics, ETA) on stderr.
+    pub progress: bool,
+}
+
+impl CampaignOptions {
+    /// Options with an explicit thread count and telemetry off.
+    pub fn with_threads(threads: usize) -> Self {
+        CampaignOptions { threads, ..CampaignOptions::default() }
+    }
+}
+
+/// Live progress meter shared across workers. Printing is throttled to
+/// ~20 updates per campaign and never touches trial state.
+struct Progress {
+    enabled: bool,
+    total: usize,
+    every: usize,
+    done: AtomicUsize,
+    panics: AtomicUsize,
+    start: Instant,
+}
+
+impl Progress {
+    fn new(total: usize, enabled: bool, start: Instant) -> Self {
+        Progress {
+            enabled,
+            total,
+            every: (total / 20).max(1),
+            done: AtomicUsize::new(0),
+            panics: AtomicUsize::new(0),
+            start,
+        }
+    }
+
+    fn tick(&self, panicked: bool) {
+        if panicked {
+            self.panics.fetch_add(1, Ordering::Relaxed);
+        }
+        let done = self.done.fetch_add(1, Ordering::Relaxed) + 1;
+        if !self.enabled || (!done.is_multiple_of(self.every) && done != self.total) {
+            return;
+        }
+        let elapsed = self.start.elapsed().as_secs_f64();
+        let eta = if done == 0 { 0.0 } else { elapsed / done as f64 * (self.total - done) as f64 };
+        eprintln!(
+            "campaign: {done}/{} trials, {} panic(s), ETA {eta:.1}s",
+            self.total,
+            self.panics.load(Ordering::Relaxed),
+        );
+    }
+}
+
 /// Runs one trial, catching panics from fault-corrupted executions.
-fn run_trial(index: usize, spec: &TrialSpec) -> TrialResult {
+fn run_trial(index: usize, spec: &TrialSpec, log_events: bool) -> TrialResult {
     let start = Instant::now();
     let outcome = catch_unwind(AssertUnwindSafe(|| {
-        let m = harness::measure_with(&spec.app, spec.cfg, spec.seed);
+        let m = harness::measure_with_telemetry(&spec.app, spec.cfg, spec.seed, log_events);
         let error = match &spec.reference {
             Some(reference) => output_error(spec.app.meta.metric, reference, &m.output),
             None => 0.0,
@@ -311,6 +446,8 @@ fn run_trial(index: usize, spec: &TrialSpec) -> TrialResult {
             energy: m.energy,
             wall,
             panic: None,
+            fault_counts: m.fault_counts,
+            events: m.events,
         },
         Err(payload) => {
             let msg = if let Some(s) = payload.downcast_ref::<&str>() {
@@ -333,6 +470,8 @@ fn run_trial(index: usize, spec: &TrialSpec) -> TrialResult {
                 energy: EnergyBreakdown { instructions: 1.0, sram: 1.0, dram: 1.0, total: 1.0 },
                 wall,
                 panic: Some(msg),
+                fault_counts: FaultCounters::new(),
+                events: Vec::new(),
             }
         }
     }
@@ -342,12 +481,29 @@ fn run_trial(index: usize, spec: &TrialSpec) -> TrialResult {
 /// [`default_threads`]). Results and all aggregates are bit-identical for
 /// any thread count.
 pub fn run_campaign(specs: &[TrialSpec], threads: usize) -> CampaignReport {
+    run_campaign_with(specs, &CampaignOptions::with_threads(threads))
+}
+
+/// [`run_campaign`] with explicit [`CampaignOptions`]. Telemetry switches
+/// never change trial outcomes: errors, statistics and energy are
+/// bit-identical for any option combination and thread count.
+pub fn run_campaign_with(specs: &[TrialSpec], opts: &CampaignOptions) -> CampaignReport {
     let start = Instant::now();
-    let threads = if threads == 0 { default_threads() } else { threads };
+    let threads = if opts.threads == 0 { default_threads() } else { opts.threads };
     let threads = threads.min(specs.len()).max(1);
+    let progress = Progress::new(specs.len(), opts.progress, start);
+    let log_events = opts.log_events;
 
     let trials: Vec<TrialResult> = if threads <= 1 {
-        specs.iter().enumerate().map(|(i, s)| run_trial(i, s)).collect()
+        specs
+            .iter()
+            .enumerate()
+            .map(|(i, s)| {
+                let r = run_trial(i, s, log_events);
+                progress.tick(r.panicked());
+                r
+            })
+            .collect()
     } else {
         // One pre-claimed slot per trial: workers pull the next index from
         // a shared counter, so results land at their spec's position no
@@ -362,7 +518,8 @@ pub fn run_campaign(specs: &[TrialSpec], threads: usize) -> CampaignReport {
                     if i >= specs.len() {
                         break;
                     }
-                    let result = run_trial(i, &specs[i]);
+                    let result = run_trial(i, &specs[i], log_events);
+                    progress.tick(result.panicked());
                     *slots[i].lock().expect("unpoisoned slot") = Some(result);
                 });
             }
@@ -395,8 +552,19 @@ pub fn run_level_campaign(
     runs: u64,
     threads: usize,
 ) -> CampaignReport {
+    run_level_campaign_with(apps, levels, runs, &CampaignOptions::with_threads(threads))
+}
+
+/// [`run_level_campaign`] with explicit [`CampaignOptions`]; references are
+/// always collected without the fault log (they inject no faults).
+pub fn run_level_campaign_with(
+    apps: &[App],
+    levels: &[Level],
+    runs: u64,
+    opts: &CampaignOptions,
+) -> CampaignReport {
     let ref_specs: Vec<TrialSpec> = apps.iter().map(TrialSpec::reference).collect();
-    let references = run_campaign(&ref_specs, threads);
+    let references = run_campaign(&ref_specs, opts.threads);
     let mut specs = Vec::with_capacity(apps.len() * levels.len() * runs as usize);
     for (app, r) in apps.iter().zip(&references.trials) {
         assert!(!r.panicked(), "{}: reference (fault-free) run panicked", app.meta.name);
@@ -413,7 +581,7 @@ pub fn run_level_campaign(
             }
         }
     }
-    run_campaign(&specs, threads)
+    run_campaign_with(&specs, opts)
 }
 
 #[cfg(test)]
@@ -471,10 +639,43 @@ mod tests {
         let specs = vec![TrialSpec::reference(&app("MonteCarlo"))];
         let report = run_campaign(&specs, 1);
         let json = report.to_json();
-        assert!(json.starts_with("{\"schema\":\"enerj-campaign/1\""));
+        assert!(json.starts_with("{\"schema\":\"enerj-campaign/2\""));
         assert!(json.contains("\"app\":\"MonteCarlo\""));
         assert!(json.contains("\"merged_stats\""));
         assert!(json.contains("\"panic\":null"));
+        assert!(json.contains("\"fault_totals\""));
+        assert!(json.contains("\"fault_counts\""));
+        assert!(json.contains("\"sram-read-upset\""));
+    }
+
+    #[test]
+    fn fault_log_lines_match_injected_faults() {
+        let mc = app("MonteCarlo");
+        let reference = Arc::new(harness::reference(&mc).output);
+        let specs: Vec<TrialSpec> = (0..4)
+            .map(|i| {
+                TrialSpec::scored(
+                    &mc,
+                    "Aggressive",
+                    HwConfig::for_level(Level::Aggressive),
+                    FAULT_SEED_BASE ^ i,
+                    Arc::clone(&reference),
+                )
+            })
+            .collect();
+        let opts = CampaignOptions { threads: 2, log_events: true, progress: false };
+        let report = run_campaign_with(&specs, &opts);
+        let totals = report.fault_totals();
+        assert!(totals.total_injections() > 0, "aggressive MonteCarlo injects faults");
+        let ndjson = report.fault_log_ndjson();
+        let lines: Vec<&str> = ndjson.lines().collect();
+        assert_eq!(lines.len() as u64, totals.total_injections());
+        for line in &lines {
+            assert!(line.starts_with("{\"trial\":"));
+            assert!(line.contains("\"unit\":"));
+            assert!(line.contains("\"width\":"));
+            assert!(line.ends_with('}'));
+        }
     }
 
     #[test]

@@ -15,7 +15,9 @@
 use std::sync::Arc;
 
 use crate::harness;
-use crate::trials::{default_threads, run_campaign, TrialSpec};
+use crate::trials::{
+    default_threads, run_campaign_with, CampaignOptions, CampaignReport, TrialSpec,
+};
 use crate::App;
 use enerj_hw::config::{HwConfig, Level};
 
@@ -73,6 +75,26 @@ pub fn tune(app: &App, error_budget: f64, runs: u64) -> TuningResult {
 ///
 /// Panics if `error_budget` is negative or `runs` is zero.
 pub fn tune_with_threads(app: &App, error_budget: f64, runs: u64, threads: usize) -> TuningResult {
+    tune_campaign(app, error_budget, runs, &CampaignOptions::with_threads(threads)).0
+}
+
+/// [`tune`] with full [`CampaignOptions`], also returning the profiling
+/// campaign's report (for telemetry export and JSON capture).
+///
+/// Profiling seeds are `TUNER_SEED_BASE ^ r` — a stream provably disjoint
+/// from the evaluation seeds `FAULT_SEED_BASE ^ i` (the bases differ in
+/// bit 63, which XOR with any index below `2^63` preserves), so the chosen
+/// level is validated on fault sequences it was *not* profiled on.
+///
+/// # Panics
+///
+/// Panics if `error_budget` is negative or `runs` is zero.
+pub fn tune_campaign(
+    app: &App,
+    error_budget: f64,
+    runs: u64,
+    opts: &CampaignOptions,
+) -> (TuningResult, CampaignReport) {
     assert!(error_budget >= 0.0, "error budget must be non-negative");
     assert!(runs > 0, "profiling needs at least one run");
     let reference = Arc::new(harness::reference(app).output);
@@ -85,13 +107,13 @@ pub fn tune_with_threads(app: &App, error_budget: f64, runs: u64, threads: usize
                     app,
                     level.to_string(),
                     HwConfig::for_level(*level),
-                    harness::FAULT_SEED_BASE ^ (r + 1),
+                    harness::TUNER_SEED_BASE ^ r,
                     Arc::clone(&reference),
                 )
             })
         })
         .collect();
-    let report = run_campaign(&specs, threads);
+    let report = run_campaign_with(&specs, opts);
     let mut errors = [0.0f64; 3];
     let mut energy = [1.0f64; 3];
     for (i, level) in Level::ALL.iter().enumerate() {
@@ -109,7 +131,7 @@ pub fn tune_with_threads(app: &App, error_budget: f64, runs: u64, threads: usize
         .rev()
         .find(|(i, _)| errors[*i] <= error_budget)
         .map(|(_, l)| *l);
-    TuningResult { chosen, errors, energy }
+    (TuningResult { chosen, errors, energy }, report)
 }
 
 #[cfg(test)]

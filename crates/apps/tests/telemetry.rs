@@ -1,0 +1,182 @@
+//! Integration tests for the fault-telemetry layer: telemetry must never
+//! change campaign outcomes, the `enerj-campaign/2` serialization must stay
+//! byte-stable (golden files), and the tuner's seed space must be provably
+//! disjoint from the evaluation's.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
+
+use enerj_apps::harness::{self, FAULT_SEED_BASE, TUNER_SEED_BASE};
+use enerj_apps::trials::{
+    run_campaign_with, CampaignOptions, CampaignReport, TrialResult, TrialSpec,
+};
+use enerj_apps::{all_apps, App};
+use enerj_hw::config::{HwConfig, Level};
+use enerj_hw::energy::EnergyBreakdown;
+use enerj_hw::stats::Stats;
+use enerj_hw::trace::{FaultEvent, FaultKind};
+use enerj_hw::FaultCounters;
+use proptest::prelude::*;
+
+fn app(name: &str) -> App {
+    all_apps().into_iter().find(|a| a.meta.name == name).expect("registered")
+}
+
+fn aggressive_specs(names: &[&str], runs: u64) -> Vec<TrialSpec> {
+    let mut specs = Vec::new();
+    for name in names {
+        let app = app(name);
+        let reference = Arc::new(harness::reference(&app).output);
+        for i in 0..runs {
+            specs.push(TrialSpec::scored(
+                &app,
+                "Aggressive".to_owned(),
+                HwConfig::for_level(Level::Aggressive),
+                FAULT_SEED_BASE ^ i,
+                Arc::clone(&reference),
+            ));
+        }
+    }
+    specs
+}
+
+#[test]
+fn telemetry_on_is_bit_identical_to_telemetry_off() {
+    let specs = aggressive_specs(&["FFT", "MonteCarlo"], 3);
+    let off = run_campaign_with(
+        &specs,
+        &CampaignOptions { threads: 2, log_events: false, progress: false },
+    );
+    let on = run_campaign_with(
+        &specs,
+        &CampaignOptions { threads: 2, log_events: true, progress: false },
+    );
+    assert_eq!(off.trials.len(), on.trials.len());
+    for (a, b) in off.trials.iter().zip(&on.trials) {
+        assert_eq!(a.error.to_bits(), b.error.to_bits(), "trial {} error", a.index);
+        assert_eq!(a.stats, b.stats, "trial {} stats", a.index);
+        assert_eq!(a.energy.total.to_bits(), b.energy.total.to_bits(), "trial {}", a.index);
+        assert_eq!(a.fault_counts, b.fault_counts, "trial {} counters", a.index);
+        // The log is the only difference: absent when off, and when on it
+        // accounts for exactly the faults the counters saw.
+        assert!(a.events.is_empty());
+        assert_eq!(b.events.len() as u64, b.fault_counts.total_injections());
+        let bits: u64 = b.events.iter().map(|e| u64::from(e.bits_flipped)).sum();
+        assert_eq!(bits, b.fault_counts.total_bits_flipped());
+    }
+    assert_eq!(off.merged_stats, on.merged_stats);
+    assert_eq!(off.fault_totals(), on.fault_totals());
+    assert!(on.fault_totals().total_injections() > 0, "aggressive trials inject faults");
+}
+
+/// A fully synthetic report with fixed durations, exercising every branch
+/// of the serializer (panicked trial, escaped strings, per-kind counters).
+fn synthetic_report() -> CampaignReport {
+    let mut stats = Stats::new();
+    stats.int_approx_ops = 10;
+    stats.int_precise_ops = 20;
+    stats.fp_approx_ops = 7;
+    stats.sram_approx_byte_seconds = 1.5;
+    stats.sram_precise_byte_seconds = 0.25;
+    stats.faults_injected = 4;
+
+    let mut counts = FaultCounters::new();
+    counts.record(FaultKind::SramReadUpset, 1);
+    counts.record(FaultKind::IntTiming, 2);
+    counts.record(FaultKind::IntTiming, 3);
+
+    let healthy = TrialResult {
+        index: 0,
+        app: "FFT",
+        label: "Aggressive".to_owned(),
+        seed: 42,
+        error: 0.125,
+        output: None,
+        stats,
+        energy: EnergyBreakdown { instructions: 0.8, sram: 0.9, dram: 0.85, total: 0.84 },
+        wall: Duration::from_micros(500_000),
+        panic: None,
+        fault_counts: counts,
+        events: vec![
+            FaultEvent { kind: FaultKind::SramReadUpset, time: 0.5, width: 64, bits_flipped: 1 },
+            FaultEvent { kind: FaultKind::IntTiming, time: 1.25, width: 32, bits_flipped: 2 },
+        ],
+    };
+    let crashed = TrialResult {
+        index: 1,
+        app: "Panicker",
+        label: "Medium".to_owned(),
+        seed: 43,
+        error: 1.0,
+        output: None,
+        stats: Stats::new(),
+        energy: EnergyBreakdown { instructions: 1.0, sram: 1.0, dram: 1.0, total: 1.0 },
+        wall: Duration::from_micros(1_000),
+        panic: Some("index \"7\" out of bounds\n".to_owned()),
+        fault_counts: FaultCounters::new(),
+        events: Vec::new(),
+    };
+    CampaignReport {
+        merged_stats: healthy.stats,
+        trials: vec![healthy, crashed],
+        wall: Duration::from_micros(1_250_000),
+        threads: 3,
+    }
+}
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden").join(name)
+}
+
+/// Compares `actual` to the committed golden file; set `BLESS_GOLDEN=1` to
+/// rewrite the golden after an intentional schema change.
+fn check_golden(name: &str, actual: &str) {
+    let path = golden_path(name);
+    if std::env::var_os("BLESS_GOLDEN").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, actual).unwrap();
+    }
+    let expected = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("{}: {e}; run with BLESS_GOLDEN=1 to create", path.display()));
+    assert_eq!(
+        actual, expected,
+        "{name} drifted from the committed enerj-campaign/2 golden; if the \
+         schema change is intentional, bump the schema tag, document it in \
+         DESIGN.md and re-bless with BLESS_GOLDEN=1"
+    );
+}
+
+#[test]
+fn campaign_report_json_matches_the_v2_golden() {
+    let json = synthetic_report().to_json();
+    assert!(json.starts_with("{\"schema\":\"enerj-campaign/2\""));
+    check_golden("campaign_v2.json", &(json + "\n"));
+}
+
+#[test]
+fn fault_log_ndjson_matches_the_v2_golden() {
+    check_golden("fault_log_v2.ndjson", &synthetic_report().fault_log_ndjson());
+}
+
+#[test]
+fn seed_bases_split_the_seed_space_in_half() {
+    // The evaluation base keeps bit 63 clear; the tuner base sets it. XOR
+    // with any index below 2^63 cannot change bit 63, so the two streams
+    // can never collide — see `harness::TUNER_SEED_BASE`.
+    assert_eq!(FAULT_SEED_BASE >> 63, 0);
+    assert_eq!(TUNER_SEED_BASE >> 63, 1);
+    assert_eq!(TUNER_SEED_BASE & !(1 << 63), FAULT_SEED_BASE);
+}
+
+proptest! {
+    /// No evaluation seed ever equals a tuner seed, for any (trial, run)
+    /// index pair either campaign could plausibly use.
+    #[test]
+    fn tuner_and_evaluation_seeds_never_collide(
+        i in 0u64..(1 << 63),
+        r in 0u64..(1 << 63),
+    ) {
+        prop_assert_ne!(FAULT_SEED_BASE ^ i, TUNER_SEED_BASE ^ r);
+    }
+}

@@ -17,9 +17,9 @@
 
 use std::sync::Arc;
 
-use enerj_apps::trials::{run_campaign, TrialSpec};
+use enerj_apps::trials::{run_campaign, run_campaign_with, TrialSpec};
 use enerj_apps::{all_apps, harness, App};
-use enerj_bench::{err3, render_table, write_bench_report, Options};
+use enerj_bench::{err3, finish_campaign, render_table, Options};
 use enerj_hw::config::{ErrorMode, HwConfig, Level, StrategyMask};
 
 fn main() {
@@ -66,7 +66,7 @@ fn strategy_isolation(opts: &Options) {
             }
         }
     }
-    let report = run_campaign(&specs, opts.threads);
+    let report = run_campaign_with(&specs, &opts.campaign_options());
 
     for level in [Level::Medium, Level::Aggressive] {
         let mut rows = Vec::new();
@@ -109,7 +109,7 @@ fn strategy_isolation(opts: &Options) {
         println!("Aggressive); SRAM writes worse than reads (visible at Medium, where the");
         println!("probabilities are asymmetric); FU voltage scaling (timing) worst.");
     }
-    write_bench_report("ablation", &report);
+    finish_campaign("ablation", &report, opts);
 }
 
 fn error_modes(opts: &Options) {
@@ -131,7 +131,7 @@ fn error_modes(opts: &Options) {
             }
         }
     }
-    let report = run_campaign(&specs, opts.threads);
+    let report = run_campaign_with(&specs, &opts.campaign_options());
 
     let mut rows = Vec::new();
     let mut sums = [0.0f64; 3];
@@ -170,5 +170,5 @@ fn error_modes(opts: &Options) {
         println!("Paper: random-value degrades QoS most (~40% vs ~25%); it is also the");
         println!("most realistic model and is the default everywhere else.");
     }
-    write_bench_report("ablation_error_modes", &report);
+    finish_campaign("ablation_error_modes", &report, opts);
 }

@@ -1,0 +1,183 @@
+//! `faultscope` — per-app, per-unit fault breakdowns from telemetry
+//! artifacts.
+//!
+//! ```text
+//! faultscope <results/BENCH_*.json | faults.ndjson> [--label L] [--bits]
+//! ```
+//!
+//! Reads either a campaign report (`enerj-campaign/2` JSON, aggregating
+//! each trial's `fault_counts`) or an NDJSON fault log (counting events),
+//! auto-detected, and prints one row per application with a column per
+//! fault kind. Cells are injection counts with each unit's share of the
+//! app's total; `--bits` switches to flipped-bit totals — the honest
+//! "where did my error come from" measure. `--label L` restricts to one
+//! campaign label (a level or strategy name).
+//!
+//! This is the observability counterpart to `fig5`: instead of "FFT
+//! degrades at Medium", it answers "FFT's faults are 90% SRAM read
+//! upsets".
+
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+use enerj_bench::json::Json;
+use enerj_bench::render_table;
+use enerj_hw::trace::FaultKind;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("faultscope: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn usage() -> String {
+    "usage: faultscope <BENCH_report.json | fault_log.ndjson> [--label L] [--bits]".to_owned()
+}
+
+/// injections and bits flipped, per (app, kind).
+type Breakdown = BTreeMap<String, [(u64, u64); FaultKind::ALL.len()]>;
+
+fn run(args: &[String]) -> Result<(), String> {
+    let mut path = None;
+    let mut label = None;
+    let mut bits = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--label" => label = Some(it.next().ok_or("--label needs a value")?.clone()),
+            "--bits" => bits = true,
+            other if !other.starts_with("--") => path = Some(other.to_owned()),
+            other => return Err(format!("unknown flag `{other}`\n{}", usage())),
+        }
+    }
+    let path = path.ok_or_else(usage)?;
+    let text = std::fs::read_to_string(&path).map_err(|e| format!("{path}: {e}"))?;
+
+    let (breakdown, source) = if looks_like_report(&text) {
+        (from_report(&text, label.as_deref())?, "campaign report")
+    } else {
+        (from_ndjson(&text, label.as_deref())?, "fault log")
+    };
+
+    if breakdown.is_empty() {
+        println!(
+            "no faults recorded{}",
+            match &label {
+                Some(l) => format!(" for label `{l}`"),
+                None => String::new(),
+            }
+        );
+        return Ok(());
+    }
+
+    let measure = if bits { "bits flipped" } else { "injections" };
+    let mut headers = vec!["Application"];
+    let kind_names: Vec<String> = FaultKind::ALL.iter().map(|k| k.to_string()).collect();
+    headers.extend(kind_names.iter().map(String::as_str));
+    headers.push("total");
+
+    let mut rows = Vec::new();
+    for (app, counts) in &breakdown {
+        let total: u64 = counts.iter().map(|&(inj, b)| if bits { b } else { inj }).sum();
+        let mut row = vec![app.clone()];
+        for &(inj, b) in counts {
+            let n = if bits { b } else { inj };
+            if n == 0 {
+                row.push("-".to_owned());
+            } else {
+                row.push(format!("{n} ({:.0}%)", 100.0 * n as f64 / total.max(1) as f64));
+            }
+        }
+        row.push(total.to_string());
+        rows.push(row);
+    }
+    println!(
+        "Fault breakdown by unit ({measure}, from {source}{})",
+        match &label {
+            Some(l) => format!(", label `{l}`"),
+            None => String::new(),
+        }
+    );
+    println!();
+    println!("{}", render_table(&headers, &rows));
+    Ok(())
+}
+
+/// A campaign report is a single JSON object with a `schema` field; an
+/// NDJSON log is one object per line with no `schema`.
+fn looks_like_report(text: &str) -> bool {
+    text.trim_start().starts_with('{')
+        && Json::parse(text.trim())
+            .ok()
+            .is_some_and(|v| v.get("schema").and_then(Json::as_str).is_some())
+}
+
+fn from_report(text: &str, label: Option<&str>) -> Result<Breakdown, String> {
+    let report = Json::parse(text.trim()).map_err(|e| format!("report: {e}"))?;
+    let schema = report.get("schema").and_then(Json::as_str).ok_or("report: missing `schema`")?;
+    if !schema.starts_with("enerj-campaign/") {
+        return Err(format!("unsupported schema `{schema}`"));
+    }
+    if schema == "enerj-campaign/1" {
+        return Err("schema enerj-campaign/1 predates fault telemetry; re-run the bench \
+                    binary to produce an enerj-campaign/2 report"
+            .to_owned());
+    }
+    let trials = report.get("trials").and_then(Json::as_array).ok_or("report: missing `trials`")?;
+    let mut breakdown = Breakdown::new();
+    for trial in trials {
+        let app = trial.get("app").and_then(Json::as_str).ok_or("trial: missing `app`")?;
+        if let Some(want) = label {
+            if trial.get("label").and_then(Json::as_str) != Some(want) {
+                continue;
+            }
+        }
+        let counts =
+            trial.get("fault_counts").ok_or("trial: missing `fault_counts` (schema /2)")?;
+        let entry = breakdown.entry(app.to_owned()).or_default();
+        for (i, kind) in FaultKind::ALL.iter().enumerate() {
+            if let Some(kc) = counts.get(&kind.to_string()) {
+                let inj = kc.get("injections").and_then(Json::as_f64).unwrap_or(0.0);
+                let b = kc.get("bits_flipped").and_then(Json::as_f64).unwrap_or(0.0);
+                entry[i].0 += inj as u64;
+                entry[i].1 += b as u64;
+            }
+        }
+    }
+    Ok(breakdown)
+}
+
+fn from_ndjson(text: &str, label: Option<&str>) -> Result<Breakdown, String> {
+    let mut breakdown = Breakdown::new();
+    for (lineno, line) in text.lines().enumerate() {
+        if line.is_empty() {
+            continue;
+        }
+        let event = Json::parse(line).map_err(|e| format!("line {}: {e}", lineno + 1))?;
+        let app = event
+            .get("app")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("line {}: missing `app`", lineno + 1))?;
+        if let Some(want) = label {
+            if event.get("label").and_then(Json::as_str) != Some(want) {
+                continue;
+            }
+        }
+        let unit = event
+            .get("unit")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("line {}: missing `unit`", lineno + 1))?;
+        let kind = FaultKind::from_name(unit)
+            .ok_or_else(|| format!("line {}: unknown unit `{unit}`", lineno + 1))?;
+        let b = event.get("bits_flipped").and_then(Json::as_f64).unwrap_or(0.0);
+        let entry = breakdown.entry(app.to_owned()).or_default();
+        entry[kind.index()].0 += 1;
+        entry[kind.index()].1 += b as u64;
+    }
+    Ok(breakdown)
+}

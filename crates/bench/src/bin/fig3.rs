@@ -9,15 +9,15 @@
 //! campaign whose report lands in `results/BENCH_fig3.json`.
 
 use enerj_apps::all_apps;
-use enerj_apps::trials::{run_campaign, TrialSpec};
-use enerj_bench::{pct, render_table, write_bench_report, Options};
+use enerj_apps::trials::{run_campaign_with, TrialSpec};
+use enerj_bench::{finish_campaign, pct, render_table, Options};
 use enerj_hw::{MemKind, OpKind};
 
 fn main() {
     let opts = Options::parse(std::env::args(), 1);
     let apps = all_apps();
     let specs: Vec<TrialSpec> = apps.iter().map(TrialSpec::reference).collect();
-    let report = run_campaign(&specs, opts.threads);
+    let report = run_campaign_with(&specs, &opts.campaign_options());
 
     let mut rows = Vec::new();
     for (app, trial) in apps.iter().zip(&report.trials) {
@@ -55,5 +55,5 @@ fn main() {
         println!("Fractions are approximate byte-seconds (storage) and approximate");
         println!("dynamic operations (functional units), as in the paper.");
     }
-    write_bench_report("fig3", &report);
+    finish_campaign("fig3", &report, &opts);
 }

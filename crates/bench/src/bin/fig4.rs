@@ -8,8 +8,8 @@
 //! lands in `results/BENCH_fig4.json`.
 
 use enerj_apps::all_apps;
-use enerj_apps::trials::{run_campaign, TrialSpec};
-use enerj_bench::{render_table, write_bench_report, Options};
+use enerj_apps::trials::{run_campaign_with, TrialSpec};
+use enerj_bench::{finish_campaign, render_table, Options};
 use enerj_hw::config::{HwConfig, Level};
 
 fn main() {
@@ -28,7 +28,7 @@ fn main() {
             })
         })
         .collect();
-    let report = run_campaign(&specs, opts.threads);
+    let report = run_campaign_with(&specs, &opts.campaign_options());
 
     let mut rows = Vec::new();
     let mut savings_sum = [0.0f64; 3];
@@ -68,5 +68,5 @@ fn main() {
             100.0 * savings_sum[2] / n
         );
     }
-    write_bench_report("fig4", &report);
+    finish_campaign("fig4", &report, &opts);
 }

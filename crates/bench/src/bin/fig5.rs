@@ -7,14 +7,14 @@
 //! record is written to `results/BENCH_fig5.json`.
 
 use enerj_apps::all_apps;
-use enerj_apps::trials::run_level_campaign;
-use enerj_bench::{err3, render_table, write_bench_report, Options};
+use enerj_apps::trials::run_level_campaign_with;
+use enerj_bench::{err3, finish_campaign, render_table, Options};
 use enerj_hw::config::Level;
 
 fn main() {
     let opts = Options::parse(std::env::args(), 20);
     let apps = all_apps();
-    let report = run_level_campaign(&apps, &Level::ALL, opts.runs, opts.threads);
+    let report = run_level_campaign_with(&apps, &Level::ALL, opts.runs, &opts.campaign_options());
 
     let mut rows = Vec::new();
     for app in &apps {
@@ -46,5 +46,5 @@ fn main() {
             );
         }
     }
-    write_bench_report("fig5", &report);
+    finish_campaign("fig5", &report, &opts);
 }

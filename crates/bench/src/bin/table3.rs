@@ -9,14 +9,14 @@
 //! `results/BENCH_table3.json`.
 
 use enerj_apps::all_apps;
-use enerj_apps::trials::{run_campaign, TrialSpec};
-use enerj_bench::{pct, render_table, write_bench_report, Options};
+use enerj_apps::trials::{run_campaign_with, TrialSpec};
+use enerj_bench::{finish_campaign, pct, render_table, Options};
 
 fn main() {
     let opts = Options::parse(std::env::args(), 1);
     let apps = all_apps();
     let specs: Vec<TrialSpec> = apps.iter().map(TrialSpec::reference).collect();
-    let report = run_campaign(&specs, opts.threads);
+    let report = run_campaign_with(&specs, &opts.campaign_options());
 
     let mut rows = Vec::new();
     for (app, trial) in apps.iter().zip(&report.trials) {
@@ -65,5 +65,5 @@ fn main() {
         );
         println!("LoC / declaration counts describe the Rust ports in crates/apps.");
     }
-    write_bench_report("table3", &report);
+    finish_campaign("table3", &report, &opts);
 }

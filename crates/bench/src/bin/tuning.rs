@@ -7,17 +7,24 @@
 //! (`--threads N` to bound workers).
 
 use enerj_apps::all_apps;
-use enerj_apps::tuner::tune_with_threads;
+use enerj_apps::tuner::tune_campaign;
 use enerj_bench::{render_table, Options};
+use enerj_hw::FaultCounters;
 
 fn main() {
     let opts = Options::parse(std::env::args(), 5);
     let budgets = [0.01, 0.05, 0.10];
     let mut rows = Vec::new();
+    let mut fault_totals = FaultCounters::new();
+    let mut fault_log = String::new();
     for app in all_apps() {
         let mut row = vec![app.meta.name.to_owned()];
         for &budget in &budgets {
-            let r = tune_with_threads(&app, budget, opts.runs, opts.threads);
+            let (r, profile) = tune_campaign(&app, budget, opts.runs, &opts.campaign_options());
+            fault_totals.merge(&profile.fault_totals());
+            if opts.fault_log.is_some() {
+                fault_log.push_str(&profile.fault_log_ndjson());
+            }
             let label = match r.chosen {
                 None => "precise".to_owned(),
                 Some(level) => format!("{level}"),
@@ -25,13 +32,26 @@ fn main() {
             row.push(format!("{label} ({:.0}%)", 100.0 * (1.0 - r.chosen_energy())));
             if opts.json {
                 println!(
-                    "{{\"app\":\"{}\",\"budget\":{budget},\"chosen\":\"{label}\",\"energy\":{:.4}}}",
+                    "{{\"app\":\"{}\",\"budget\":{budget},\"chosen\":\"{label}\",\"energy\":{:.4},\
+                     \"profiled_errors\":[{:.4},{:.4},{:.4}]}}",
                     app.meta.name,
-                    r.chosen_energy()
+                    r.chosen_energy(),
+                    r.errors[0],
+                    r.errors[1],
+                    r.errors[2]
                 );
             }
         }
         rows.push(row);
+    }
+    if opts.trace {
+        eprintln!("fault totals (profiling campaigns): {fault_totals}");
+    }
+    if let Some(path) = &opts.fault_log {
+        match std::fs::write(path, &fault_log) {
+            Ok(()) => eprintln!("fault log: {} line(s) -> {path}", fault_log.lines().count()),
+            Err(e) => eprintln!("warning: could not write {path}: {e}"),
+        }
     }
     if !opts.json {
         println!("Offline QoS tuning (section 6.2 extension): most aggressive level within budget");

@@ -1,0 +1,62 @@
+//! `validate_schema` — check telemetry artifacts against the documented
+//! schemas (DESIGN.md).
+//!
+//! ```text
+//! validate_schema [--report <BENCH_*.json>]... [--fault-log <log.ndjson>]...
+//! ```
+//!
+//! Validates each `--report` against `enerj-campaign/2` and each
+//! `--fault-log` against the NDJSON fault-event schema. Exit code 0 when
+//! everything conforms, 1 on the first violation — the CI smoke job runs
+//! this over freshly generated artifacts to catch emitter drift.
+
+use std::process::ExitCode;
+
+use enerj_bench::json::Json;
+use enerj_bench::validate::{validate_campaign_report, validate_fault_log};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("validate_schema: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let mut checked = 0usize;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--report" => {
+                let path = it.next().ok_or("--report needs a path")?;
+                let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+                let parsed = Json::parse(text.trim()).map_err(|e| format!("{path}: {e}"))?;
+                let trials =
+                    validate_campaign_report(&parsed).map_err(|e| format!("{path}: {e}"))?;
+                println!("{path}: OK (enerj-campaign/2, {trials} trials)");
+                checked += 1;
+            }
+            "--fault-log" => {
+                let path = it.next().ok_or("--fault-log needs a path")?;
+                let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+                let events = validate_fault_log(&text).map_err(|e| format!("{path}: {e}"))?;
+                println!("{path}: OK ({events} fault events)");
+                checked += 1;
+            }
+            other => {
+                return Err(format!(
+                    "unknown argument `{other}`\nusage: validate_schema \
+                     [--report <path>]... [--fault-log <path>]..."
+                ))
+            }
+        }
+    }
+    if checked == 0 {
+        return Err("nothing to validate; pass --report and/or --fault-log".to_owned());
+    }
+    Ok(())
+}

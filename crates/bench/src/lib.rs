@@ -19,15 +19,23 @@
 //! `--threads N` to bound the trial campaign's worker count (default: all
 //! available cores). Campaign-backed binaries also drop a machine-readable
 //! `results/BENCH_<name>.json` campaign report (schema
-//! `enerj-campaign/1`) on every run.
+//! `enerj-campaign/2`) on every run, and accept the telemetry flags
+//! `--trace` (live progress + per-unit fault totals on stderr) and
+//! `--fault-log <path>` (structured NDJSON fault-event stream). The
+//! `faultscope` binary renders per-app, per-unit fault breakdowns from
+//! either artifact; `validate_schema` checks them against the documented
+//! schemas (see DESIGN.md).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use std::fmt::Write as _;
-use std::path::PathBuf;
+pub mod json;
+pub mod validate;
 
-use enerj_apps::trials::CampaignReport;
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+use enerj_apps::trials::{CampaignOptions, CampaignReport};
 
 /// Simple command-line options shared by the binaries.
 #[derive(Debug, Clone)]
@@ -38,6 +46,10 @@ pub struct Options {
     pub threads: usize,
     /// Emit JSON rows instead of a text table.
     pub json: bool,
+    /// Write the campaign's structured fault log (NDJSON) here.
+    pub fault_log: Option<String>,
+    /// Print live campaign progress and per-unit fault totals on stderr.
+    pub trace: bool,
     /// Extra mode flag (e.g. `--error-modes` for the ablation binary).
     pub flags: Vec<String>,
 }
@@ -49,7 +61,14 @@ impl Options {
     ///
     /// Panics with a usage message on malformed arguments.
     pub fn parse(args: impl Iterator<Item = String>, default_runs: u64) -> Options {
-        let mut opts = Options { runs: default_runs, threads: 0, json: false, flags: Vec::new() };
+        let mut opts = Options {
+            runs: default_runs,
+            threads: 0,
+            json: false,
+            fault_log: None,
+            trace: false,
+            flags: Vec::new(),
+        };
         let mut args = args.skip(1);
         while let Some(arg) = args.next() {
             match arg.as_str() {
@@ -62,10 +81,24 @@ impl Options {
                     opts.threads = v.parse().expect("--threads needs an integer");
                 }
                 "--json" => opts.json = true,
+                "--fault-log" => {
+                    opts.fault_log = Some(args.next().expect("--fault-log needs a path"));
+                }
+                "--trace" => opts.trace = true,
                 other => opts.flags.push(other.to_owned()),
             }
         }
         opts
+    }
+
+    /// The campaign options these flags imply: `--fault-log` turns on event
+    /// collection, `--trace` turns on live progress.
+    pub fn campaign_options(&self) -> CampaignOptions {
+        CampaignOptions {
+            threads: self.threads,
+            log_events: self.fault_log.is_some(),
+            progress: self.trace,
+        }
     }
 }
 
@@ -94,6 +127,28 @@ pub fn write_bench_report(name: &str, report: &CampaignReport) {
             path.display()
         ),
         Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
+    }
+}
+
+/// Standard campaign epilogue: write the `results/BENCH_<name>.json`
+/// report, then honour the telemetry flags — `--trace` prints the per-unit
+/// fault totals on stderr, `--fault-log` writes the NDJSON event stream.
+pub fn finish_campaign(name: &str, report: &CampaignReport, opts: &Options) {
+    write_bench_report(name, report);
+    if opts.trace {
+        eprintln!("fault totals: {}", report.fault_totals());
+    }
+    if let Some(path) = &opts.fault_log {
+        write_fault_log_to(path, report);
+    }
+}
+
+/// Writes a report's NDJSON fault log to `path`, reporting on stderr.
+pub fn write_fault_log_to(path: &str, report: &CampaignReport) {
+    let events: usize = report.trials.iter().map(|t| t.events.len()).sum();
+    match report.write_fault_log(Path::new(path)) {
+        Ok(()) => eprintln!("fault log: {events} event(s) -> {path}"),
+        Err(e) => eprintln!("warning: could not write {path}: {e}"),
     }
 }
 
@@ -154,6 +209,23 @@ mod tests {
         assert_eq!(opts.threads, 3);
         assert!(opts.json);
         assert_eq!(opts.flags, vec!["--error-modes"]);
+    }
+
+    #[test]
+    fn parses_telemetry_flags() {
+        let opts = Options::parse(
+            ["bin", "--fault-log", "out.ndjson", "--trace"].iter().map(|s| s.to_string()),
+            20,
+        );
+        assert_eq!(opts.fault_log.as_deref(), Some("out.ndjson"));
+        assert!(opts.trace);
+        let c = opts.campaign_options();
+        assert!(c.log_events);
+        assert!(c.progress);
+        let plain = Options::parse(["bin"].iter().map(|s| s.to_string()), 20);
+        let c = plain.campaign_options();
+        assert!(!c.log_events);
+        assert!(!c.progress);
     }
 
     #[test]

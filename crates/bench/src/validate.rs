@@ -1,0 +1,186 @@
+//! Schema validation for the telemetry artifacts.
+//!
+//! Checks `results/BENCH_*.json` campaign reports against the
+//! `enerj-campaign/2` schema and NDJSON fault logs against the fault-event
+//! schema, both as documented in DESIGN.md. Used by the `validate_schema`
+//! binary (and the CI smoke job) to catch emitter drift.
+
+use crate::json::Json;
+use enerj_hw::trace::FaultKind;
+
+/// Top-level keys every `enerj-campaign/2` report must carry.
+const REPORT_KEYS: [&str; 7] =
+    ["schema", "threads", "wall_seconds", "mean_error", "panics", "merged_stats", "fault_totals"];
+
+/// Keys every trial object must carry.
+const TRIAL_KEYS: [&str; 9] =
+    ["index", "app", "label", "seed", "error", "wall_seconds", "panic", "stats", "energy"];
+
+/// Keys every NDJSON fault-log line must carry.
+const EVENT_KEYS: [&str; 8] =
+    ["trial", "app", "label", "seed", "time", "unit", "width", "bits_flipped"];
+
+fn require_number(obj: &Json, key: &str, what: &str) -> Result<f64, String> {
+    obj.get(key)
+        .and_then(Json::as_f64)
+        .ok_or_else(|| format!("{what}: missing or non-numeric `{key}`"))
+}
+
+/// Checks that `counters` is a per-kind counter object: one entry per
+/// [`FaultKind`], each with non-negative integer `injections` and
+/// `bits_flipped`.
+fn validate_counters(counters: &Json, what: &str) -> Result<(), String> {
+    let fields =
+        counters.as_object().ok_or_else(|| format!("{what}: counters must be an object"))?;
+    if fields.len() != FaultKind::ALL.len() {
+        return Err(format!(
+            "{what}: expected {} fault kinds, found {}",
+            FaultKind::ALL.len(),
+            fields.len()
+        ));
+    }
+    for kind in FaultKind::ALL {
+        let name = kind.to_string();
+        let entry = counters.get(&name).ok_or_else(|| format!("{what}: missing kind `{name}`"))?;
+        for key in ["injections", "bits_flipped"] {
+            let v = require_number(entry, key, &format!("{what}.{name}"))?;
+            if v < 0.0 || v.fract() != 0.0 {
+                return Err(format!("{what}.{name}.{key}: not a non-negative integer ({v})"));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Validates a parsed `enerj-campaign/2` report. Returns the trial count.
+pub fn validate_campaign_report(report: &Json) -> Result<usize, String> {
+    let schema =
+        report.get("schema").and_then(Json::as_str).ok_or("report: missing `schema` string")?;
+    if schema != "enerj-campaign/2" {
+        return Err(format!("report: schema `{schema}`, expected `enerj-campaign/2`"));
+    }
+    for key in REPORT_KEYS {
+        if report.get(key).is_none() {
+            return Err(format!("report: missing top-level `{key}`"));
+        }
+    }
+    validate_counters(report.get("fault_totals").expect("checked above"), "fault_totals")?;
+    let trials =
+        report.get("trials").and_then(Json::as_array).ok_or("report: `trials` must be an array")?;
+    for (i, trial) in trials.iter().enumerate() {
+        let what = format!("trials[{i}]");
+        for key in TRIAL_KEYS {
+            if trial.get(key).is_none() {
+                return Err(format!("{what}: missing `{key}`"));
+            }
+        }
+        let counts =
+            trial.get("fault_counts").ok_or_else(|| format!("{what}: missing `fault_counts`"))?;
+        validate_counters(counts, &format!("{what}.fault_counts"))?;
+        let err = require_number(trial, "error", &what)?;
+        if !(0.0..=1.0).contains(&err) {
+            return Err(format!("{what}: error {err} outside [0, 1]"));
+        }
+    }
+    Ok(trials.len())
+}
+
+/// Validates one NDJSON fault-log line (already parsed).
+pub fn validate_fault_event(event: &Json, what: &str) -> Result<(), String> {
+    for key in EVENT_KEYS {
+        if event.get(key).is_none() {
+            return Err(format!("{what}: missing `{key}`"));
+        }
+    }
+    let unit = event
+        .get("unit")
+        .and_then(Json::as_str)
+        .ok_or_else(|| format!("{what}: `unit` must be a string"))?;
+    if FaultKind::from_name(unit).is_none() {
+        return Err(format!("{what}: unknown unit `{unit}`"));
+    }
+    let width = require_number(event, "width", what)?;
+    if !(1.0..=64.0).contains(&width) || width.fract() != 0.0 {
+        return Err(format!("{what}: width {width} not an integer in 1..=64"));
+    }
+    let bits = require_number(event, "bits_flipped", what)?;
+    if bits < 0.0 || bits > width || bits.fract() != 0.0 {
+        return Err(format!("{what}: bits_flipped {bits} not an integer in 0..=width"));
+    }
+    let time = require_number(event, "time", what)?;
+    if time < 0.0 {
+        return Err(format!("{what}: negative time {time}"));
+    }
+    Ok(())
+}
+
+/// Validates a whole NDJSON fault log. Returns the event count. An empty
+/// log (no lines) is valid — campaigns that inject no faults emit one.
+pub fn validate_fault_log(text: &str) -> Result<usize, String> {
+    let mut count = 0usize;
+    for (lineno, line) in text.lines().enumerate() {
+        if line.is_empty() {
+            continue;
+        }
+        let what = format!("line {}", lineno + 1);
+        let event = Json::parse(line).map_err(|e| format!("{what}: {e}"))?;
+        validate_fault_event(&event, &what)?;
+        count += 1;
+    }
+    Ok(count)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use enerj_apps::trials::{run_campaign_with, CampaignOptions, TrialSpec};
+    use enerj_hw::config::{HwConfig, Level};
+    use std::sync::Arc;
+
+    fn aggressive_campaign() -> enerj_apps::trials::CampaignReport {
+        let app = enerj_apps::all_apps().remove(2); // MonteCarlo
+        let reference = Arc::new(enerj_apps::harness::reference(&app).output);
+        let specs: Vec<TrialSpec> = (0..3)
+            .map(|i| {
+                TrialSpec::scored(
+                    &app,
+                    "Aggressive",
+                    HwConfig::for_level(Level::Aggressive),
+                    enerj_apps::harness::FAULT_SEED_BASE ^ i,
+                    Arc::clone(&reference),
+                )
+            })
+            .collect();
+        let opts = CampaignOptions { threads: 1, log_events: true, progress: false };
+        run_campaign_with(&specs, &opts)
+    }
+
+    #[test]
+    fn real_report_and_log_validate() {
+        let report = aggressive_campaign();
+        let parsed = Json::parse(&report.to_json()).unwrap();
+        assert_eq!(validate_campaign_report(&parsed), Ok(3));
+        let events = validate_fault_log(&report.fault_log_ndjson()).unwrap();
+        assert_eq!(events as u64, report.fault_totals().total_injections());
+    }
+
+    #[test]
+    fn rejects_wrong_schema_and_missing_keys() {
+        let v = Json::parse(r#"{"schema":"enerj-campaign/1"}"#).unwrap();
+        assert!(validate_campaign_report(&v).unwrap_err().contains("schema"));
+        let v = Json::parse(r#"{"schema":"enerj-campaign/2","threads":1}"#).unwrap();
+        assert!(validate_campaign_report(&v).unwrap_err().contains("missing top-level"));
+    }
+
+    #[test]
+    fn rejects_bad_fault_log_lines() {
+        assert!(validate_fault_log("not json\n").is_err());
+        let missing = r#"{"trial":0,"app":"X","label":"L","seed":1,"time":0.0,"unit":"int-timing","width":64}"#;
+        assert!(validate_fault_log(missing).unwrap_err().contains("bits_flipped"));
+        let bad_unit = r#"{"trial":0,"app":"X","label":"L","seed":1,"time":0.0,"unit":"warp-core","width":64,"bits_flipped":1}"#;
+        assert!(validate_fault_log(bad_unit).unwrap_err().contains("unknown unit"));
+        let bits_over_width = r#"{"trial":0,"app":"X","label":"L","seed":1,"time":0.0,"unit":"int-timing","width":8,"bits_flipped":9}"#;
+        assert!(validate_fault_log(bits_over_width).is_err());
+        assert_eq!(validate_fault_log(""), Ok(0));
+    }
+}

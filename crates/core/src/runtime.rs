@@ -113,6 +113,23 @@ impl Runtime {
         self.hw.borrow().trace().map(|t| t.events().copied().collect()).unwrap_or_default()
     }
 
+    /// A snapshot of the always-on per-kind fault counters.
+    pub fn fault_counters(&self) -> enerj_hw::FaultCounters {
+        *self.hw.borrow().fault_counters()
+    }
+
+    /// Enables the opt-in structured fault log (unbounded, unlike the
+    /// bounded trace ring buffer). Clears any previously collected events.
+    pub fn enable_fault_log(&self) {
+        self.hw.borrow_mut().enable_event_log();
+    }
+
+    /// Takes the collected fault-log events, leaving the log enabled and
+    /// empty. Empty if the log was never enabled.
+    pub fn take_fault_events(&self) -> Vec<enerj_hw::trace::FaultEvent> {
+        self.hw.borrow_mut().take_event_log()
+    }
+
     /// The shared hardware handle, for substrate-level extensions.
     pub fn hardware(&self) -> Rc<RefCell<Hardware>> {
         Rc::clone(&self.hw)
@@ -256,5 +273,39 @@ mod tests {
             let _ = crate::endorse(crate::Approx::new(1i64) + 1);
         });
         assert!(rt.fault_trace().is_empty());
+    }
+
+    #[test]
+    fn fault_counters_match_injected_total() {
+        use crate::{endorse, Approx};
+        let rt = Runtime::new(Level::Aggressive, 3);
+        rt.run(|| {
+            let mut acc = Approx::new(0i64);
+            for i in 0..5_000 {
+                acc += i;
+            }
+            let _ = endorse(acc);
+        });
+        let counters = rt.fault_counters();
+        assert_eq!(counters.total_injections(), rt.stats().faults_injected);
+        assert!(!counters.is_empty());
+    }
+
+    #[test]
+    fn fault_log_collects_and_takes_events() {
+        use crate::{endorse, Approx};
+        let rt = Runtime::new(Level::Aggressive, 3);
+        assert!(rt.take_fault_events().is_empty(), "log off: nothing collected");
+        rt.enable_fault_log();
+        rt.run(|| {
+            let mut acc = Approx::new(0i64);
+            for i in 0..5_000 {
+                acc += i;
+            }
+            let _ = endorse(acc);
+        });
+        let events = rt.take_fault_events();
+        assert_eq!(events.len() as u64, rt.stats().faults_injected);
+        assert!(rt.take_fault_events().is_empty(), "take drains the log");
     }
 }

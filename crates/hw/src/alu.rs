@@ -46,13 +46,15 @@ impl Hardware {
         let enabled = self.config().mask.fu_timing;
         let mode = self.config().error_mode;
         let out = if enabled && self.rng().gen_bool(p) {
-            self.note_fault(crate::trace::FaultKind::IntTiming, 0);
             let last = self.last_int & fault::low_mask(width);
-            match mode {
+            let out = match mode {
                 ErrorMode::SingleBitFlip => fault::flip_one_bit(raw, width, self.rng()),
                 ErrorMode::LastValue => last,
                 ErrorMode::RandomValue => fault::random_bits(width, self.rng()),
-            }
+            };
+            let flipped = ((out ^ raw) & fault::low_mask(width)).count_ones();
+            self.note_fault(crate::trace::FaultKind::IntTiming, width, flipped);
+            out
         } else {
             raw & fault::low_mask(width)
         };
@@ -76,15 +78,16 @@ impl Hardware {
                 OpKind::Int => crate::trace::FaultKind::IntTiming,
                 OpKind::Fp => crate::trace::FaultKind::FpTiming,
             };
-            self.note_fault(fault_kind, 1);
-            match mode {
+            let observed = match mode {
                 ErrorMode::SingleBitFlip => !raw,
                 ErrorMode::LastValue => match kind {
                     OpKind::Int => self.last_int & 1 == 1,
                     OpKind::Fp => self.last_fp & 1 == 1,
                 },
                 ErrorMode::RandomValue => self.rng().gen_bool(0.5),
-            }
+            };
+            self.note_fault(fault_kind, 1, u32::from(observed != raw));
+            observed
         } else {
             raw
         }

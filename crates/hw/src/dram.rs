@@ -111,6 +111,13 @@ impl DramArray {
         self.layout
     }
 
+    /// Index of the first element whose storage is approximate. Elements
+    /// below this index share precise cache lines with the header (§4.1)
+    /// and never decay; for precise arrays this is `len()`.
+    pub fn first_approx_elem(&self) -> usize {
+        self.first_approx_elem
+    }
+
     /// Reads element `i`, applying refresh decay if it lives on an
     /// approximate line. The read refreshes the element.
     ///
@@ -128,7 +135,11 @@ impl DramArray {
             let p = fault::decay_probability(hw.config().params.dram_flip_per_second, dt);
             let flipped = fault::flip_bits(stored, self.elem_width, p, hw.rng());
             if flipped != stored {
-                hw.note_fault(crate::trace::FaultKind::DramDecay, (flipped ^ stored).count_ones());
+                hw.note_fault(
+                    crate::trace::FaultKind::DramDecay,
+                    self.elem_width,
+                    (flipped ^ stored).count_ones(),
+                );
             }
             flipped
         } else {
@@ -408,7 +419,11 @@ impl DramRecord {
             let p = fault::decay_probability(hw.config().params.dram_flip_per_second, dt);
             let flipped = fault::flip_bits(stored, self.widths[i], p, hw.rng());
             if flipped != stored {
-                hw.note_fault(crate::trace::FaultKind::DramDecay, (flipped ^ stored).count_ones());
+                hw.note_fault(
+                    crate::trace::FaultKind::DramDecay,
+                    self.widths[i],
+                    (flipped ^ stored).count_ones(),
+                );
             }
             flipped
         } else {

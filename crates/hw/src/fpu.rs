@@ -85,13 +85,15 @@ impl Hardware {
         let enabled = self.config().mask.fu_timing;
         let mode = self.config().error_mode;
         let out = if enabled && self.rng().gen_bool(p) {
-            self.note_fault(crate::trace::FaultKind::FpTiming, 0);
             let last = self.last_fp & fault::low_mask(width);
-            match mode {
+            let out = match mode {
                 ErrorMode::SingleBitFlip => fault::flip_one_bit(raw, width, self.rng()),
                 ErrorMode::LastValue => last,
                 ErrorMode::RandomValue => fault::random_bits(width, self.rng()),
-            }
+            };
+            let flipped = ((out ^ raw) & fault::low_mask(width)).count_ones();
+            self.note_fault(crate::trace::FaultKind::FpTiming, width, flipped);
+            out
         } else {
             raw & fault::low_mask(width)
         };

@@ -51,11 +51,13 @@ pub mod fpu;
 pub mod layout;
 pub mod sram;
 pub mod stats;
+pub mod telemetry;
 pub mod trace;
 
 pub use config::{ApproxParams, ErrorMode, HwConfig, Level, StrategyMask};
 pub use dram::DramArray;
 pub use stats::{MemKind, OpKind, Stats};
+pub use telemetry::FaultCounters;
 
 use clock::SimClock;
 use rand::rngs::StdRng;
@@ -80,6 +82,8 @@ pub struct Hardware {
     /// Last result of the floating-point unit (for [`ErrorMode::LastValue`]).
     pub(crate) last_fp: u64,
     trace: Option<TraceBuffer>,
+    counters: FaultCounters,
+    event_log: Option<Vec<FaultEvent>>,
 }
 
 impl Hardware {
@@ -93,6 +97,8 @@ impl Hardware {
             last_int: 0,
             last_fp: 0,
             trace: None,
+            counters: FaultCounters::new(),
+            event_log: None,
         }
     }
 
@@ -115,13 +121,49 @@ impl Hardware {
         self.trace.as_ref()
     }
 
-    /// Records one injected fault in the statistics and, when enabled, in
-    /// the trace.
-    pub(crate) fn note_fault(&mut self, kind: FaultKind, bits_flipped: u32) {
+    /// The always-on per-kind fault counters.
+    pub fn fault_counters(&self) -> &FaultCounters {
+        &self.counters
+    }
+
+    /// Enables the unbounded structured fault log (opt-in; the always-on
+    /// counters are independent of this). Clears any previous log.
+    pub fn enable_event_log(&mut self) {
+        self.event_log = Some(Vec::new());
+    }
+
+    /// The collected fault events, if the event log is enabled.
+    pub fn event_log(&self) -> Option<&[FaultEvent]> {
+        self.event_log.as_deref()
+    }
+
+    /// Takes the collected fault events, leaving the log enabled and empty.
+    /// Returns an empty vector if the log was never enabled.
+    pub fn take_event_log(&mut self) -> Vec<FaultEvent> {
+        match &mut self.event_log {
+            Some(log) => std::mem::take(log),
+            None => Vec::new(),
+        }
+    }
+
+    /// Records one injected fault in the statistics, the always-on
+    /// counters, and — when enabled — the trace ring buffer and the
+    /// structured event log.
+    ///
+    /// Never touches the fault PRNG, so recording cannot perturb the
+    /// simulated outcome.
+    pub(crate) fn note_fault(&mut self, kind: FaultKind, width: u32, bits_flipped: u32) {
         self.stats.record_fault();
-        if let Some(trace) = &mut self.trace {
+        self.counters.record(kind, bits_flipped);
+        if self.trace.is_some() || self.event_log.is_some() {
             let time = self.clock.now();
-            trace.push(FaultEvent { kind, time, bits_flipped });
+            let event = FaultEvent { kind, time, width, bits_flipped };
+            if let Some(trace) = &mut self.trace {
+                trace.push(event);
+            }
+            if let Some(log) = &mut self.event_log {
+                log.push(event);
+            }
         }
     }
 
@@ -157,10 +199,15 @@ impl Hardware {
         &mut self.rng
     }
 
-    /// Resets statistics and the clock, keeping configuration and RNG state.
+    /// Resets statistics, fault counters, the event log and the clock,
+    /// keeping configuration and RNG state.
     pub fn reset_stats(&mut self) {
         self.stats = Stats::new();
         self.clock = SimClock::new();
+        self.counters = FaultCounters::new();
+        if let Some(log) = &mut self.event_log {
+            log.clear();
+        }
     }
 }
 
@@ -207,5 +254,61 @@ mod tests {
         hw.reset_stats();
         assert_eq!(hw.stats().total_ops(OpKind::Int), 0);
         assert_eq!(hw.now(), 0.0);
+    }
+
+    #[test]
+    fn counters_track_every_injected_fault() {
+        let mut cfg = HwConfig::for_level(Level::Aggressive);
+        cfg.params.timing_error_prob = 1.0;
+        let mut hw = Hardware::new(cfg, 9);
+        for i in 0..50u64 {
+            let _ = hw.approx_int_result(i, 64);
+        }
+        let c = hw.fault_counters();
+        assert_eq!(c.count(trace::FaultKind::IntTiming).injections, 50);
+        assert_eq!(c.total_injections(), hw.stats().faults_injected);
+        assert_eq!(hw.event_log(), None, "event log is opt-in");
+        hw.reset_stats();
+        assert!(hw.fault_counters().is_empty());
+    }
+
+    #[test]
+    fn event_log_collects_structured_events() {
+        let mut cfg = HwConfig::for_level(Level::Aggressive);
+        cfg.params.timing_error_prob = 1.0;
+        let mut hw = Hardware::new(cfg, 9);
+        hw.enable_event_log();
+        for i in 0..10u64 {
+            let _ = hw.approx_int_result(i, 32);
+        }
+        let events = hw.take_event_log();
+        assert_eq!(events.len(), 10);
+        for e in &events {
+            assert_eq!(e.kind, trace::FaultKind::IntTiming);
+            assert_eq!(e.width, 32);
+        }
+        // Taking leaves the log enabled and empty.
+        assert_eq!(hw.event_log(), Some(&[][..]));
+        let _ = hw.approx_int_result(1, 32);
+        assert_eq!(hw.event_log().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn telemetry_does_not_perturb_the_fault_prng() {
+        let cfg = {
+            let mut c = HwConfig::for_level(Level::Aggressive);
+            c.params.timing_error_prob = 0.3;
+            c
+        };
+        let mut plain = Hardware::new(cfg, 77);
+        let mut logged = Hardware::new(cfg, 77);
+        logged.enable_event_log();
+        logged.enable_trace(8);
+        for i in 0..2000u64 {
+            assert_eq!(plain.approx_int_result(i, 64), logged.approx_int_result(i, 64));
+            assert_eq!(plain.sram_read(i, 64, true), logged.sram_read(i, 64, true));
+        }
+        assert_eq!(plain.stats(), logged.stats());
+        assert_eq!(plain.fault_counters(), logged.fault_counters());
     }
 }

@@ -36,7 +36,11 @@ impl Hardware {
         let p = self.config().params.sram_read_upset_prob;
         let out = fault::flip_bits(bits, width, p, self.rng());
         if out != bits {
-            self.note_fault(crate::trace::FaultKind::SramReadUpset, (out ^ bits).count_ones());
+            self.note_fault(
+                crate::trace::FaultKind::SramReadUpset,
+                width,
+                (out ^ bits).count_ones(),
+            );
         }
         out
     }
@@ -56,7 +60,11 @@ impl Hardware {
         let p = self.config().params.sram_write_failure_prob;
         let out = fault::flip_bits(bits, width, p, self.rng());
         if out != bits {
-            self.note_fault(crate::trace::FaultKind::SramWriteFailure, (out ^ bits).count_ones());
+            self.note_fault(
+                crate::trace::FaultKind::SramWriteFailure,
+                width,
+                (out ^ bits).count_ones(),
+            );
         }
         out
     }

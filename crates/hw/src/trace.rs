@@ -26,6 +26,35 @@ pub enum FaultKind {
     FpTiming,
 }
 
+impl FaultKind {
+    /// Every fault kind, in a fixed order (the index order of
+    /// [`FaultKind::index`], used by telemetry counters and reports).
+    pub const ALL: [FaultKind; 5] = [
+        FaultKind::SramReadUpset,
+        FaultKind::SramWriteFailure,
+        FaultKind::DramDecay,
+        FaultKind::IntTiming,
+        FaultKind::FpTiming,
+    ];
+
+    /// This kind's position in [`FaultKind::ALL`].
+    #[inline]
+    pub fn index(self) -> usize {
+        match self {
+            FaultKind::SramReadUpset => 0,
+            FaultKind::SramWriteFailure => 1,
+            FaultKind::DramDecay => 2,
+            FaultKind::IntTiming => 3,
+            FaultKind::FpTiming => 4,
+        }
+    }
+
+    /// Parses the [`Display`](fmt::Display) rendering back into a kind.
+    pub fn from_name(name: &str) -> Option<FaultKind> {
+        FaultKind::ALL.iter().copied().find(|k| k.to_string() == name)
+    }
+}
+
 impl fmt::Display for FaultKind {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let s = match self {
@@ -46,8 +75,12 @@ pub struct FaultEvent {
     pub kind: FaultKind,
     /// Simulated time of injection, in seconds.
     pub time: f64,
-    /// Number of bits that changed (0 for value-replacement models, where
-    /// the notion is not meaningful and not computed).
+    /// Bit width of the affected value.
+    pub width: u32,
+    /// Number of bits that changed — the real Hamming distance between the
+    /// correct and observed values within `width` bits, for every fault
+    /// model (value-replacement models included; a replacement that happens
+    /// to reproduce the raw value counts as 0 flipped bits).
     pub bits_flipped: u32,
 }
 
@@ -110,7 +143,7 @@ mod tests {
     use super::*;
 
     fn ev(kind: FaultKind, time: f64) -> FaultEvent {
-        FaultEvent { kind, time, bits_flipped: 1 }
+        FaultEvent { kind, time, width: 32, bits_flipped: 1 }
     }
 
     #[test]

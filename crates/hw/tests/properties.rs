@@ -86,6 +86,75 @@ proptest! {
         );
     }
 
+    /// `DramArray::first_approx_elem` agrees with a first-principles scan of
+    /// the cache-line layout: an element has approximate storage exactly
+    /// when every one of its bytes lands at or beyond the first line
+    /// boundary after the header (a straddling element stays precise).
+    #[test]
+    fn first_approx_elem_matches_layout_scan(
+        width in prop::sample::select(vec![8u32, 16, 24, 32, 40, 48, 56, 64]),
+        len in 0usize..600,
+        approx: bool,
+    ) {
+        use enerj_hw::layout::{ARRAY_HEADER_BYTES, DEFAULT_LINE_SIZE};
+        let mut hw = Hardware::new(HwConfig::for_level(Level::Medium), 1);
+        let arr = DramArray::new(&mut hw, len, width, approx);
+        let elem = (width / 8) as usize;
+        let expected = if approx {
+            let boundary = ARRAY_HEADER_BYTES.div_ceil(DEFAULT_LINE_SIZE) * DEFAULT_LINE_SIZE;
+            (0..len)
+                .find(|&i| ARRAY_HEADER_BYTES + i * elem >= boundary)
+                .unwrap_or(len)
+        } else {
+            len
+        };
+        prop_assert_eq!(arr.first_approx_elem(), expected);
+    }
+
+    /// The `div_ceil` shortcut `DramArray` uses to locate the first
+    /// approximate element agrees with the scan at any line size and header,
+    /// not just the defaults.
+    #[test]
+    fn first_approx_formula_matches_scan_at_any_geometry(
+        elem in 1usize..=8,
+        len in 0usize..512,
+        line in prop::sample::select(vec![16usize, 32, 64, 128, 256]),
+        header in prop::sample::select(vec![0usize, 8, 16, 24, 64]),
+    ) {
+        let l = layout_array(elem, len, true, line, header);
+        let formula = l.approx_bytes_on_precise_lines.div_ceil(elem);
+        let boundary = header.div_ceil(line) * line;
+        let scan = (0..len).find(|&i| header + i * elem >= boundary).unwrap_or(len);
+        prop_assert_eq!(formula, scan);
+    }
+
+    /// Elements below `first_approx_elem` share the header's precise lines:
+    /// they survive arbitrary idle time under an extreme decay rate without
+    /// a single fault being injected.
+    #[test]
+    fn elements_before_first_approx_never_decay(
+        width in prop::sample::select(vec![8u32, 16, 32, 64]),
+        len in 1usize..64,
+        seed: u64,
+    ) {
+        let mut cfg = HwConfig::for_level(Level::Aggressive);
+        cfg.params.dram_flip_per_second = 1e9;
+        let mut hw = Hardware::new(cfg, seed);
+        let mut arr = DramArray::new(&mut hw, len, width, true);
+        let mask = fault::low_mask(width);
+        for i in 0..len.min(arr.first_approx_elem()) {
+            arr.write(&mut hw, i, mask);
+        }
+        for _ in 0..2_000 {
+            hw.precise_op(OpKind::Int);
+        }
+        for i in 0..len.min(arr.first_approx_elem()) {
+            prop_assert_eq!(arr.read(&mut hw, i), mask, "precise-line element {} decayed", i);
+        }
+        prop_assert_eq!(hw.stats().faults_injected, 0);
+        prop_assert!(hw.fault_counters().is_empty());
+    }
+
     /// A masked DramArray is an exact store for arbitrary data and widths.
     #[test]
     fn masked_dram_array_roundtrips(

@@ -2,10 +2,17 @@
 //!
 //! ```text
 //! fenerjc check <file>                 type-check only
-//! fenerjc run <file> [--level L] [--seed N]
+//! fenerjc run <file> [--level L] [--seed N] [--trace] [--fault-log F]
 //!                                      run (precise, or fault-injected at
-//!                                      mild/medium/aggressive)
-//! fenerjc chaos <file> [--seeds N]     verify non-interference adversarially
+//!                                      mild/medium/aggressive); `--trace`
+//!                                      prints per-unit fault counters on
+//!                                      stderr, `--fault-log` writes the
+//!                                      NDJSON fault-event stream to F
+//! fenerjc chaos <file> [--seeds N] [--trace] [--fault-log F]
+//!                                      verify non-interference
+//!                                      adversarially; `--trace` reports
+//!                                      per-seed progress, `--fault-log`
+//!                                      writes per-seed NDJSON records
 //! fenerjc print <file>                 parse and pretty-print
 //! ```
 //!
@@ -49,16 +56,79 @@ fn dispatch(args: &[String]) -> Result<(), String> {
         "run" => {
             let (source, path) = read_source(rest)?;
             let program = compile(&source).map_err(|e| diagnose(&source, &path, &e))?;
-            let mode = parse_mode(rest)?;
+            let trace = has_flag(rest, "--trace");
+            let fault_log = flag_string(rest, "--fault-log")?;
+            let hw = parse_hardware(rest)?;
+            let mode = match &hw {
+                None => ExecMode::Reliable,
+                Some(hw) => {
+                    if fault_log.is_some() {
+                        hw.borrow_mut().enable_event_log();
+                    }
+                    ExecMode::Faulty(Rc::clone(hw))
+                }
+            };
             let out = run(&program, mode).map_err(|e| e.to_string())?;
             println!("{}", out.value.describe());
+            match &hw {
+                None => {
+                    if trace {
+                        eprintln!("fault counters: reliable mode, no faults injected");
+                    }
+                    if fault_log.is_some() {
+                        eprintln!("fault log: reliable mode, nothing to record");
+                    }
+                }
+                Some(hw) => {
+                    if trace {
+                        eprintln!("fault counters: {}", hw.borrow().fault_counters());
+                    }
+                    if let Some(log_path) = fault_log {
+                        write_fault_log(&log_path, &hw.borrow_mut().take_event_log())?;
+                    }
+                }
+            }
             Ok(())
         }
         "chaos" => {
             let (source, path) = read_source(rest)?;
             let program = compile(&source).map_err(|e| diagnose(&source, &path, &e))?;
             let seeds = flag_value(rest, "--seeds")?.unwrap_or(50);
-            check_non_interference(&program, 0..seeds).map_err(|e| e.to_string())?;
+            let trace = has_flag(rest, "--trace");
+            let fault_log = flag_string(rest, "--fault-log")?;
+            if trace || fault_log.is_some() {
+                // Per-seed loop: same seed set as the batched call, but each
+                // seed is checked on its own so progress and outcomes can be
+                // reported as they happen.
+                let mut log = String::new();
+                let mut first_failure = None;
+                for s in 0..seeds {
+                    let outcome = check_non_interference(&program, s..s + 1);
+                    let interferes = outcome.is_err();
+                    if let Err(e) = outcome {
+                        first_failure.get_or_insert_with(|| e.to_string());
+                    }
+                    if fault_log.is_some() {
+                        log.push_str(&format!("{{\"seed\":{s},\"interference\":{interferes}}}\n"));
+                    }
+                    if trace {
+                        eprintln!(
+                            "chaos: seed {s} ({}/{seeds}): {}",
+                            s + 1,
+                            if interferes { "INTERFERENCE" } else { "ok" }
+                        );
+                    }
+                }
+                if let Some(log_path) = &fault_log {
+                    std::fs::write(log_path, &log).map_err(|e| format!("{log_path}: {e}"))?;
+                    eprintln!("fault log: {} record(s) -> {log_path}", log.lines().count());
+                }
+                if let Some(failure) = first_failure {
+                    return Err(failure);
+                }
+            } else {
+                check_non_interference(&program, 0..seeds).map_err(|e| e.to_string())?;
+            }
             println!("{path}: non-interference holds over {seeds} adversarial runs");
             Ok(())
         }
@@ -74,17 +144,40 @@ fn dispatch(args: &[String]) -> Result<(), String> {
 
 fn usage() -> String {
     "usage: fenerjc <check|run|chaos|print> <file.fej> \
-     [--level mild|medium|aggressive] [--seed N] [--seeds N]"
+     [--level mild|medium|aggressive] [--seed N] [--seeds N] \
+     [--trace] [--fault-log FILE]"
         .to_owned()
 }
 
+/// Flags that consume the following argument; their values must never be
+/// mistaken for the source path.
+const VALUE_FLAGS: [&str; 4] = ["--level", "--seed", "--seeds", "--fault-log"];
+
 fn read_source(rest: &[String]) -> Result<(String, String), String> {
-    let path = rest
-        .iter()
-        .find(|a| !a.starts_with("--") && !a.chars().all(|c| c.is_ascii_digit()))
-        .ok_or_else(usage)?;
+    let mut skip_next = false;
+    let mut path = None;
+    for arg in rest {
+        if skip_next {
+            skip_next = false;
+            continue;
+        }
+        if VALUE_FLAGS.contains(&arg.as_str()) {
+            skip_next = true;
+            continue;
+        }
+        if arg.starts_with("--") {
+            continue;
+        }
+        path = Some(arg);
+        break;
+    }
+    let path = path.ok_or_else(usage)?;
     let source = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
     Ok((source, path.clone()))
+}
+
+fn has_flag(rest: &[String], flag: &str) -> bool {
+    rest.iter().any(|a| a == flag)
 }
 
 fn flag_value(rest: &[String], flag: &str) -> Result<Option<u64>, String> {
@@ -97,9 +190,21 @@ fn flag_value(rest: &[String], flag: &str) -> Result<Option<u64>, String> {
     }
 }
 
-fn parse_mode(rest: &[String]) -> Result<ExecMode, String> {
+fn flag_string(rest: &[String], flag: &str) -> Result<Option<String>, String> {
+    match rest.iter().position(|a| a == flag) {
+        None => Ok(None),
+        Some(i) => {
+            let v = rest.get(i + 1).ok_or_else(|| format!("{flag} needs a value"))?;
+            Ok(Some(v.clone()))
+        }
+    }
+}
+
+/// Builds the fault-injected hardware when `--level` is given; `None` means
+/// reliable execution.
+fn parse_hardware(rest: &[String]) -> Result<Option<Rc<RefCell<Hardware>>>, String> {
     let level = match rest.iter().position(|a| a == "--level") {
-        None => return Ok(ExecMode::Reliable),
+        None => return Ok(None),
         Some(i) => rest.get(i + 1).ok_or("--level needs a value")?,
     };
     let level = match level.as_str() {
@@ -109,8 +214,22 @@ fn parse_mode(rest: &[String]) -> Result<ExecMode, String> {
         other => return Err(format!("unknown level `{other}`")),
     };
     let seed = flag_value(rest, "--seed")?.unwrap_or(0);
-    let hw = Rc::new(RefCell::new(Hardware::new(HwConfig::for_level(level), seed)));
-    Ok(ExecMode::Faulty(hw))
+    Ok(Some(Rc::new(RefCell::new(Hardware::new(HwConfig::for_level(level), seed)))))
+}
+
+/// Writes one NDJSON line per fault event, matching the campaign runner's
+/// event-line vocabulary (minus the trial context, which a single run lacks).
+fn write_fault_log(path: &str, events: &[enerj_hw::trace::FaultEvent]) -> Result<(), String> {
+    let mut out = String::new();
+    for e in events {
+        out.push_str(&format!(
+            "{{\"time\":{},\"unit\":\"{}\",\"width\":{},\"bits_flipped\":{}}}\n",
+            e.time, e.kind, e.width, e.bits_flipped
+        ));
+    }
+    std::fs::write(path, &out).map_err(|e| format!("{path}: {e}"))?;
+    eprintln!("fault log: {} event(s) -> {path}", events.len());
+    Ok(())
 }
 
 /// Renders a compile error with line/column information.

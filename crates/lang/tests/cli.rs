@@ -79,6 +79,98 @@ fn print_emits_reparseable_source() {
 }
 
 #[test]
+fn run_trace_reports_fault_counters() {
+    let out = fenerjc()
+        .args(["run", &program("sor.fej"), "--level", "aggressive", "--seed", "3", "--trace"])
+        .output()
+        .expect("spawn");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("fault counters:"), "{stderr}");
+    assert!(stderr.contains("sram-read-upset"), "aggressive SOR hits SRAM reads: {stderr}");
+}
+
+#[test]
+fn run_fault_log_writes_ndjson_and_leaves_output_unchanged() {
+    let dir = std::env::temp_dir();
+    let log_path = dir.join("fenerjc_cli_run_fault_log.ndjson");
+    let log_path = log_path.to_str().expect("utf-8 temp path");
+    let base = ["run", &program("sor.fej"), "--level", "aggressive", "--seed", "9"];
+
+    let plain = fenerjc().args(base).output().expect("spawn");
+    let logged = fenerjc()
+        .args(base.iter().copied().chain(["--fault-log", log_path]))
+        .output()
+        .expect("spawn");
+    assert!(plain.status.success() && logged.status.success());
+    assert_eq!(plain.stdout, logged.stdout, "telemetry must not perturb the fault stream");
+
+    let log = std::fs::read_to_string(log_path).expect("log written");
+    std::fs::remove_file(log_path).ok();
+    assert!(!log.is_empty(), "aggressive SOR injects faults");
+    for line in log.lines() {
+        assert!(line.starts_with("{\"time\":"), "NDJSON event line: {line}");
+        assert!(line.contains("\"unit\":") && line.contains("\"bits_flipped\":"), "{line}");
+    }
+}
+
+#[test]
+fn run_reliable_trace_notes_the_absence_of_faults() {
+    let out = fenerjc().args(["run", &program("checksum.fej"), "--trace"]).output().expect("spawn");
+    assert!(out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("reliable mode"), "{stderr}");
+}
+
+#[test]
+fn chaos_trace_reports_per_seed_progress() {
+    let out = fenerjc()
+        .args(["chaos", &program("isolated.fej"), "--seeds", "3", "--trace"])
+        .output()
+        .expect("spawn");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    for s in 0..3 {
+        assert!(stderr.contains(&format!("chaos: seed {s} ")), "{stderr}");
+    }
+    assert!(String::from_utf8_lossy(&out.stdout).contains("non-interference holds"));
+}
+
+#[test]
+fn chaos_fault_log_records_per_seed_verdicts() {
+    let dir = std::env::temp_dir();
+    let log_path = dir.join("fenerjc_cli_chaos_fault_log.ndjson");
+    let log_path = log_path.to_str().expect("utf-8 temp path");
+    let out = fenerjc()
+        .args(["chaos", &program("isolated.fej"), "--seeds", "4", "--fault-log", log_path])
+        .output()
+        .expect("spawn");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let log = std::fs::read_to_string(log_path).expect("log written");
+    std::fs::remove_file(log_path).ok();
+    let lines: Vec<&str> = log.lines().collect();
+    assert_eq!(lines.len(), 4);
+    for (s, line) in lines.iter().enumerate() {
+        assert_eq!(*line, format!("{{\"seed\":{s},\"interference\":false}}"));
+    }
+}
+
+#[test]
+fn fault_log_path_is_not_mistaken_for_the_source_file() {
+    // The --fault-log value looks like a plausible source path; read_source
+    // must skip it and still find the real program.
+    let dir = std::env::temp_dir();
+    let log_path = dir.join("fenerjc_cli_flagorder.ndjson");
+    let log_path = log_path.to_str().expect("utf-8 temp path");
+    let out = fenerjc()
+        .args(["run", "--fault-log", log_path, &program("checksum.fej")])
+        .output()
+        .expect("spawn");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    std::fs::remove_file(log_path).ok();
+}
+
+#[test]
 fn unknown_commands_and_files_fail_cleanly() {
     let out = fenerjc().args(["frobnicate", "x.fej"]).output().expect("spawn");
     assert!(!out.status.success());
