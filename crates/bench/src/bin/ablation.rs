@@ -19,7 +19,8 @@ use std::sync::Arc;
 
 use enerj_apps::trials::{run_campaign, run_campaign_with, TrialSpec};
 use enerj_apps::{all_apps, harness, App};
-use enerj_bench::{err3, finish_campaign, render_table, Options};
+use enerj_bench::cli::Options;
+use enerj_bench::{err3, finish_campaign, render_table};
 use enerj_hw::config::{ErrorMode, HwConfig, Level, StrategyMask};
 
 fn main() {

@@ -10,7 +10,8 @@
 
 use enerj_apps::all_apps;
 use enerj_apps::trials::{run_campaign_with, TrialSpec};
-use enerj_bench::{finish_campaign, pct, render_table, Options};
+use enerj_bench::cli::Options;
+use enerj_bench::{finish_campaign, pct, render_table};
 use enerj_hw::{MemKind, OpKind};
 
 fn main() {

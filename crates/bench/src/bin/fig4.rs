@@ -9,7 +9,8 @@
 
 use enerj_apps::all_apps;
 use enerj_apps::trials::{run_campaign_with, TrialSpec};
-use enerj_bench::{finish_campaign, render_table, Options};
+use enerj_bench::cli::Options;
+use enerj_bench::{finish_campaign, render_table};
 use enerj_hw::config::{HwConfig, Level};
 
 fn main() {

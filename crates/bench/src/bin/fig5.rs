@@ -8,7 +8,8 @@
 
 use enerj_apps::all_apps;
 use enerj_apps::trials::run_level_campaign_with;
-use enerj_bench::{err3, finish_campaign, render_table, Options};
+use enerj_bench::cli::Options;
+use enerj_bench::{err3, finish_campaign, render_table};
 use enerj_hw::config::Level;
 
 fn main() {

@@ -3,7 +3,8 @@
 //! renderings (the FEnerJ language and the embedded Rust API). Static
 //! content (no trials); `--json` emits one row object per construct.
 
-use enerj_bench::{render_table, Options};
+use enerj_bench::cli::Options;
+use enerj_bench::render_table;
 
 fn main() {
     let opts = Options::parse(std::env::args(), 0);

@@ -3,7 +3,8 @@
 //! Mild / Medium / Aggressive levels. Static content (no trials); `--json`
 //! emits one row object per strategy.
 
-use enerj_bench::{render_table, Options};
+use enerj_bench::cli::Options;
+use enerj_bench::render_table;
 use enerj_hw::config::Level;
 
 fn main() {

@@ -8,7 +8,8 @@
 
 use enerj_apps::all_apps;
 use enerj_apps::tuner::tune_campaign;
-use enerj_bench::{render_table, Options};
+use enerj_bench::cli::Options;
+use enerj_bench::render_table;
 use enerj_hw::FaultCounters;
 
 fn main() {

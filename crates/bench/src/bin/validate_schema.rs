@@ -3,17 +3,19 @@
 //!
 //! ```text
 //! validate_schema [--report <BENCH_*.json>]... [--fault-log <log.ndjson>]...
+//!                 [--hwperf <BENCH_hwperf.json>]...
 //! ```
 //!
-//! Validates each `--report` against `enerj-campaign/2` and each
-//! `--fault-log` against the NDJSON fault-event schema. Exit code 0 when
-//! everything conforms, 1 on the first violation — the CI smoke job runs
-//! this over freshly generated artifacts to catch emitter drift.
+//! Validates each `--report` against `enerj-campaign/2`, each `--fault-log`
+//! against the NDJSON fault-event schema, and each `--hwperf` against the
+//! `enerj-hwperf/1` throughput-report schema. Exit code 0 when everything
+//! conforms, 1 on the first violation — the CI smoke and perf-smoke jobs
+//! run this over freshly generated artifacts to catch emitter drift.
 
 use std::process::ExitCode;
 
 use enerj_bench::json::Json;
-use enerj_bench::validate::{validate_campaign_report, validate_fault_log};
+use enerj_bench::validate::{validate_campaign_report, validate_fault_log, validate_hwperf_report};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -47,10 +49,19 @@ fn run(args: &[String]) -> Result<(), String> {
                 println!("{path}: OK ({events} fault events)");
                 checked += 1;
             }
+            "--hwperf" => {
+                let path = it.next().ok_or("--hwperf needs a path")?;
+                let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+                let parsed = Json::parse(text.trim()).map_err(|e| format!("{path}: {e}"))?;
+                let kernels =
+                    validate_hwperf_report(&parsed).map_err(|e| format!("{path}: {e}"))?;
+                println!("{path}: OK (enerj-hwperf/1, {kernels} kernel rows)");
+                checked += 1;
+            }
             other => {
                 return Err(format!(
                     "unknown argument `{other}`\nusage: validate_schema \
-                     [--report <path>]... [--fault-log <path>]..."
+                     [--report <path>]... [--fault-log <path>]... [--hwperf <path>]..."
                 ))
             }
         }

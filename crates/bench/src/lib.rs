@@ -29,78 +29,16 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cli;
 pub mod json;
 pub mod validate;
 
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
 
-use enerj_apps::trials::{CampaignOptions, CampaignReport};
+use enerj_apps::trials::CampaignReport;
 
-/// Simple command-line options shared by the binaries.
-#[derive(Debug, Clone)]
-pub struct Options {
-    /// Fault-injection runs per data point (Figure 5 uses 20).
-    pub runs: u64,
-    /// Worker threads for trial campaigns (`0` = available parallelism).
-    pub threads: usize,
-    /// Emit JSON rows instead of a text table.
-    pub json: bool,
-    /// Write the campaign's structured fault log (NDJSON) here.
-    pub fault_log: Option<String>,
-    /// Print live campaign progress and per-unit fault totals on stderr.
-    pub trace: bool,
-    /// Extra mode flag (e.g. `--error-modes` for the ablation binary).
-    pub flags: Vec<String>,
-}
-
-impl Options {
-    /// Parses `std::env::args`-style arguments.
-    ///
-    /// # Panics
-    ///
-    /// Panics with a usage message on malformed arguments.
-    pub fn parse(args: impl Iterator<Item = String>, default_runs: u64) -> Options {
-        let mut opts = Options {
-            runs: default_runs,
-            threads: 0,
-            json: false,
-            fault_log: None,
-            trace: false,
-            flags: Vec::new(),
-        };
-        let mut args = args.skip(1);
-        while let Some(arg) = args.next() {
-            match arg.as_str() {
-                "--runs" => {
-                    let v = args.next().expect("--runs needs a value");
-                    opts.runs = v.parse().expect("--runs needs an integer");
-                }
-                "--threads" => {
-                    let v = args.next().expect("--threads needs a value");
-                    opts.threads = v.parse().expect("--threads needs an integer");
-                }
-                "--json" => opts.json = true,
-                "--fault-log" => {
-                    opts.fault_log = Some(args.next().expect("--fault-log needs a path"));
-                }
-                "--trace" => opts.trace = true,
-                other => opts.flags.push(other.to_owned()),
-            }
-        }
-        opts
-    }
-
-    /// The campaign options these flags imply: `--fault-log` turns on event
-    /// collection, `--trace` turns on live progress.
-    pub fn campaign_options(&self) -> CampaignOptions {
-        CampaignOptions {
-            threads: self.threads,
-            log_events: self.fault_log.is_some(),
-            progress: self.trace,
-        }
-    }
-}
+pub use cli::Options;
 
 /// The repository's `results/` directory (resolved relative to this crate,
 /// so it lands at the workspace root from any working directory).
@@ -196,45 +134,6 @@ pub fn err3(x: f64) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    #[test]
-    fn parses_runs_threads_and_json() {
-        let opts = Options::parse(
-            ["bin", "--runs", "7", "--threads", "3", "--json", "--error-modes"]
-                .iter()
-                .map(|s| s.to_string()),
-            20,
-        );
-        assert_eq!(opts.runs, 7);
-        assert_eq!(opts.threads, 3);
-        assert!(opts.json);
-        assert_eq!(opts.flags, vec!["--error-modes"]);
-    }
-
-    #[test]
-    fn parses_telemetry_flags() {
-        let opts = Options::parse(
-            ["bin", "--fault-log", "out.ndjson", "--trace"].iter().map(|s| s.to_string()),
-            20,
-        );
-        assert_eq!(opts.fault_log.as_deref(), Some("out.ndjson"));
-        assert!(opts.trace);
-        let c = opts.campaign_options();
-        assert!(c.log_events);
-        assert!(c.progress);
-        let plain = Options::parse(["bin"].iter().map(|s| s.to_string()), 20);
-        let c = plain.campaign_options();
-        assert!(!c.log_events);
-        assert!(!c.progress);
-    }
-
-    #[test]
-    fn default_runs_apply() {
-        let opts = Options::parse(["bin"].iter().map(|s| s.to_string()), 20);
-        assert_eq!(opts.runs, 20);
-        assert_eq!(opts.threads, 0, "default = available parallelism");
-        assert!(!opts.json);
-    }
 
     #[test]
     fn report_paths_land_in_results() {

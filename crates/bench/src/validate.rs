@@ -85,6 +85,101 @@ pub fn validate_campaign_report(report: &Json) -> Result<usize, String> {
     Ok(trials.len())
 }
 
+/// Keys every `enerj-hwperf/1` kernel row must carry.
+const HWPERF_KERNEL_KEYS: [&str; 6] =
+    ["kernel", "level", "ops", "baseline_ops_per_sec", "amortized_ops_per_sec", "speedup"];
+
+/// Keys every `enerj-hwperf/1` macro row must carry.
+const HWPERF_MACRO_KEYS: [&str; 4] = ["app", "level", "ops", "ops_per_sec"];
+
+/// The microkernel names an `enerj-hwperf/1` report may contain.
+const HWPERF_KERNELS: [&str; 4] = ["sram", "dram", "alu", "fpu"];
+
+fn require_positive(obj: &Json, key: &str, what: &str) -> Result<f64, String> {
+    let v = require_number(obj, key, what)?;
+    if !v.is_finite() || v <= 0.0 {
+        return Err(format!("{what}: `{key}` must be finite and positive ({v})"));
+    }
+    Ok(v)
+}
+
+fn require_level(obj: &Json, what: &str) -> Result<(), String> {
+    let level = obj
+        .get("level")
+        .and_then(Json::as_str)
+        .ok_or_else(|| format!("{what}: missing `level`"))?;
+    if !["Mild", "Medium", "Aggressive"].contains(&level) {
+        return Err(format!("{what}: unknown level `{level}`"));
+    }
+    Ok(())
+}
+
+/// Validates a parsed `enerj-hwperf/1` throughput report (the `hwbench`
+/// binary's output). Checks schema, key presence, and that every
+/// throughput/speedup figure is finite and positive — it does *not* gate on
+/// absolute speed, so the CI perf-smoke job catches emitter drift without
+/// flaking on slow runners. Returns the kernel-row count.
+pub fn validate_hwperf_report(report: &Json) -> Result<usize, String> {
+    let schema =
+        report.get("schema").and_then(Json::as_str).ok_or("report: missing `schema` string")?;
+    if schema != "enerj-hwperf/1" {
+        return Err(format!("report: schema `{schema}`, expected `enerj-hwperf/1`"));
+    }
+    if report.get("quick").is_none() {
+        return Err("report: missing top-level `quick`".to_owned());
+    }
+    let kernels = report
+        .get("kernels")
+        .and_then(Json::as_array)
+        .ok_or("report: `kernels` must be an array")?;
+    if kernels.is_empty() {
+        return Err("report: `kernels` is empty".to_owned());
+    }
+    for (i, row) in kernels.iter().enumerate() {
+        let what = format!("kernels[{i}]");
+        for key in HWPERF_KERNEL_KEYS {
+            if row.get(key).is_none() {
+                return Err(format!("{what}: missing `{key}`"));
+            }
+        }
+        let kernel = row
+            .get("kernel")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("{what}: `kernel` must be a string"))?;
+        if !HWPERF_KERNELS.contains(&kernel) {
+            return Err(format!("{what}: unknown kernel `{kernel}`"));
+        }
+        require_level(row, &what)?;
+        require_positive(row, "ops", &what)?;
+        let base = require_positive(row, "baseline_ops_per_sec", &what)?;
+        let amort = require_positive(row, "amortized_ops_per_sec", &what)?;
+        let speedup = require_positive(row, "speedup", &what)?;
+        let implied = amort / base;
+        if (speedup - implied).abs() > 0.01 * implied.max(speedup) {
+            return Err(format!(
+                "{what}: speedup {speedup} inconsistent with {amort}/{base} = {implied:.3}"
+            ));
+        }
+    }
+    let macros =
+        report.get("macro").and_then(Json::as_array).ok_or("report: `macro` must be an array")?;
+    for (i, row) in macros.iter().enumerate() {
+        let what = format!("macro[{i}]");
+        for key in HWPERF_MACRO_KEYS {
+            if row.get(key).is_none() {
+                return Err(format!("{what}: missing `{key}`"));
+            }
+        }
+        if row.get("app").and_then(Json::as_str).is_none() {
+            return Err(format!("{what}: `app` must be a string"));
+        }
+        require_level(row, &what)?;
+        require_positive(row, "ops", &what)?;
+        require_positive(row, "ops_per_sec", &what)?;
+    }
+    Ok(kernels.len())
+}
+
 /// Validates one NDJSON fault-log line (already parsed).
 pub fn validate_fault_event(event: &Json, what: &str) -> Result<(), String> {
     for key in EVENT_KEYS {
@@ -170,6 +265,50 @@ mod tests {
         assert!(validate_campaign_report(&v).unwrap_err().contains("schema"));
         let v = Json::parse(r#"{"schema":"enerj-campaign/2","threads":1}"#).unwrap();
         assert!(validate_campaign_report(&v).unwrap_err().contains("missing top-level"));
+    }
+
+    const HWPERF_OK: &str = r#"{
+        "schema": "enerj-hwperf/1",
+        "quick": true,
+        "kernels": [
+            {"kernel": "sram", "level": "Mild", "ops": 400000,
+             "baseline_ops_per_sec": 50000000.0,
+             "amortized_ops_per_sec": 1500000000.0, "speedup": 30.0}
+        ],
+        "macro": [
+            {"app": "FFT", "level": "Aggressive", "ops": 24576,
+             "ops_per_sec": 40000000.0}
+        ]
+    }"#;
+
+    #[test]
+    fn hwperf_report_validates() {
+        let v = Json::parse(HWPERF_OK).unwrap();
+        assert_eq!(validate_hwperf_report(&v), Ok(1));
+    }
+
+    #[test]
+    fn hwperf_rejects_drifted_reports() {
+        let wrong_schema = HWPERF_OK.replace("enerj-hwperf/1", "enerj-hwperf/0");
+        let v = Json::parse(&wrong_schema).unwrap();
+        assert!(validate_hwperf_report(&v).unwrap_err().contains("schema"));
+
+        let no_kernels = HWPERF_OK.replace("\"kernel\": \"sram\"", "\"unit\": \"sram\"");
+        let v = Json::parse(&no_kernels).unwrap();
+        assert!(validate_hwperf_report(&v).unwrap_err().contains("kernel"));
+
+        let bad_level = HWPERF_OK.replace("\"Mild\"", "\"Extreme\"");
+        let v = Json::parse(&bad_level).unwrap();
+        assert!(validate_hwperf_report(&v).unwrap_err().contains("unknown level"));
+
+        let zero_rate = HWPERF_OK
+            .replace("\"baseline_ops_per_sec\": 50000000.0", "\"baseline_ops_per_sec\": 0.0");
+        let v = Json::parse(&zero_rate).unwrap();
+        assert!(validate_hwperf_report(&v).unwrap_err().contains("positive"));
+
+        let wrong_speedup = HWPERF_OK.replace("\"speedup\": 30.0", "\"speedup\": 2.0");
+        let v = Json::parse(&wrong_speedup).unwrap();
+        assert!(validate_hwperf_report(&v).unwrap_err().contains("inconsistent"));
     }
 
     #[test]

@@ -78,14 +78,14 @@ impl Runtime {
 
     /// A snapshot of the machine's statistics.
     pub fn stats(&self) -> Stats {
-        *self.hw.borrow().stats()
+        self.hw.borrow().stats()
     }
 
     /// Normalized energy of the run so far (1.0 = fully precise execution),
     /// per the section 5.4 model with the configured Table 2 parameters.
     pub fn energy(&self) -> EnergyBreakdown {
         let hw = self.hw.borrow();
-        normalized_energy(hw.stats(), &hw.config().params)
+        normalized_energy(&hw.stats(), &hw.config().params)
     }
 
     /// The active hardware configuration.

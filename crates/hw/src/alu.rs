@@ -22,9 +22,10 @@ use rand::Rng;
 
 impl Hardware {
     /// Records a precise operation: counting and clock only, never a fault.
+    #[inline]
     pub fn precise_op(&mut self, kind: OpKind) {
         self.tick();
-        self.stats_mut().record_op(kind, false);
+        self.stats.record_op(kind, false);
     }
 
     /// Executes the *result phase* of an approximate integer operation.
@@ -35,30 +36,41 @@ impl Hardware {
     /// perturbs the result with the configured probability and error mode.
     /// `width` is the operand width in bits (32 or 64 for the embedded API).
     ///
+    /// Timing errors come from an amortized per-operation countdown
+    /// ([`crate::fault::GeomCountdown::fire`]); between faults no RNG state
+    /// is consumed. When a fault fires, the gap to the next fault is redrawn
+    /// *before* any error-mode payload bits are sampled.
+    ///
     /// # Panics
     ///
     /// Panics if `width` is zero or exceeds 64.
+    #[inline]
     pub fn approx_int_result(&mut self, raw: u64, width: u32) -> u64 {
         assert!((1..=64).contains(&width), "bad integer width {width}");
         self.tick();
-        self.stats_mut().record_op(OpKind::Int, true);
-        let p = self.config().params.timing_error_prob;
-        let enabled = self.config().mask.fu_timing;
-        let mode = self.config().error_mode;
-        let out = if enabled && self.rng().gen_bool(p) {
-            let last = self.last_int & fault::low_mask(width);
-            let out = match mode {
-                ErrorMode::SingleBitFlip => fault::flip_one_bit(raw, width, self.rng()),
-                ErrorMode::LastValue => last,
-                ErrorMode::RandomValue => fault::random_bits(width, self.rng()),
-            };
-            let flipped = ((out ^ raw) & fault::low_mask(width)).count_ones();
-            self.note_fault(crate::trace::FaultKind::IntTiming, width, flipped);
-            out
+        self.stats.record_op(OpKind::Int, true);
+        let out = if self.sched.int_timing.fire(&mut self.rng) {
+            self.int_timing_fault(raw, width)
         } else {
             raw & fault::low_mask(width)
         };
         self.last_int = out;
+        out
+    }
+
+    /// Fault payload of an integer timing error. Out of line so the
+    /// (overwhelmingly common) fault-free iteration carries none of the
+    /// error-mode machinery in its hot loop.
+    #[cold]
+    #[inline(never)]
+    fn int_timing_fault(&mut self, raw: u64, width: u32) -> u64 {
+        let out = match self.hot.error_mode {
+            ErrorMode::SingleBitFlip => fault::flip_one_bit(raw, width, &mut self.rng),
+            ErrorMode::LastValue => self.last_int & fault::low_mask(width),
+            ErrorMode::RandomValue => fault::random_bits(width, &mut self.rng),
+        };
+        let flipped = ((out ^ raw) & fault::low_mask(width)).count_ones();
+        self.note_fault(crate::trace::FaultKind::IntTiming, width, flipped);
         out
     }
 
@@ -67,30 +79,40 @@ impl Hardware {
     /// Comparisons execute on the integer or floating-point unit (per `kind`)
     /// and produce a single bit; a timing error perturbs that bit according
     /// to the error mode (for `LastValue` the unit's last low bit is reused).
+    #[inline]
     pub fn approx_cmp_result(&mut self, raw: bool, kind: OpKind) -> bool {
         self.tick();
-        self.stats_mut().record_op(kind, true);
-        let p = self.config().params.timing_error_prob;
-        let enabled = self.config().mask.fu_timing;
-        let mode = self.config().error_mode;
-        if enabled && self.rng().gen_bool(p) {
-            let fault_kind = match kind {
-                OpKind::Int => crate::trace::FaultKind::IntTiming,
-                OpKind::Fp => crate::trace::FaultKind::FpTiming,
-            };
-            let observed = match mode {
-                ErrorMode::SingleBitFlip => !raw,
-                ErrorMode::LastValue => match kind {
-                    OpKind::Int => self.last_int & 1 == 1,
-                    OpKind::Fp => self.last_fp & 1 == 1,
-                },
-                ErrorMode::RandomValue => self.rng().gen_bool(0.5),
-            };
-            self.note_fault(fault_kind, 1, u32::from(observed != raw));
-            observed
+        self.stats.record_op(kind, true);
+        let fired = match kind {
+            OpKind::Int => self.sched.int_timing.fire(&mut self.rng),
+            OpKind::Fp => self.sched.fp_timing.fire(&mut self.rng),
+        };
+        if fired {
+            self.cmp_timing_fault(raw, kind)
         } else {
             raw
         }
+    }
+
+    /// Fault payload of a comparison timing error; out of line like
+    /// [`Hardware::int_timing_fault`].
+    #[cold]
+    #[inline(never)]
+    fn cmp_timing_fault(&mut self, raw: bool, kind: OpKind) -> bool {
+        let fault_kind = match kind {
+            OpKind::Int => crate::trace::FaultKind::IntTiming,
+            OpKind::Fp => crate::trace::FaultKind::FpTiming,
+        };
+        let observed = match self.hot.error_mode {
+            ErrorMode::SingleBitFlip => !raw,
+            ErrorMode::LastValue => match kind {
+                OpKind::Int => self.last_int & 1 == 1,
+                OpKind::Fp => self.last_fp & 1 == 1,
+            },
+            ErrorMode::RandomValue => self.rng.gen_bool(0.5),
+        };
+        self.note_fault(fault_kind, 1, u32::from(observed != raw));
+        observed
     }
 }
 

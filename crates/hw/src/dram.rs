@@ -17,6 +17,49 @@ use crate::layout::{self, FieldSpec, Layout};
 use crate::stats::MemKind;
 use crate::Hardware;
 
+impl Hardware {
+    /// Per-bit decay hazard (`-ln(1-p)`) for a refresh gap of `dt_ticks`
+    /// op-ticks, memoized on the most recent distinct gap. Application
+    /// loops touch elements with a near-constant per-iteration stride, so
+    /// the last-value cache hits almost always and the steady-state cost is
+    /// one integer compare instead of `exp()` + `ln()` per read.
+    fn dram_hazard(&mut self, dt_ticks: u64) -> f64 {
+        if self.decay_cache.0 != dt_ticks {
+            let dt = dt_ticks as f64 * self.hot.seconds_per_op;
+            let p = fault::decay_probability(self.hot.dram_rate, dt);
+            self.decay_cache = (dt_ticks, fault::hazard(p));
+        }
+        self.decay_cache.1
+    }
+
+    /// Applies refresh decay to `width` bits last refreshed `dt_ticks` ago,
+    /// via the amortized hazard countdown. Returns the observed pattern and
+    /// records a fault if any bit flipped.
+    #[inline]
+    fn dram_decay(&mut self, bits: u64, width: u32, dt_ticks: u64) -> u64 {
+        if self.hot.dram_rate <= 0.0 || dt_ticks == 0 {
+            return bits;
+        }
+        let h = self.dram_hazard(dt_ticks);
+        if h <= 0.0 || self.sched.dram.pass(f64::from(width) * h) {
+            return bits;
+        }
+        self.dram_decay_fault(bits, width, h)
+    }
+
+    /// Fault payload of a decay event; out of line so the fault-free read
+    /// carries none of the bit-walking machinery.
+    #[cold]
+    #[inline(never)]
+    fn dram_decay_fault(&mut self, bits: u64, width: u32, h: f64) -> u64 {
+        let out = self.sched.dram.flip_bits(bits, width, h, &mut self.rng);
+        if out != bits {
+            self.note_fault(crate::trace::FaultKind::DramDecay, width, (out ^ bits).count_ones());
+        }
+        out
+    }
+}
+
 /// A simulated DRAM-resident array of fixed-width elements.
 ///
 /// Elements are bit patterns of `elem_width` bits (at most 64). Approximate
@@ -41,11 +84,13 @@ use crate::Hardware;
 #[derive(Debug, Clone)]
 pub struct DramArray {
     words: Vec<u64>,
-    /// Simulated time of each element's last access (its refresh point).
-    last_access: Vec<f64>,
+    /// Op-tick of each element's last access (its refresh point). Integer
+    /// ticks make the refresh gap an exact integer, which is what the
+    /// memoized decay lookup keys on.
+    last_access: Vec<u64>,
     elem_width: u32,
     approx: bool,
-    alloc_time: f64,
+    alloc_tick: u64,
     layout: Layout,
     /// Index of the first element stored on an approximate line.
     first_approx_elem: usize,
@@ -73,13 +118,13 @@ impl DramArray {
         );
         let first_approx_elem =
             if approx { l.approx_bytes_on_precise_lines.div_ceil(elem_bytes.max(1)) } else { len };
-        let now = hw.now();
+        let now = hw.op_ticks();
         DramArray {
             words: vec![0; len],
             last_access: vec![now; len],
             elem_width,
             approx,
-            alloc_time: now,
+            alloc_tick: now,
             layout: l,
             first_approx_elem,
             retired: false,
@@ -127,21 +172,10 @@ impl DramArray {
     /// bounds are always enforced (section 2.6).
     pub fn read(&mut self, hw: &mut Hardware, i: usize) -> u64 {
         hw.tick();
-        let now = hw.now();
+        let now = hw.op_ticks();
         let stored = self.words[i];
-        let decays = self.approx && hw.config().mask.dram && i >= self.first_approx_elem;
-        let out = if decays {
-            let dt = (now - self.last_access[i]).max(0.0);
-            let p = fault::decay_probability(hw.config().params.dram_flip_per_second, dt);
-            let flipped = fault::flip_bits(stored, self.elem_width, p, hw.rng());
-            if flipped != stored {
-                hw.note_fault(
-                    crate::trace::FaultKind::DramDecay,
-                    self.elem_width,
-                    (flipped ^ stored).count_ones(),
-                );
-            }
-            flipped
+        let out = if self.approx && i >= self.first_approx_elem {
+            hw.dram_decay(stored, self.elem_width, now - self.last_access[i])
         } else {
             stored
         };
@@ -159,7 +193,7 @@ impl DramArray {
     pub fn write(&mut self, hw: &mut Hardware, i: usize, bits: u64) {
         hw.tick();
         self.words[i] = bits & fault::low_mask(self.elem_width);
-        self.last_access[i] = hw.now();
+        self.last_access[i] = hw.op_ticks();
     }
 
     /// Accounts this array's storage byte-seconds and marks it retired.
@@ -171,7 +205,7 @@ impl DramArray {
             return;
         }
         self.retired = true;
-        let held = (hw.now() - self.alloc_time).max(0.0);
+        let held = (hw.op_ticks() - self.alloc_tick) as f64 * hw.config().seconds_per_op;
         let precise_bytes =
             (self.layout.precise_bytes + self.layout.approx_bytes_on_precise_lines) as f64;
         let approx_bytes = self.layout.approx_bytes_on_approx_lines as f64;
@@ -286,9 +320,9 @@ mod tests {
             hw.precise_op(crate::stats::OpKind::Int);
         }
         arr.retire(&mut hw);
-        let after_first = *hw.stats();
+        let after_first = hw.stats();
         arr.retire(&mut hw);
-        assert_eq!(&after_first, hw.stats(), "retire must be idempotent");
+        assert_eq!(after_first, hw.stats(), "retire must be idempotent");
         assert!(after_first.dram_approx_byte_seconds > 0.0);
         assert!(after_first.dram_precise_byte_seconds > 0.0); // header line
         let frac = after_first.approx_storage_fraction(MemKind::Dram);
@@ -330,12 +364,13 @@ mod tests {
 #[derive(Debug, Clone)]
 pub struct DramRecord {
     words: Vec<u64>,
-    last_access: Vec<f64>,
+    /// Op-tick of each field's last access (its refresh point).
+    last_access: Vec<u64>,
     widths: Vec<u32>,
     /// Whether each field's *storage* is approximate after layout.
     effective_approx: Vec<bool>,
     layout: Layout,
-    alloc_time: f64,
+    alloc_tick: u64,
     retired: bool,
 }
 
@@ -373,14 +408,14 @@ impl DramRecord {
                 effective_approx.push(false);
             }
         }
-        let now = hw.now();
+        let now = hw.op_ticks();
         DramRecord {
             words: vec![0; fields.len()],
             last_access: vec![now; fields.len()],
             widths: fields.iter().map(|f| (f.size * 8) as u32).collect(),
             effective_approx,
             layout: l,
-            alloc_time: now,
+            alloc_tick: now,
             retired: false,
         }
     }
@@ -412,20 +447,10 @@ impl DramRecord {
     /// Panics if `i` is out of range.
     pub fn read(&mut self, hw: &mut Hardware, i: usize) -> u64 {
         hw.tick();
-        let now = hw.now();
+        let now = hw.op_ticks();
         let stored = self.words[i];
-        let out = if self.effective_approx[i] && hw.config().mask.dram {
-            let dt = (now - self.last_access[i]).max(0.0);
-            let p = fault::decay_probability(hw.config().params.dram_flip_per_second, dt);
-            let flipped = fault::flip_bits(stored, self.widths[i], p, hw.rng());
-            if flipped != stored {
-                hw.note_fault(
-                    crate::trace::FaultKind::DramDecay,
-                    self.widths[i],
-                    (flipped ^ stored).count_ones(),
-                );
-            }
-            flipped
+        let out = if self.effective_approx[i] {
+            hw.dram_decay(stored, self.widths[i], now - self.last_access[i])
         } else {
             stored
         };
@@ -442,7 +467,7 @@ impl DramRecord {
     pub fn write(&mut self, hw: &mut Hardware, i: usize, bits: u64) {
         hw.tick();
         self.words[i] = bits & fault::low_mask(self.widths[i]);
-        self.last_access[i] = hw.now();
+        self.last_access[i] = hw.op_ticks();
     }
 
     /// Accounts the record's storage byte-seconds once.
@@ -451,7 +476,7 @@ impl DramRecord {
             return;
         }
         self.retired = true;
-        let held = (hw.now() - self.alloc_time).max(0.0);
+        let held = (hw.op_ticks() - self.alloc_tick) as f64 * hw.config().seconds_per_op;
         let precise =
             (self.layout.precise_bytes + self.layout.approx_bytes_on_precise_lines) as f64;
         let approx = self.layout.approx_bytes_on_approx_lines as f64;
@@ -532,11 +557,11 @@ mod record_tests {
             hw.precise_op(crate::stats::OpKind::Int);
         }
         rec.retire(&mut hw);
-        let s = *hw.stats();
+        let s = hw.stats();
         assert!(s.dram_approx_byte_seconds > 0.0);
         assert!(s.dram_precise_byte_seconds > 0.0);
         rec.retire(&mut hw); // idempotent
-        assert_eq!(&s, hw.stats());
+        assert_eq!(s, hw.stats());
     }
 
     #[test]

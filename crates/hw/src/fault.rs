@@ -55,6 +55,209 @@ fn skip<R: Rng + ?Sized>(rng: &mut R, denom: f64) -> u64 {
     }
 }
 
+/// Draws a unit-rate exponential: `-ln(U)` with `U` in `(0, 1]`.
+fn exp1<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    -(1.0 - rng.gen::<f64>()).ln()
+}
+
+/// A cross-access geometric countdown over a fixed-probability Bernoulli
+/// fault stream (SRAM read upsets, SRAM write failures, FU timing errors).
+///
+/// Instead of running a Bernoulli trial per bit per access, the countdown
+/// draws the gap to the next flipped trial *once* and carries the remainder
+/// across accesses. Because the geometric distribution is memoryless, the
+/// leftover countdown after an access is itself geometric, so the stream of
+/// flipped trials is distributed exactly as per-access sampling with
+/// [`flip_bits`] — see the equivalence tests and DESIGN.md, "Amortized
+/// fault scheduling". Steady-state cost between faults is one integer
+/// comparison and subtraction per access: no RNG draws, no `ln()`, no
+/// branch into fault code.
+#[derive(Debug, Clone)]
+pub struct GeomCountdown {
+    /// Per-trial flip probability.
+    p: f64,
+    /// `ln(1 - p)`, negative; meaningful only for `p` strictly in `(0, 1)`.
+    denom: f64,
+    /// Bernoulli trials that will pass before the next flipped trial.
+    remaining: u64,
+}
+
+impl GeomCountdown {
+    /// Creates a countdown for per-trial probability `p`, drawing the first
+    /// gap. `p == 0` (including a masked-off strategy) never draws from the
+    /// RNG and never fires; `p == 1` fires on every trial.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    pub fn new<R: Rng + ?Sized>(p: f64, rng: &mut R) -> Self {
+        assert!((0.0..=1.0).contains(&p), "probability {p} out of range");
+        let denom = (-p).ln_1p();
+        let remaining = if p <= 0.0 {
+            u64::MAX
+        } else if p >= 1.0 {
+            0
+        } else {
+            skip(rng, denom)
+        };
+        GeomCountdown { p, denom, remaining }
+    }
+
+    /// The per-trial probability this countdown was built with.
+    pub fn probability(&self) -> f64 {
+        self.p
+    }
+
+    /// Fast path: consumes `trials` Bernoulli trials. Returns `true` when
+    /// none of them flips (the overwhelmingly common case); `false` when the
+    /// countdown runs out inside this batch and the caller must take the
+    /// slow path ([`GeomCountdown::flip_bits`]).
+    #[inline]
+    pub fn pass(&mut self, trials: u32) -> bool {
+        let t = u64::from(trials);
+        if self.remaining >= t {
+            self.remaining -= t;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Per-operation stream: consumes one trial and reports whether it
+    /// fires. Equivalent to `gen_bool(p)` per operation, amortized.
+    #[inline]
+    pub fn fire<R: Rng + ?Sized>(&mut self, rng: &mut R) -> bool {
+        if self.remaining > 0 {
+            self.remaining -= 1;
+            return false;
+        }
+        if self.p <= 0.0 {
+            // Only reachable after 2^64 trials drained a never-fires stream.
+            self.remaining = u64::MAX;
+            return false;
+        }
+        self.remaining = if self.p >= 1.0 { 0 } else { skip(rng, self.denom) };
+        true
+    }
+
+    /// Slow path for bit-pattern streams, called when [`GeomCountdown::pass`]
+    /// returned `false`: flips the bit the countdown landed on, then keeps
+    /// drawing geometric gaps until one escapes the access; the overshoot is
+    /// carried into subsequent accesses. The caller is responsible for the
+    /// fast path — invoking this directly with a live countdown would skew
+    /// the stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width > 64`.
+    pub fn flip_bits<R: Rng + ?Sized>(&mut self, bits: u64, width: u32, rng: &mut R) -> u64 {
+        assert!(width <= 64, "bit width {width} exceeds u64");
+        if self.p <= 0.0 {
+            self.remaining = u64::MAX;
+            return bits;
+        }
+        if self.p >= 1.0 {
+            // `remaining` stays 0: every bit of every access flips.
+            return bits ^ low_mask(width);
+        }
+        let w = u64::from(width);
+        debug_assert!(self.remaining < w, "slow path entered with a live countdown");
+        let mut out = bits;
+        let mut i = self.remaining;
+        while i < w {
+            out ^= 1u64 << i;
+            i = i.saturating_add(1).saturating_add(skip(rng, self.denom));
+        }
+        self.remaining = i - w;
+        out
+    }
+}
+
+/// Converts a per-bit flip probability into exponential hazard `-ln(1-p)`:
+/// the units [`HazardCountdown`] counts in.
+///
+/// # Panics
+///
+/// Panics if `p` is not in `[0, 1)`. (`p == 1` would be infinite hazard;
+/// [`decay_probability`] saturates at 0.5, so DRAM never produces it.)
+pub fn hazard(p: f64) -> f64 {
+    assert!((0.0..1.0).contains(&p), "probability {p} out of range for hazard");
+    -(-p).ln_1p()
+}
+
+/// A cross-access countdown for per-bit Bernoulli streams whose probability
+/// varies between accesses — DRAM refresh decay, where `p` depends on the
+/// time since the element was last refreshed.
+///
+/// The countdown works in *hazard* units: a bit that flips with probability
+/// `p` consumes `h = -ln(1-p)` of hazard ([`hazard`]), and a unit-rate
+/// exponential alarm `R ~ Exp(1)` rings inside the bit that pushes the
+/// cumulative hazard past `R`. Survival of `k` whole bits has probability
+/// `e^{-k·h} = (1-p)^k`, exactly the geometric law — and because the
+/// exponential is memoryless in hazard, carrying leftover hazard across
+/// accesses stays exact even when each access contributes a different `p`.
+#[derive(Debug, Clone)]
+pub struct HazardCountdown {
+    /// Remaining Exp(1) hazard before the next flip.
+    remaining: f64,
+}
+
+impl HazardCountdown {
+    /// Creates a countdown, drawing the first exponential alarm.
+    pub fn new<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        HazardCountdown { remaining: exp1(rng) }
+    }
+
+    /// Fast path: consumes `exposure` hazard (typically `width * hazard(p)`
+    /// for one access). Returns `true` when no bit flips.
+    #[inline]
+    pub fn pass(&mut self, exposure: f64) -> bool {
+        if self.remaining > exposure {
+            self.remaining -= exposure;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Slow path, called when [`HazardCountdown::pass`] returned `false`
+    /// for an access of `width` bits at `per_bit` hazard per bit: flips the
+    /// bit the alarm landed in, redraws, and repeats until an alarm escapes
+    /// the access; the overshoot carries into subsequent accesses.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width > 64`; `per_bit` must be positive (callers gate
+    /// zero-hazard accesses on the fast path).
+    pub fn flip_bits<R: Rng + ?Sized>(
+        &mut self,
+        bits: u64,
+        width: u32,
+        per_bit: f64,
+        rng: &mut R,
+    ) -> u64 {
+        assert!(width <= 64, "bit width {width} exceeds u64");
+        debug_assert!(per_bit > 0.0, "slow path needs positive per-bit hazard");
+        let mut out = bits;
+        let mut base: u64 = 0;
+        let mut left = u64::from(width);
+        loop {
+            // Whole bits the remaining hazard survives: the alarm rings in
+            // the bit whose cumulative hazard first reaches `remaining`.
+            let gap = ((self.remaining / per_bit).ceil() - 1.0).max(0.0);
+            if gap >= left as f64 {
+                self.remaining -= left as f64 * per_bit;
+                return out;
+            }
+            let g = gap as u64;
+            out ^= 1u64 << (base + g);
+            base += g + 1;
+            left -= g + 1;
+            self.remaining = exp1(rng);
+        }
+    }
+}
+
 /// Flips exactly one uniformly-chosen bit among the low `width` bits.
 ///
 /// This is the `single-bit-flip` functional-unit error model.
@@ -88,9 +291,15 @@ pub fn low_mask(width: u32) -> u64 {
 /// per-second flip rate `rate`: `1 - exp(-rate * dt)`.
 ///
 /// Saturates at 0.5 — a fully decayed DRAM cell carries no information, not
-/// an inverted bit.
+/// an inverted bit (see DESIGN.md, "Simulation-model decisions").
+///
+/// # Panics
+///
+/// Panics if `rate` or `dt` is negative or NaN. This is a real assert, not
+/// a `debug_assert`: a negative product would silently yield a negative
+/// "probability" (and NaN would propagate) in release builds otherwise.
 pub fn decay_probability(rate: f64, dt: f64) -> f64 {
-    debug_assert!(rate >= 0.0 && dt >= 0.0);
+    assert!(rate >= 0.0 && dt >= 0.0, "decay rate {rate} and dt {dt} must be non-negative");
     let p = 1.0 - (-rate * dt).exp();
     p.min(0.5)
 }
@@ -208,6 +417,138 @@ mod tests {
     fn flip_bits_rejects_bad_probability() {
         let mut r = rng();
         let _ = flip_bits(0, 8, 1.5, &mut r);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn decay_probability_rejects_negative_rate() {
+        let _ = decay_probability(-1.0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn decay_probability_rejects_nan_dt() {
+        let _ = decay_probability(1.0, f64::NAN);
+    }
+
+    fn countdown_run(p: f64, width: u32, accesses: u64, seed: u64) -> u64 {
+        let mut r = StdRng::seed_from_u64(seed);
+        let mut cd = GeomCountdown::new(p, &mut r);
+        let mut flips = 0u64;
+        for _ in 0..accesses {
+            if !cd.pass(width) {
+                flips += u64::from(cd.flip_bits(0, width, &mut r).count_ones());
+            }
+        }
+        flips
+    }
+
+    #[test]
+    fn countdown_zero_probability_never_fires_or_draws() {
+        let mut r = rng();
+        let mut untouched = rng();
+        let mut cd = GeomCountdown::new(0.0, &mut r);
+        for _ in 0..10_000 {
+            assert!(cd.pass(64));
+            assert!(!cd.fire(&mut r));
+        }
+        // A p = 0 stream must never consume RNG state.
+        assert_eq!(r.gen::<u64>(), untouched.gen::<u64>());
+    }
+
+    #[test]
+    fn countdown_unit_probability_flips_every_bit() {
+        let mut r = rng();
+        let mut cd = GeomCountdown::new(1.0, &mut r);
+        for _ in 0..100 {
+            assert!(!cd.pass(8));
+            assert_eq!(cd.flip_bits(0, 8, &mut r), 0xFF);
+            assert!(cd.fire(&mut r));
+        }
+    }
+
+    #[test]
+    fn countdown_flip_rate_matches_probability() {
+        let p = 0.01;
+        let accesses = 20_000u64;
+        let flips = countdown_run(p, 64, accesses, 0x5EED) as f64;
+        let trials = accesses as f64 * 64.0;
+        let sigma = (trials * p * (1.0 - p)).sqrt();
+        assert!(
+            (flips - trials * p).abs() < 5.0 * sigma,
+            "flips {flips}, expected {} +/- {}",
+            trials * p,
+            5.0 * sigma
+        );
+    }
+
+    #[test]
+    fn countdown_per_op_rate_matches_gen_bool() {
+        let p = 0.05;
+        let n = 50_000u64;
+        let mut r = rng();
+        let mut cd = GeomCountdown::new(p, &mut r);
+        let fired = (0..n).filter(|_| cd.fire(&mut r)).count() as f64;
+        let sigma = (n as f64 * p * (1.0 - p)).sqrt();
+        assert!((fired - n as f64 * p).abs() < 5.0 * sigma, "fired {fired}");
+    }
+
+    #[test]
+    fn hazard_of_zero_is_zero_and_grows_with_p() {
+        assert_eq!(hazard(0.0), 0.0);
+        assert!(hazard(0.5) > hazard(0.1));
+        assert!((hazard(0.5) - std::f64::consts::LN_2).abs() < 1e-15);
+    }
+
+    #[test]
+    fn hazard_countdown_matches_fixed_probability() {
+        let p = 0.02;
+        let h = hazard(p);
+        let accesses = 20_000u64;
+        let mut r = rng();
+        let mut cd = HazardCountdown::new(&mut r);
+        let mut flips = 0u64;
+        for _ in 0..accesses {
+            if !cd.pass(64.0 * h) {
+                flips += u64::from(cd.flip_bits(0, 64, h, &mut r).count_ones());
+            }
+        }
+        let trials = accesses as f64 * 64.0;
+        let sigma = (trials * p * (1.0 - p)).sqrt();
+        assert!(
+            (flips as f64 - trials * p).abs() < 5.0 * sigma,
+            "flips {flips}, expected {} +/- {}",
+            trials * p,
+            5.0 * sigma
+        );
+    }
+
+    #[test]
+    fn hazard_countdown_exact_under_varying_probability() {
+        // Alternate two probabilities per access; the expected flip count is
+        // the sum of the per-access expectations. A plain geometric counter
+        // in trial units would be biased here; the hazard clock is not.
+        let (p1, p2) = (0.001, 0.08);
+        let (h1, h2) = (hazard(p1), hazard(p2));
+        let accesses = 40_000u64;
+        let mut r = rng();
+        let mut cd = HazardCountdown::new(&mut r);
+        let mut flips = 0u64;
+        for i in 0..accesses {
+            let h = if i % 2 == 0 { h1 } else { h2 };
+            if !cd.pass(64.0 * h) {
+                flips += u64::from(cd.flip_bits(0, 64, h, &mut r).count_ones());
+            }
+        }
+        let n_each = accesses as f64 / 2.0 * 64.0;
+        let expected = n_each * (p1 + p2);
+        let var = n_each * (p1 * (1.0 - p1) + p2 * (1.0 - p2));
+        let sigma = var.sqrt();
+        assert!(
+            (flips as f64 - expected).abs() < 5.0 * sigma,
+            "flips {flips}, expected {expected} +/- {}",
+            5.0 * sigma
+        );
     }
 
     #[test]

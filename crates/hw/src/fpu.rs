@@ -12,60 +12,77 @@ use crate::config::ErrorMode;
 use crate::fault;
 use crate::stats::OpKind;
 use crate::Hardware;
-use rand::Rng;
 
 /// Number of mantissa bits in an IEEE 754 `f32`.
 pub const F32_MANTISSA_BITS: u32 = 23;
 /// Number of mantissa bits in an IEEE 754 `f64`.
 pub const F64_MANTISSA_BITS: u32 = 52;
 
+/// Bit mask that truncates an `f32` mantissa to its `keep` most
+/// significant bits (all ones — the identity — for `keep >= 23`).
+pub fn trunc_mask_f32(keep: u32) -> u32 {
+    if keep >= F32_MANTISSA_BITS {
+        u32::MAX
+    } else {
+        !((1u32 << (F32_MANTISSA_BITS - keep)) - 1)
+    }
+}
+
+/// Bit mask that truncates an `f64` mantissa to its `keep` most
+/// significant bits (all ones for `keep >= 52`).
+pub fn trunc_mask_f64(keep: u32) -> u64 {
+    if keep >= F64_MANTISSA_BITS {
+        u64::MAX
+    } else {
+        !((1u64 << (F64_MANTISSA_BITS - keep)) - 1)
+    }
+}
+
 /// Truncates an `f32` mantissa to its `keep` most significant bits.
 ///
 /// NaN and infinities pass through unchanged. `keep >= 23` is the identity.
 pub fn truncate_f32(x: f32, keep: u32) -> f32 {
-    if keep >= F32_MANTISSA_BITS || !x.is_finite() {
+    if !x.is_finite() {
         return x;
     }
-    let drop = F32_MANTISSA_BITS - keep;
-    let mask = !((1u32 << drop) - 1);
-    f32::from_bits(x.to_bits() & mask)
+    f32::from_bits(x.to_bits() & trunc_mask_f32(keep))
 }
 
 /// Truncates an `f64` mantissa to its `keep` most significant bits.
 ///
 /// NaN and infinities pass through unchanged. `keep >= 52` is the identity.
 pub fn truncate_f64(x: f64, keep: u32) -> f64 {
-    if keep >= F64_MANTISSA_BITS || !x.is_finite() {
+    if !x.is_finite() {
         return x;
     }
-    let drop = F64_MANTISSA_BITS - keep;
-    let mask = !((1u64 << drop) - 1);
-    f64::from_bits(x.to_bits() & mask)
+    f64::from_bits(x.to_bits() & trunc_mask_f64(keep))
 }
 
 impl Hardware {
     /// Applies mantissa width reduction to an `f32` operand, if the FP-width
-    /// strategy is enabled.
+    /// strategy is enabled. (When masked off, the hoisted truncation mask is
+    /// all ones and truncation is the identity.)
+    #[inline]
     pub fn approx_f32_operand(&self, x: f32) -> f32 {
-        if self.config().mask.fp_width {
-            truncate_f32(x, self.config().params.float_mantissa_bits)
-        } else {
-            x
+        if !x.is_finite() {
+            return x;
         }
+        f32::from_bits(x.to_bits() & self.hot.f32_trunc_mask)
     }
 
     /// Applies mantissa width reduction to an `f64` operand, if the FP-width
     /// strategy is enabled.
+    #[inline]
     pub fn approx_f64_operand(&self, x: f64) -> f64 {
-        if self.config().mask.fp_width {
-            truncate_f64(x, self.config().params.double_mantissa_bits)
-        } else {
-            x
+        if !x.is_finite() {
+            return x;
         }
+        f64::from_bits(x.to_bits() & self.hot.f64_trunc_mask)
     }
 
     /// Result phase of an approximate `f32` operation: counts, ticks the
     /// clock, and applies a timing error with the configured probability.
+    #[inline]
     pub fn approx_f32_result(&mut self, raw: f32) -> f32 {
         let bits = self.approx_fp_result_bits(u64::from(raw.to_bits()), 32);
         f32::from_bits(bits as u32)
@@ -73,31 +90,37 @@ impl Hardware {
 
     /// Result phase of an approximate `f64` operation: counts, ticks the
     /// clock, and applies a timing error with the configured probability.
+    #[inline]
     pub fn approx_f64_result(&mut self, raw: f64) -> f64 {
         let bits = self.approx_fp_result_bits(raw.to_bits(), 64);
         f64::from_bits(bits)
     }
 
+    #[inline]
     fn approx_fp_result_bits(&mut self, raw: u64, width: u32) -> u64 {
         self.tick();
-        self.stats_mut().record_op(OpKind::Fp, true);
-        let p = self.config().params.timing_error_prob;
-        let enabled = self.config().mask.fu_timing;
-        let mode = self.config().error_mode;
-        let out = if enabled && self.rng().gen_bool(p) {
-            let last = self.last_fp & fault::low_mask(width);
-            let out = match mode {
-                ErrorMode::SingleBitFlip => fault::flip_one_bit(raw, width, self.rng()),
-                ErrorMode::LastValue => last,
-                ErrorMode::RandomValue => fault::random_bits(width, self.rng()),
-            };
-            let flipped = ((out ^ raw) & fault::low_mask(width)).count_ones();
-            self.note_fault(crate::trace::FaultKind::FpTiming, width, flipped);
-            out
+        self.stats.record_op(OpKind::Fp, true);
+        let out = if self.sched.fp_timing.fire(&mut self.rng) {
+            self.fp_timing_fault(raw, width)
         } else {
             raw & fault::low_mask(width)
         };
         self.last_fp = out;
+        out
+    }
+
+    /// Fault payload of a floating-point timing error; out of line to keep
+    /// the fault-free result phase free of the error-mode machinery.
+    #[cold]
+    #[inline(never)]
+    fn fp_timing_fault(&mut self, raw: u64, width: u32) -> u64 {
+        let out = match self.hot.error_mode {
+            ErrorMode::SingleBitFlip => fault::flip_one_bit(raw, width, &mut self.rng),
+            ErrorMode::LastValue => self.last_fp & fault::low_mask(width),
+            ErrorMode::RandomValue => fault::random_bits(width, &mut self.rng),
+        };
+        let flipped = ((out ^ raw) & fault::low_mask(width)).count_ones();
+        self.note_fault(crate::trace::FaultKind::FpTiming, width, flipped);
         out
     }
 }

@@ -59,10 +59,88 @@ pub use dram::DramArray;
 pub use stats::{MemKind, OpKind, Stats};
 pub use telemetry::FaultCounters;
 
-use clock::SimClock;
+use fault::{GeomCountdown, HazardCountdown};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use trace::{FaultEvent, FaultKind, TraceBuffer};
+
+/// Snapshot of the `HwConfig` fields the per-access hot path reads, plus a
+/// few derived constants. `HwConfig` is immutable once a `Hardware` is
+/// constructed, so hoisting these into a flat struct lets the hot path skip
+/// re-borrowing `config()` and re-deriving masks per access.
+#[derive(Debug, Clone, Copy)]
+struct HotConfig {
+    seconds_per_op: f64,
+    /// Byte-seconds contributed by one bit-access quantum of SRAM
+    /// residency: `seconds_per_op / 8`.
+    sram_byte_quantum: f64,
+    /// Effective DRAM decay rate: zero when the strategy is masked off.
+    dram_rate: f64,
+    error_mode: ErrorMode,
+    /// Mantissa-truncation mask for `f32` operands, precomputed from the
+    /// effective kept width (all ones — the identity — when the fp-width
+    /// strategy is masked off).
+    f32_trunc_mask: u32,
+    /// Mantissa-truncation mask for `f64` operands.
+    f64_trunc_mask: u64,
+}
+
+impl HotConfig {
+    fn new(cfg: &HwConfig) -> Self {
+        HotConfig {
+            seconds_per_op: cfg.seconds_per_op,
+            sram_byte_quantum: cfg.seconds_per_op / 8.0,
+            dram_rate: if cfg.mask.dram { cfg.params.dram_flip_per_second } else { 0.0 },
+            error_mode: cfg.error_mode,
+            f32_trunc_mask: if cfg.mask.fp_width {
+                fpu::trunc_mask_f32(cfg.params.float_mantissa_bits)
+            } else {
+                u32::MAX
+            },
+            f64_trunc_mask: if cfg.mask.fp_width {
+                fpu::trunc_mask_f64(cfg.params.double_mantissa_bits)
+            } else {
+                u64::MAX
+            },
+        }
+    }
+}
+
+/// Per-stream amortized fault countdowns (see [`fault::GeomCountdown`] and
+/// [`fault::HazardCountdown`]). Masked-off strategies get probability-zero
+/// streams that never fire and never touch the RNG.
+///
+/// Streams draw their initial gaps in a fixed order (SRAM read, SRAM write,
+/// int timing, fp timing, DRAM), so a given `(config, seed)` pair always
+/// yields the same fault sequence.
+#[derive(Debug, Clone)]
+struct FaultScheduler {
+    sram_read: GeomCountdown,
+    sram_write: GeomCountdown,
+    int_timing: GeomCountdown,
+    fp_timing: GeomCountdown,
+    dram: HazardCountdown,
+}
+
+impl FaultScheduler {
+    fn new(cfg: &HwConfig, rng: &mut StdRng) -> Self {
+        fn eff(enabled: bool, p: f64) -> f64 {
+            if enabled {
+                p
+            } else {
+                0.0
+            }
+        }
+        let (m, p) = (&cfg.mask, &cfg.params);
+        FaultScheduler {
+            sram_read: GeomCountdown::new(eff(m.sram_read, p.sram_read_upset_prob), rng),
+            sram_write: GeomCountdown::new(eff(m.sram_write, p.sram_write_failure_prob), rng),
+            int_timing: GeomCountdown::new(eff(m.fu_timing, p.timing_error_prob), rng),
+            fp_timing: GeomCountdown::new(eff(m.fu_timing, p.timing_error_prob), rng),
+            dram: HazardCountdown::new(rng),
+        }
+    }
+}
 
 /// The simulated approximation-aware machine.
 ///
@@ -71,12 +149,29 @@ use trace::{FaultEvent, FaultKind, TraceBuffer};
 /// per-unit state of the last-value error model. All fault injection and
 /// accounting flows through methods on this type; the [`alu`], [`fpu`],
 /// [`sram`] and [`dram`] modules contribute `impl Hardware` blocks.
+///
+/// Fault injection is *amortized*: each fault stream keeps a countdown to
+/// its next fault, so the steady-state cost of an access is a counter
+/// decrement (see DESIGN.md, "Amortized fault scheduling"). The injected
+/// fault process is distributionally identical to per-access Bernoulli
+/// sampling, but the RNG stream differs from the pre-amortization
+/// implementation, so individual seeded trials produce a different —
+/// equally valid — sample.
 #[derive(Debug, Clone)]
 pub struct Hardware {
     cfg: HwConfig,
+    hot: HotConfig,
     rng: StdRng,
-    clock: SimClock,
+    sched: FaultScheduler,
+    /// Completed simulated operations; simulated time is
+    /// `op_ticks * seconds_per_op`.
+    op_ticks: u64,
     stats: Stats,
+    /// SRAM residency not yet folded into `stats`, in bit-access quanta,
+    /// indexed by `approx as usize`. Folded lazily by [`Hardware::stats`].
+    pending_sram_bits: [u64; 2],
+    /// Last DRAM decay lookup: refresh gap in op-ticks, per-bit hazard.
+    decay_cache: (u64, f64),
     /// Last result of the integer unit (for [`ErrorMode::LastValue`]).
     pub(crate) last_int: u64,
     /// Last result of the floating-point unit (for [`ErrorMode::LastValue`]).
@@ -89,11 +184,17 @@ pub struct Hardware {
 impl Hardware {
     /// Creates a machine with the given configuration and RNG seed.
     pub fn new(cfg: HwConfig, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let sched = FaultScheduler::new(&cfg, &mut rng);
         Hardware {
+            hot: HotConfig::new(&cfg),
             cfg,
-            rng: StdRng::seed_from_u64(seed),
-            clock: SimClock::new(),
+            rng,
+            sched,
+            op_ticks: 0,
             stats: Stats::new(),
+            pending_sram_bits: [0; 2],
+            decay_cache: (0, 0.0),
             last_int: 0,
             last_fp: 0,
             trace: None,
@@ -152,11 +253,12 @@ impl Hardware {
     ///
     /// Never touches the fault PRNG, so recording cannot perturb the
     /// simulated outcome.
+    #[cold]
     pub(crate) fn note_fault(&mut self, kind: FaultKind, width: u32, bits_flipped: u32) {
         self.stats.record_fault();
         self.counters.record(kind, bits_flipped);
         if self.trace.is_some() || self.event_log.is_some() {
-            let time = self.clock.now();
+            let time = self.now();
             let event = FaultEvent { kind, time, width, bits_flipped };
             if let Some(trace) = &mut self.trace {
                 trace.push(event);
@@ -173,37 +275,59 @@ impl Hardware {
     }
 
     /// Accumulated statistics so far.
-    pub fn stats(&self) -> &Stats {
-        &self.stats
+    ///
+    /// Returned by value: the hot path accumulates SRAM residency as
+    /// integer bit-quanta, and this fold converts them to byte-seconds
+    /// lazily at read time.
+    pub fn stats(&self) -> Stats {
+        let mut s = self.stats;
+        s.sram_precise_byte_seconds +=
+            self.pending_sram_bits[0] as f64 * self.hot.sram_byte_quantum;
+        s.sram_approx_byte_seconds += self.pending_sram_bits[1] as f64 * self.hot.sram_byte_quantum;
+        s
     }
 
     /// Mutable access to the statistics (used by higher layers to account
-    /// storage they manage themselves).
+    /// storage they manage themselves). Flushes pending SRAM bit-quanta
+    /// first so the returned reference sees fully-folded values.
     pub fn stats_mut(&mut self) -> &mut Stats {
+        self.flush_pending_storage();
         &mut self.stats
     }
 
+    /// Folds the pending SRAM bit-quanta into the f64 byte-second fields.
+    fn flush_pending_storage(&mut self) {
+        let q = self.hot.sram_byte_quantum;
+        self.stats.sram_precise_byte_seconds += self.pending_sram_bits[0] as f64 * q;
+        self.stats.sram_approx_byte_seconds += self.pending_sram_bits[1] as f64 * q;
+        self.pending_sram_bits = [0; 2];
+    }
+
     /// Current simulated time in seconds.
+    #[inline]
     pub fn now(&self) -> f64 {
-        self.clock.now()
+        self.op_ticks as f64 * self.hot.seconds_per_op
+    }
+
+    /// Completed simulated operations — the virtual clock in op-tick units.
+    /// Multiply by [`HwConfig::seconds_per_op`] (or read [`Hardware::now`])
+    /// for seconds.
+    pub fn op_ticks(&self) -> u64 {
+        self.op_ticks
     }
 
     /// Advances the virtual clock by one operation time.
+    #[inline]
     pub(crate) fn tick(&mut self) {
-        let dt = self.cfg.seconds_per_op;
-        self.clock.advance(dt);
-    }
-
-    /// Internal access to the RNG for the unit modules.
-    pub(crate) fn rng(&mut self) -> &mut StdRng {
-        &mut self.rng
+        self.op_ticks += 1;
     }
 
     /// Resets statistics, fault counters, the event log and the clock,
-    /// keeping configuration and RNG state.
+    /// keeping configuration, RNG state and the fault countdowns.
     pub fn reset_stats(&mut self) {
         self.stats = Stats::new();
-        self.clock = SimClock::new();
+        self.pending_sram_bits = [0; 2];
+        self.op_ticks = 0;
         self.counters = FaultCounters::new();
         if let Some(log) = &mut self.event_log {
             log.clear();

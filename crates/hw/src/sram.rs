@@ -14,8 +14,6 @@
 //! also contributes one access-quantum of byte-seconds to the storage
 //! statistics, which is how the SRAM bars of Figure 3 are measured.
 
-use crate::fault;
-use crate::stats::MemKind;
 use crate::Hardware;
 
 impl Hardware {
@@ -25,16 +23,30 @@ impl Hardware {
     /// model the stored value itself is also corrupted, so callers should
     /// treat the returned value as the new content.
     ///
+    /// The steady-state cost is two integer adds: one bit-quantum of
+    /// storage accounting and one decrement of the read-upset countdown
+    /// (see [`crate::fault::GeomCountdown`]). The RNG is touched only when
+    /// the countdown lands inside this access.
+    ///
     /// # Panics
     ///
     /// Panics if `width` exceeds 64.
+    #[inline]
     pub fn sram_read(&mut self, bits: u64, width: u32, approx: bool) -> u64 {
-        self.account_sram(width, approx);
-        if !approx || !self.config().mask.sram_read {
+        assert!(width <= 64, "bad SRAM access width {width}");
+        self.pending_sram_bits[usize::from(approx)] += u64::from(width);
+        if !approx || self.sched.sram_read.pass(width) {
             return bits;
         }
-        let p = self.config().params.sram_read_upset_prob;
-        let out = fault::flip_bits(bits, width, p, self.rng());
+        self.sram_read_fault(bits, width)
+    }
+
+    /// Fault payload of a read upset; out of line so the fault-free access
+    /// carries none of the bit-walking machinery.
+    #[cold]
+    #[inline(never)]
+    fn sram_read_fault(&mut self, bits: u64, width: u32) -> u64 {
+        let out = self.sched.sram_read.flip_bits(bits, width, &mut self.rng);
         if out != bits {
             self.note_fault(
                 crate::trace::FaultKind::SramReadUpset,
@@ -47,18 +59,28 @@ impl Hardware {
 
     /// Writes `width` bits to approximate SRAM, possibly failing some bits.
     ///
-    /// Returns the pattern actually stored.
+    /// Returns the pattern actually stored. Amortized like
+    /// [`Hardware::sram_read`], on an independent write-failure countdown.
     ///
     /// # Panics
     ///
     /// Panics if `width` exceeds 64.
+    #[inline]
     pub fn sram_write(&mut self, bits: u64, width: u32, approx: bool) -> u64 {
-        self.account_sram(width, approx);
-        if !approx || !self.config().mask.sram_write {
+        assert!(width <= 64, "bad SRAM access width {width}");
+        self.pending_sram_bits[usize::from(approx)] += u64::from(width);
+        if !approx || self.sched.sram_write.pass(width) {
             return bits;
         }
-        let p = self.config().params.sram_write_failure_prob;
-        let out = fault::flip_bits(bits, width, p, self.rng());
+        self.sram_write_fault(bits, width)
+    }
+
+    /// Fault payload of a write failure; out of line like
+    /// [`Hardware::sram_read_fault`].
+    #[cold]
+    #[inline(never)]
+    fn sram_write_fault(&mut self, bits: u64, width: u32) -> u64 {
+        let out = self.sched.sram_write.flip_bits(bits, width, &mut self.rng);
         if out != bits {
             self.note_fault(
                 crate::trace::FaultKind::SramWriteFailure,
@@ -67,14 +89,6 @@ impl Hardware {
             );
         }
         out
-    }
-
-    /// Accounts one access-quantum of SRAM residency for `width` bits.
-    fn account_sram(&mut self, width: u32, approx: bool) {
-        assert!(width <= 64, "bad SRAM access width {width}");
-        let bytes = f64::from(width) / 8.0;
-        let quantum = self.config().seconds_per_op;
-        self.stats_mut().record_storage(MemKind::Sram, approx, bytes, quantum);
     }
 }
 

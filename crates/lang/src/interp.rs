@@ -829,7 +829,7 @@ mod tests {
         let tp = check(parse(src).unwrap()).unwrap();
         let hw = faulty_hw(Level::Mild, 0);
         run(&tp, ExecMode::Faulty(Rc::clone(&hw))).unwrap();
-        let stats = *hw.borrow().stats();
+        let stats = hw.borrow().stats();
         assert_eq!(stats.int_approx_ops, 1);
         assert_eq!(stats.int_precise_ops, 1);
     }

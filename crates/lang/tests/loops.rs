@@ -111,7 +111,7 @@ fn fenerj_sor_matches_the_rust_model_exactly() {
     let Value::Float(got) = out.value else { panic!("float result") };
     assert!((got - expected).abs() < 1e-12, "{got} vs {expected}");
     // The kernel's approximate work was charged to the imprecise units.
-    let stats = *hw.borrow().stats();
+    let stats = hw.borrow().stats();
     assert!(stats.fp_approx_ops > 1_000, "stencil math is approximate FP");
     assert!(stats.int_precise_ops > 1_000, "loop control is precise int");
 }

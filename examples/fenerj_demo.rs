@@ -90,7 +90,7 @@ fn main() {
     let program = compile(accumulate).expect("well-typed");
     let out = run(&program, ExecMode::Faulty(Rc::clone(&hw))).expect("runs");
     println!("  exact answer 100, approximate answer {}", out.value.describe());
-    let stats = *hw.borrow().stats();
+    let stats = hw.borrow().stats();
     println!(
         "  {} approximate FP ops, {} faults injected",
         stats.fp_approx_ops, stats.faults_injected
