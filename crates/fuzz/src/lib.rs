@@ -1,0 +1,33 @@
+//! # enerj-fuzz: generative conformance fuzzing for the FEnerJ pipeline
+//!
+//! The FEnerJ half of the reproduction (`enerj-lang`) carries the paper's
+//! central soundness claim — the section 3.3 noninterference theorem — and
+//! this crate stops us from trusting it on a dozen curated programs. It
+//! provides:
+//!
+//! * [`gen`] — a **type-directed generator** that emits well-typed FEnerJ
+//!   programs by construction: classes with inheritance, fields across all
+//!   four source qualifiers, receiver-precision method overloading, bounded
+//!   loops, arrays, and (optionally) `endorse`.
+//! * [`mutate`] — a **qualifier-aware mutator** deriving ill-typed
+//!   near-miss programs from well-typed ones, each carrying the exact set
+//!   of `(TypeErrorKind, Span)` diagnostics the checker is allowed to
+//!   report for it.
+//! * [`oracle`] — the five **differential oracles**: well-typed ⇒
+//!   accepted; single-mutation ill-typed ⇒ rejected *at the mutated site*;
+//!   pretty→parse→pretty is a fixpoint and typechecks identically;
+//!   endorse-free programs satisfy noninterference across adversarial
+//!   chaos seeds; the interpreter is deterministic and a zero-fault
+//!   hardware configuration agrees bit-for-bit with reliable semantics.
+//! * [`shrink`] — a **delta-debugging shrinker** that minimizes any
+//!   violating program before it is reported or pinned into `corpus/`.
+//!
+//! The `fuzzgen` binary drives seeded campaigns; see the repository README.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod gen;
+pub mod mutate;
+pub mod oracle;
+pub mod shrink;

@@ -1,0 +1,68 @@
+//! Replays every pinned counterexample and regression program in
+//! `corpus/` through the conformance oracles.
+//!
+//! Each `.fej` file must round-trip through the pretty-printer with a
+//! stable typecheck verdict; accepted programs must additionally execute
+//! deterministically (including zero-fault hardware agreement), and
+//! accepted endorse-free programs must satisfy noninterference.
+//!
+//! The expected verdict is encoded in the filename: `illtyped-*` must be
+//! rejected, everything else must be accepted.
+
+use std::path::PathBuf;
+
+use enerj_fuzz::oracle::{determinism_divergence, roundtrip_divergence};
+use enerj_lang::noninterference::check_non_interference;
+
+fn corpus_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../corpus")
+}
+
+#[test]
+fn corpus_programs_replay_through_all_oracles() {
+    let mut paths: Vec<PathBuf> = std::fs::read_dir(corpus_dir())
+        .expect("corpus/ directory exists")
+        .map(|e| e.expect("readable corpus entry").path())
+        .filter(|p| p.extension().is_some_and(|x| x == "fej"))
+        .collect();
+    paths.sort();
+    assert!(paths.len() >= 5, "corpus must pin at least 5 programs, found {}", paths.len());
+
+    let mut accepted = 0usize;
+    let mut rejected = 0usize;
+    let mut endorse_free_accepted = 0usize;
+    for path in &paths {
+        let name = path.file_name().unwrap().to_string_lossy().into_owned();
+        let source = std::fs::read_to_string(path).unwrap();
+
+        if let Some(d) = roundtrip_divergence(&source) {
+            panic!("{name}: round-trip oracle violated: {d}");
+        }
+        let must_reject = name.starts_with("illtyped-");
+        match enerj_lang::compile(&source) {
+            Ok(tp) => {
+                assert!(!must_reject, "{name}: ill-typed pin was accepted");
+                accepted += 1;
+                if let Some(d) = determinism_divergence(&tp, 0xc0ffee) {
+                    panic!("{name}: determinism oracle violated: {d}");
+                }
+                if !tp.program.uses_endorse() {
+                    endorse_free_accepted += 1;
+                    check_non_interference(&tp, [1, 2, 3, 5, 8])
+                        .unwrap_or_else(|e| panic!("{name}: noninterference violated: {e}"));
+                }
+            }
+            Err(enerj_lang::CompileError::Type(e)) => {
+                assert!(must_reject, "{name}: should be well-typed, got: {}", e.message);
+                rejected += 1;
+            }
+            Err(e) => panic!("{name}: does not parse: {e}"),
+        }
+    }
+    assert!(accepted >= 4, "corpus should hold several accepted programs, found {accepted}");
+    assert!(rejected >= 1, "corpus should pin at least one ill-typed program");
+    assert!(
+        endorse_free_accepted >= 1,
+        "corpus should pin at least one endorse-free program for the NI oracle"
+    );
+}

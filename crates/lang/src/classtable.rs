@@ -4,7 +4,7 @@
 use std::collections::HashMap;
 
 use crate::ast::{ClassDecl, MethodDecl, MethodQual, Program};
-use crate::error::{Span, TypeError};
+use crate::error::{Span, TypeError, TypeErrorKind};
 use crate::types::{Qual, Type};
 
 /// A method signature after context adaptation at a call site.
@@ -36,10 +36,15 @@ impl ClassTable {
         let mut classes = HashMap::new();
         for class in &program.classes {
             if class.name == "Object" {
-                return Err(TypeError::new(class.span, "`Object` cannot be redefined"));
+                return Err(TypeError::new(
+                    TypeErrorKind::ObjectRedefined,
+                    class.span,
+                    "`Object` cannot be redefined",
+                ));
             }
             if classes.insert(class.name.clone(), class.clone()).is_some() {
                 return Err(TypeError::new(
+                    TypeErrorKind::DuplicateClass,
                     class.span,
                     format!("duplicate class `{}`", class.name),
                 ));
@@ -56,6 +61,7 @@ impl ClassTable {
             if let Some(sup) = &class.superclass {
                 if sup != "Object" && !self.classes.contains_key(sup) {
                     return Err(TypeError::new(
+                        TypeErrorKind::UnknownSuperclass,
                         class.span,
                         format!("unknown superclass `{sup}` of `{}`", class.name),
                     ));
@@ -70,6 +76,7 @@ impl ClassTable {
                 }
                 if seen.contains(&name) {
                     return Err(TypeError::new(
+                        TypeErrorKind::CyclicInheritance,
                         class.span,
                         format!("cyclic inheritance involving `{name}`"),
                     ));
@@ -87,6 +94,7 @@ impl ClassTable {
             for field in &class.fields {
                 if field_names.contains(&field.name.as_str()) {
                     return Err(TypeError::new(
+                        TypeErrorKind::DuplicateField,
                         field.span,
                         format!("duplicate field `{}` in `{}`", field.name, class.name),
                     ));
@@ -95,6 +103,7 @@ impl ClassTable {
                 if let Some(sup) = &class.superclass {
                     if self.field_decl(sup, &field.name).is_some() {
                         return Err(TypeError::new(
+                            TypeErrorKind::FieldShadowing,
                             field.span,
                             format!("field `{}` shadows an inherited field", field.name),
                         ));
@@ -108,6 +117,7 @@ impl ClassTable {
                 let key = (method.name.as_str(), method.qual);
                 if sigs.contains(&key) {
                     return Err(TypeError::new(
+                        TypeErrorKind::DuplicateMethod,
                         method.span,
                         format!("duplicate {} implementation of `{}`", method.qual, method.name),
                     ));
@@ -126,6 +136,7 @@ impl ClassTable {
                             && inherited.params.iter().zip(&method.params).all(|(a, b)| a.1 == b.1);
                         if !same {
                             return Err(TypeError::new(
+                                TypeErrorKind::SignatureChangingOverride,
                                 method.span,
                                 format!("override of `{}` changes its signature", method.name),
                             ));
@@ -142,6 +153,7 @@ impl ClassTable {
                             && precise.params.len() == method.params.len();
                         if !same {
                             return Err(TypeError::new(
+                                TypeErrorKind::MismatchedApproxOverload,
                                 method.span,
                                 format!(
                                     "approx overload of `{}` must match the precise signature",
@@ -294,7 +306,11 @@ impl ClassTable {
 /// declaration can appear in FEnerJ, so only `lost` is rejected here.
 fn check_declared_type(ty: &Type, span: Span) -> Result<(), TypeError> {
     if ty.qual == Qual::Lost {
-        return Err(TypeError::new(span, "`lost` cannot be written in programs"));
+        return Err(TypeError::new(
+            TypeErrorKind::LostInDeclaration,
+            span,
+            "`lost` cannot be written in programs",
+        ));
     }
     Ok(())
 }

@@ -65,19 +65,107 @@ impl fmt::Display for ParseError {
 
 impl std::error::Error for ParseError {}
 
+/// The structural classification of a [`TypeError`].
+///
+/// Every rejection the class-table validator and the type checker can
+/// produce has exactly one kind, so tools (the conformance fuzzer's
+/// mutation oracle, diagnostic tests) can assert *which* rule fired
+/// without string matching. The first block covers class-table
+/// validation, the second expression checking.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum TypeErrorKind {
+    /// `class Object { ... }` — the root class cannot be redefined.
+    ObjectRedefined,
+    /// Two classes share a name.
+    DuplicateClass,
+    /// `extends` names a class that does not exist.
+    UnknownSuperclass,
+    /// The inheritance chain contains a cycle.
+    CyclicInheritance,
+    /// Two fields of one class share a name.
+    DuplicateField,
+    /// A field re-declares an inherited field's name.
+    FieldShadowing,
+    /// Two bodies of one class share a name and receiver precision.
+    DuplicateMethod,
+    /// An override changes the inherited signature.
+    SignatureChangingOverride,
+    /// An `approx` overload's shape differs from its precise sibling.
+    MismatchedApproxOverload,
+    /// A declaration spells the internal `lost` qualifier.
+    LostInDeclaration,
+    /// The general flow violation: `T1` is not a subtype of `T2`.
+    NotASubtype,
+    /// `if` branches have no common type.
+    IncompatibleBranches,
+    /// A variable is not in scope.
+    UnknownVariable,
+    /// `this` outside a class body.
+    ThisOutsideClass,
+    /// `new` of a non-class type (AST-level only; unparseable).
+    NewOfNonClass,
+    /// A type mentions an undeclared class.
+    UnknownClass,
+    /// `new context ...` outside a class body.
+    ContextOutsideClass,
+    /// `new top C()` or similar — only precise/approx/context instantiate.
+    BadInstantiationQualifier,
+    /// An array length that is not `precise int` (section 2.6).
+    ImpreciseArrayLength,
+    /// Indexing or `.length` on a non-array.
+    NotAnArray,
+    /// An array index that is not `precise int` (section 2.6).
+    ImpreciseIndex,
+    /// A write through a type that lost precision information.
+    WriteThroughLost,
+    /// No such field on the receiver's class.
+    UnknownField,
+    /// No such method on the receiver's class.
+    UnknownMethod,
+    /// A call with the wrong number of arguments.
+    ArityMismatch,
+    /// A call whose adapted parameter type lost precision information.
+    LostParameter,
+    /// A cast whose target is not a class type.
+    CastTargetNotClass,
+    /// A cast applied to a primitive operand (use `endorse`).
+    CastOfPrimitive,
+    /// A cast between unrelated classes.
+    UnrelatedCast,
+    /// A cast that would narrow the qualifier (only `endorse` may).
+    QualifierNarrowingCast,
+    /// A binary operator applied to non-primitive operands.
+    NonPrimitiveOperands,
+    /// Arithmetic on a `top`- or `lost`-qualified value.
+    ComputeOnTopOrLost,
+    /// An `if`/`while` condition that is not `precise int` (section 2.4).
+    ImpreciseCondition,
+    /// `let` binding a value whose type lost precision information.
+    BindLost,
+    /// Member access on a statically-`null` receiver.
+    NullReceiver,
+    /// Member access on a primitive receiver.
+    NotAnObject,
+    /// `endorse` applied to a non-primitive.
+    EndorseOfNonPrimitive,
+}
+
 /// An error produced by the precision type checker.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TypeError {
     /// Where the error occurred.
     pub span: Span,
+    /// Which rule rejected the program.
+    pub kind: TypeErrorKind,
     /// Human-readable description.
     pub message: String,
 }
 
 impl TypeError {
-    /// Creates a type error at `span`.
-    pub fn new(span: Span, message: impl Into<String>) -> Self {
-        TypeError { span, message: message.into() }
+    /// Creates a type error of `kind` at `span`.
+    pub fn new(kind: TypeErrorKind, span: Span, message: impl Into<String>) -> Self {
+        TypeError { span, kind, message: message.into() }
     }
 }
 
@@ -157,7 +245,9 @@ mod tests {
     #[test]
     fn errors_display_nonempty() {
         assert!(!ParseError::new(Span::default(), "x").to_string().is_empty());
-        assert!(!TypeError::new(Span::default(), "x").to_string().is_empty());
+        let te = TypeError::new(TypeErrorKind::NotASubtype, Span::default(), "x");
+        assert!(!te.to_string().is_empty());
+        assert_eq!(te.kind, TypeErrorKind::NotASubtype);
         assert!(!EvalError::OutOfFuel.to_string().is_empty());
     }
 }

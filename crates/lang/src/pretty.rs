@@ -34,6 +34,21 @@ fn type_to_string(ty: &Type) -> String {
     }
 }
 
+/// Renders a cast target. Unlike declarations, a cast is only recognized by
+/// the parser when its qualifier is spelled out (`(precise C) e`), so the
+/// qualifier is never omitted; array layers are peeled so the qualifier of
+/// the innermost element type leads (`(approx int[]) e`, not the
+/// unparseable `(precise approx int[]) e`).
+fn cast_type_to_string(ty: &Type) -> String {
+    let mut depth = 0;
+    let mut cur = ty;
+    while let crate::types::BaseType::Array(elem) = &cur.base {
+        cur = elem;
+        depth += 1;
+    }
+    format!("{} {}{}", cur.qual, cur.base, "[]".repeat(depth))
+}
+
 fn class_to_string(class: &ClassDecl, out: &mut String) {
     let _ = write!(out, "class {}", class.name);
     if let Some(sup) = &class.superclass {
@@ -86,33 +101,33 @@ fn expr_to_string(expr: &Expr, out: &mut String) {
             out.push(']');
         }
         ExprKind::Index(arr, idx) => {
-            paren(arr, out);
+            receiver(arr, out);
             out.push('[');
             expr_to_string(idx, out);
             out.push(']');
         }
         ExprKind::IndexSet(arr, idx, value) => {
-            paren(arr, out);
+            receiver(arr, out);
             out.push('[');
             expr_to_string(idx, out);
             out.push_str("] := ");
             paren(value, out);
         }
         ExprKind::Length(arr) => {
-            paren(arr, out);
+            receiver(arr, out);
             out.push_str(".length");
         }
         ExprKind::FieldGet(recv, field) => {
-            expr_to_string(recv, out);
+            receiver(recv, out);
             let _ = write!(out, ".{field}");
         }
         ExprKind::FieldSet(recv, field, value) => {
-            expr_to_string(recv, out);
+            receiver(recv, out);
             let _ = write!(out, ".{field} := ");
             paren(value, out);
         }
         ExprKind::Call(recv, name, args) => {
-            expr_to_string(recv, out);
+            receiver(recv, out);
             let _ = write!(out, ".{name}(");
             for (i, arg) in args.iter().enumerate() {
                 if i > 0 {
@@ -123,7 +138,7 @@ fn expr_to_string(expr: &Expr, out: &mut String) {
             out.push(')');
         }
         ExprKind::Cast(ty, operand) => {
-            let _ = write!(out, "({} {}) ", ty.qual, ty.base);
+            let _ = write!(out, "({}) ", cast_type_to_string(ty));
             paren(operand, out);
         }
         ExprKind::Binary(op, lhs, rhs) => {
@@ -180,6 +195,8 @@ fn paren(expr: &Expr, out: &mut String) {
             | ExprKind::Seq(_, _)
             | ExprKind::Cast(_, _)
             | ExprKind::VarSet(_, _)
+            | ExprKind::FieldSet(_, _, _)
+            | ExprKind::IndexSet(_, _, _)
             | ExprKind::While(_, _)
     );
     if needs {
@@ -188,6 +205,35 @@ fn paren(expr: &Expr, out: &mut String) {
         out.push(')');
     } else {
         expr_to_string(expr, out);
+    }
+}
+
+/// Prints a receiver (the `e` of `e.f`, `e.m(...)`, `e[...]`, `e.length`).
+/// The grammar only admits postfix-level receivers, so anything parsed at a
+/// looser precedence — including assignments, whose `:=` would otherwise
+/// swallow the rest of the postfix chain — must be parenthesized.
+fn receiver(expr: &Expr, out: &mut String) {
+    let tight = matches!(
+        expr.kind,
+        ExprKind::Null
+            | ExprKind::IntLit(_)
+            | ExprKind::FloatLit(_)
+            | ExprKind::Var(_)
+            | ExprKind::This
+            | ExprKind::New(_)
+            | ExprKind::NewArray(_, _)
+            | ExprKind::Index(_, _)
+            | ExprKind::Length(_)
+            | ExprKind::FieldGet(_, _)
+            | ExprKind::Call(_, _, _)
+            | ExprKind::Endorse(_)
+    );
+    if tight {
+        expr_to_string(expr, out);
+    } else {
+        out.push('(');
+        expr_to_string(expr, out);
+        out.push(')');
     }
 }
 

@@ -18,7 +18,7 @@ use std::collections::HashMap;
 
 use crate::ast::{Expr, ExprKind, NodeId, Program};
 use crate::classtable::ClassTable;
-use crate::error::TypeError;
+use crate::error::{TypeError, TypeErrorKind};
 use crate::types::{BaseType, Qual, Type};
 
 /// A checked program: AST plus the checker's side tables.
@@ -90,13 +90,12 @@ pub fn check(program: Program) -> Result<TypedProgram, TypeError> {
     }
 
     let mut env = Env::main();
-    let main_ty = checker.infer(&program.main, &mut env)?;
-    if main_ty.qual == Qual::Context {
-        return Err(TypeError::new(
-            program.main.span,
-            "the main expression cannot have context type",
-        ));
-    }
+    // No check that `main` avoids context types is needed: a context-typed
+    // expression can only arise from `this`, `new context ...`, or member
+    // access through a context-qualified receiver, and each of those is
+    // rejected (or impossible, by induction on the receiver) outside a
+    // class body.
+    checker.infer(&program.main, &mut env)?;
 
     Ok(TypedProgram {
         program,
@@ -170,7 +169,11 @@ impl Checker {
         if self.is_subtype(t1, t2) {
             Ok(())
         } else {
-            Err(TypeError::new(span, format!("`{t1}` is not a subtype of `{t2}`")))
+            Err(TypeError::new(
+                TypeErrorKind::NotASubtype,
+                span,
+                format!("`{t1}` is not a subtype of `{t2}`"),
+            ))
         }
     }
 
@@ -190,6 +193,7 @@ impl Checker {
                 Ok(Type::new(t1.qual.lub(t2.qual), t1.base.clone()))
             }
             _ => Err(TypeError::new(
+                TypeErrorKind::IncompatibleBranches,
                 span,
                 format!("branches have incompatible types `{t1}` and `{t2}`"),
             )),
@@ -201,31 +205,46 @@ impl Checker {
             ExprKind::Null => Type::null(),
             ExprKind::IntLit(_) => Type::precise_int(),
             ExprKind::FloatLit(_) => Type::precise_float(),
-            ExprKind::Var(name) => env
-                .lookup(name)
-                .cloned()
-                .ok_or_else(|| TypeError::new(e.span, format!("unknown variable `{name}`")))?,
+            ExprKind::Var(name) => env.lookup(name).cloned().ok_or_else(|| {
+                TypeError::new(
+                    TypeErrorKind::UnknownVariable,
+                    e.span,
+                    format!("unknown variable `{name}`"),
+                )
+            })?,
             ExprKind::This => {
-                let class = env
-                    .current_class
-                    .clone()
-                    .ok_or_else(|| TypeError::new(e.span, "`this` outside of a class body"))?;
+                let class = env.current_class.clone().ok_or_else(|| {
+                    TypeError::new(
+                        TypeErrorKind::ThisOutsideClass,
+                        e.span,
+                        "`this` outside of a class body",
+                    )
+                })?;
                 // `this` has @Context type in generic bodies (section
                 // 3.1) and the overload's precision in overloaded bodies.
                 Type::new(env.this_qual, BaseType::Class(class))
             }
             ExprKind::New(ty) => {
                 let BaseType::Class(name) = &ty.base else {
-                    return Err(TypeError::new(e.span, "`new` requires a class type"));
+                    return Err(TypeError::new(
+                        TypeErrorKind::NewOfNonClass,
+                        e.span,
+                        "`new` requires a class type",
+                    ));
                 };
                 if !self.table.is_class(name) {
-                    return Err(TypeError::new(e.span, format!("unknown class `{name}`")));
+                    return Err(TypeError::new(
+                        TypeErrorKind::UnknownClass,
+                        e.span,
+                        format!("unknown class `{name}`"),
+                    ));
                 }
                 match ty.qual {
                     Qual::Precise | Qual::Approx => {}
                     Qual::Context => {
                         if env.current_class.is_none() {
                             return Err(TypeError::new(
+                                TypeErrorKind::ContextOutsideClass,
                                 e.span,
                                 "`new context` outside of a class body",
                             ));
@@ -233,6 +252,7 @@ impl Checker {
                     }
                     q => {
                         return Err(TypeError::new(
+                            TypeErrorKind::BadInstantiationQualifier,
                             e.span,
                             format!("cannot instantiate with qualifier `{q}`"),
                         ))
@@ -246,6 +266,7 @@ impl Checker {
                     Qual::Context => {
                         if env.current_class.is_none() {
                             return Err(TypeError::new(
+                                TypeErrorKind::ContextOutsideClass,
                                 e.span,
                                 "`new context T[...]` outside of a class body",
                             ));
@@ -253,6 +274,7 @@ impl Checker {
                     }
                     q => {
                         return Err(TypeError::new(
+                            TypeErrorKind::BadInstantiationQualifier,
                             e.span,
                             format!("cannot allocate array elements with qualifier `{q}`"),
                         ))
@@ -260,12 +282,17 @@ impl Checker {
                 }
                 if let BaseType::Class(name) = &elem.base {
                     if !self.table.is_class(name) {
-                        return Err(TypeError::new(e.span, format!("unknown class `{name}`")));
+                        return Err(TypeError::new(
+                            TypeErrorKind::UnknownClass,
+                            e.span,
+                            format!("unknown class `{name}`"),
+                        ));
                     }
                 }
                 let lt = self.infer(len, env)?;
                 if lt != Type::precise_int() {
                     return Err(TypeError::new(
+                        TypeErrorKind::ImpreciseArrayLength,
                         len.span,
                         format!("array lengths must be `precise int`, got `{lt}`"),
                     ));
@@ -275,7 +302,11 @@ impl Checker {
             ExprKind::Index(arr, idx) => {
                 let at = self.infer(arr, env)?;
                 let BaseType::Array(elem) = &at.base else {
-                    return Err(TypeError::new(arr.span, format!("`{at}` is not an array")));
+                    return Err(TypeError::new(
+                        TypeErrorKind::NotAnArray,
+                        arr.span,
+                        format!("`{at}` is not an array"),
+                    ));
                 };
                 let elem = (**elem).clone();
                 let it = self.infer(idx, env)?;
@@ -283,6 +314,7 @@ impl Checker {
                 // array subscripts" (section 2.6).
                 if it != Type::precise_int() {
                     return Err(TypeError::new(
+                        TypeErrorKind::ImpreciseIndex,
                         idx.span,
                         format!(
                             "array indices must be `precise int`, got `{it}`; endorse it first"
@@ -295,12 +327,17 @@ impl Checker {
             ExprKind::IndexSet(arr, idx, value) => {
                 let at = self.infer(arr, env)?;
                 let BaseType::Array(elem) = &at.base else {
-                    return Err(TypeError::new(arr.span, format!("`{at}` is not an array")));
+                    return Err(TypeError::new(
+                        TypeErrorKind::NotAnArray,
+                        arr.span,
+                        format!("`{at}` is not an array"),
+                    ));
                 };
                 let elem = (**elem).clone();
                 let it = self.infer(idx, env)?;
                 if it != Type::precise_int() {
                     return Err(TypeError::new(
+                        TypeErrorKind::ImpreciseIndex,
                         idx.span,
                         format!(
                             "array indices must be `precise int`, got `{it}`; endorse it first"
@@ -309,6 +346,7 @@ impl Checker {
                 }
                 if elem.has_lost() {
                     return Err(TypeError::new(
+                        TypeErrorKind::WriteThroughLost,
                         e.span,
                         "cannot write an array element whose adapted type lost precision information",
                     ));
@@ -323,6 +361,7 @@ impl Checker {
                 let at = self.infer(arr, env)?;
                 if !matches!(at.base, BaseType::Array(_)) {
                     return Err(TypeError::new(
+                        TypeErrorKind::NotAnArray,
                         arr.span,
                         format!("`{at}` has no length; only arrays do"),
                     ));
@@ -334,7 +373,11 @@ impl Checker {
                 let recv_ty = self.infer(recv, env)?;
                 let (qual, class) = as_class(&recv_ty, recv.span)?;
                 let ft = self.table.ftype(qual, &class, field).ok_or_else(|| {
-                    TypeError::new(e.span, format!("unknown field `{field}` on `{class}`"))
+                    TypeError::new(
+                        TypeErrorKind::UnknownField,
+                        e.span,
+                        format!("unknown field `{field}` on `{class}`"),
+                    )
                 })?;
                 self.field_qual.insert(e.id, ft.qual);
                 ft
@@ -343,10 +386,15 @@ impl Checker {
                 let recv_ty = self.infer(recv, env)?;
                 let (qual, class) = as_class(&recv_ty, recv.span)?;
                 let ft = self.table.ftype(qual, &class, field).ok_or_else(|| {
-                    TypeError::new(e.span, format!("unknown field `{field}` on `{class}`"))
+                    TypeError::new(
+                        TypeErrorKind::UnknownField,
+                        e.span,
+                        format!("unknown field `{field}` on `{class}`"),
+                    )
                 })?;
                 if ft.has_lost() {
                     return Err(TypeError::new(
+                        TypeErrorKind::WriteThroughLost,
                         e.span,
                         format!("cannot write field `{field}`: its adapted type lost precision information"),
                     ));
@@ -361,10 +409,15 @@ impl Checker {
                 let recv_ty = self.infer(recv, env)?;
                 let (qual, class) = as_class(&recv_ty, recv.span)?;
                 let sig = self.table.msig(qual, &class, name).ok_or_else(|| {
-                    TypeError::new(e.span, format!("unknown method `{name}` on `{class}`"))
+                    TypeError::new(
+                        TypeErrorKind::UnknownMethod,
+                        e.span,
+                        format!("unknown method `{name}` on `{class}`"),
+                    )
                 })?;
                 if args.len() != sig.params.len() {
                     return Err(TypeError::new(
+                        TypeErrorKind::ArityMismatch,
                         e.span,
                         format!(
                             "`{name}` expects {} argument(s), got {}",
@@ -376,6 +429,7 @@ impl Checker {
                 for (arg, pty) in args.iter().zip(&sig.params) {
                     if pty.has_lost() {
                         return Err(TypeError::new(
+                            TypeErrorKind::LostParameter,
                             e.span,
                             format!("cannot call `{name}`: a parameter's adapted type lost precision information"),
                         ));
@@ -390,15 +444,24 @@ impl Checker {
             ExprKind::Cast(target, operand) => {
                 let ot = self.infer(operand, env)?;
                 let BaseType::Class(tc) = &target.base else {
-                    return Err(TypeError::new(e.span, "casts apply to class types"));
+                    return Err(TypeError::new(
+                        TypeErrorKind::CastTargetNotClass,
+                        e.span,
+                        "casts apply to class types",
+                    ));
                 };
                 if !self.table.is_class(tc) {
-                    return Err(TypeError::new(e.span, format!("unknown class `{tc}`")));
+                    return Err(TypeError::new(
+                        TypeErrorKind::UnknownClass,
+                        e.span,
+                        format!("unknown class `{tc}`"),
+                    ));
                 }
                 match &ot.base {
                     BaseType::Class(oc) => {
                         if !self.table.is_subclass(oc, tc) && !self.table.is_subclass(tc, oc) {
                             return Err(TypeError::new(
+                                TypeErrorKind::UnrelatedCast,
                                 e.span,
                                 format!("classes `{oc}` and `{tc}` are unrelated"),
                             ));
@@ -406,13 +469,18 @@ impl Checker {
                     }
                     BaseType::Null => {}
                     _ => {
-                        return Err(TypeError::new(e.span, "cannot cast a primitive; use endorse"))
+                        return Err(TypeError::new(
+                            TypeErrorKind::CastOfPrimitive,
+                            e.span,
+                            "cannot cast a primitive; use endorse",
+                        ))
                     }
                 }
                 // Qualifier casts may only widen: endorsement is the sole
                 // route from approx to precise.
                 if !ot.qual.is_sub(target.qual) && ot.base != BaseType::Null {
                     return Err(TypeError::new(
+                        TypeErrorKind::QualifierNarrowingCast,
                         e.span,
                         format!("cast cannot change qualifier `{}` to `{}`", ot.qual, target.qual),
                     ));
@@ -424,6 +492,7 @@ impl Checker {
                 let rt = self.infer(rhs, env)?;
                 if !lt.is_prim() || !rt.is_prim() {
                     return Err(TypeError::new(
+                        TypeErrorKind::NonPrimitiveOperands,
                         e.span,
                         format!(
                             "operator `{op}` requires primitive operands, got `{lt}` and `{rt}`"
@@ -433,6 +502,7 @@ impl Checker {
                 for q in [lt.qual, rt.qual] {
                     if matches!(q, Qual::Top | Qual::Lost) {
                         return Err(TypeError::new(
+                            TypeErrorKind::ComputeOnTopOrLost,
                             e.span,
                             format!("cannot compute on a `{q}`-qualified value; cast or endorse it first"),
                         ));
@@ -456,6 +526,7 @@ impl Checker {
                 // approximate data may never decide control flow.
                 if ct != Type::precise_int() {
                     return Err(TypeError::new(
+                        TypeErrorKind::ImpreciseCondition,
                         cond.span,
                         format!(
                             "condition must have type `precise int`, got `{ct}`; \
@@ -471,6 +542,7 @@ impl Checker {
                 let vt = self.infer(value, env)?;
                 if vt.qual == Qual::Lost {
                     return Err(TypeError::new(
+                        TypeErrorKind::BindLost,
                         value.span,
                         "cannot bind a value whose type lost precision information",
                     ));
@@ -481,10 +553,13 @@ impl Checker {
                 bt
             }
             ExprKind::VarSet(name, value) => {
-                let declared = env
-                    .lookup(name)
-                    .cloned()
-                    .ok_or_else(|| TypeError::new(e.span, format!("unknown variable `{name}`")))?;
+                let declared = env.lookup(name).cloned().ok_or_else(|| {
+                    TypeError::new(
+                        TypeErrorKind::UnknownVariable,
+                        e.span,
+                        format!("unknown variable `{name}`"),
+                    )
+                })?;
                 let vt = self.infer(value, env)?;
                 self.require_subtype(&vt, &declared, value.span)?;
                 self.bidirectional(value, &declared);
@@ -496,6 +571,7 @@ impl Checker {
                 // (section 2.4), exactly like `if`.
                 if ct != Type::precise_int() {
                     return Err(TypeError::new(
+                        TypeErrorKind::ImpreciseCondition,
                         cond.span,
                         format!(
                             "loop condition must have type `precise int`, got `{ct}`; \
@@ -513,7 +589,11 @@ impl Checker {
             ExprKind::Endorse(inner) => {
                 let it = self.infer(inner, env)?;
                 if !it.is_prim() {
-                    return Err(TypeError::new(e.span, "endorse applies to primitive types only"));
+                    return Err(TypeError::new(
+                        TypeErrorKind::EndorseOfNonPrimitive,
+                        e.span,
+                        "endorse applies to primitive types only",
+                    ));
                 }
                 Type::new(Qual::Precise, it.base.clone())
             }
@@ -547,8 +627,14 @@ fn prim_qual_sub(q1: Qual, q2: Qual) -> bool {
 fn as_class(ty: &Type, span: crate::error::Span) -> Result<(Qual, String), TypeError> {
     match &ty.base {
         BaseType::Class(name) => Ok((ty.qual, name.clone())),
-        BaseType::Null => Err(TypeError::new(span, "receiver is statically null")),
-        _ => Err(TypeError::new(span, format!("`{ty}` is not an object type"))),
+        BaseType::Null => {
+            Err(TypeError::new(TypeErrorKind::NullReceiver, span, "receiver is statically null"))
+        }
+        _ => Err(TypeError::new(
+            TypeErrorKind::NotAnObject,
+            span,
+            format!("`{ty}` is not an object type"),
+        )),
     }
 }
 

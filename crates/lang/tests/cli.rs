@@ -177,3 +177,114 @@ fn unknown_commands_and_files_fail_cleanly() {
     let out = fenerjc().args(["check", "/nonexistent.fej"]).output().expect("spawn");
     assert!(!out.status.success());
 }
+
+// --- Golden output: exact stdout/stderr and exit codes per subcommand. ---
+
+/// Writes `source` to a uniquely named temp file and returns its path.
+fn fixture(name: &str, source: &str) -> String {
+    let path = std::env::temp_dir().join(format!("fenerjc_golden_{name}.fej"));
+    std::fs::write(&path, source).expect("write fixture");
+    path.to_str().expect("utf-8 temp path").to_owned()
+}
+
+const GOLDEN_OK: &str = "class A {\n    approx int f;\n}\nmain {\n    let o = new A() in\n    (o.f := 3); endorse(o.f) + 4\n}\n";
+const GOLDEN_NI: &str = "class Unused { }\nmain {\n    let x = 2 in\n    x * x + 1\n}\n";
+const GOLDEN_BAD: &str = "main {\n    if (1.5) { 1 } else { 2 }\n}\n";
+
+#[test]
+fn golden_check_reports_class_count_and_main_type() {
+    let path = fixture("check_ok", GOLDEN_OK);
+    let out = fenerjc().args(["check", &path]).output().expect("spawn");
+    assert_eq!(out.status.code(), Some(0));
+    assert_eq!(
+        String::from_utf8_lossy(&out.stdout),
+        format!("{path}: OK (1 class(es), main : precise int)\n")
+    );
+    assert!(out.stderr.is_empty(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+}
+
+#[test]
+fn golden_run_prints_only_the_result_value() {
+    let path = fixture("run_ok", GOLDEN_OK);
+    let out = fenerjc().args(["run", &path]).output().expect("spawn");
+    assert_eq!(out.status.code(), Some(0));
+    assert_eq!(String::from_utf8_lossy(&out.stdout), "7\n");
+    assert!(out.stderr.is_empty());
+}
+
+#[test]
+fn golden_chaos_reports_the_adversarial_run_count() {
+    let path = fixture("chaos_ok", GOLDEN_NI);
+    let out = fenerjc().args(["chaos", &path, "--seeds", "7"]).output().expect("spawn");
+    assert_eq!(out.status.code(), Some(0));
+    assert_eq!(
+        String::from_utf8_lossy(&out.stdout),
+        format!("{path}: non-interference holds over 7 adversarial runs\n")
+    );
+    assert!(out.stderr.is_empty());
+}
+
+#[test]
+fn golden_chaos_refuses_endorsing_programs_on_stderr() {
+    let path = fixture("chaos_endorse", GOLDEN_OK);
+    let out = fenerjc().args(["chaos", &path]).output().expect("spawn");
+    assert_eq!(out.status.code(), Some(1));
+    assert!(out.stdout.is_empty(), "stdout: {}", String::from_utf8_lossy(&out.stdout));
+    assert_eq!(
+        String::from_utf8_lossy(&out.stderr),
+        "fenerjc: program uses endorse; non-interference is not claimed\n"
+    );
+}
+
+#[test]
+fn golden_print_emits_the_canonical_form() {
+    let path = fixture("print_ok", GOLDEN_OK);
+    let out = fenerjc().args(["print", &path]).output().expect("spawn");
+    assert_eq!(out.status.code(), Some(0));
+    assert_eq!(
+        String::from_utf8_lossy(&out.stdout),
+        "class A {\n    approx int f;\n}\nmain {\n    let o = new A() in (o.f := 3); endorse(o.f) + 4\n}\n"
+    );
+    assert!(out.stderr.is_empty());
+}
+
+#[test]
+fn golden_type_error_has_path_line_col_and_hint() {
+    let path = fixture("check_bad", GOLDEN_BAD);
+    for cmd in ["check", "run", "chaos"] {
+        let out = fenerjc().args([cmd, &path]).output().expect("spawn");
+        assert_eq!(out.status.code(), Some(1), "{cmd}");
+        assert!(out.stdout.is_empty(), "{cmd} stdout not empty");
+        assert_eq!(
+            String::from_utf8_lossy(&out.stderr),
+            format!(
+                "fenerjc: {path}:2:9: type error at byte 15: condition must have type \
+                 `precise int`, got `precise float`; wrap it in endorse(...) to accept the risk\n"
+            ),
+            "{cmd}"
+        );
+    }
+}
+
+#[test]
+fn golden_missing_file_reports_os_error_with_exit_one() {
+    let path = "/nonexistent/enerjc_golden.fej";
+    let out = fenerjc().args(["check", path]).output().expect("spawn");
+    assert_eq!(out.status.code(), Some(1));
+    assert!(out.stdout.is_empty());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.starts_with(&format!("fenerjc: {path}: ")),
+        "stderr should prefix the path: {stderr}"
+    );
+}
+
+#[test]
+fn golden_unknown_command_prints_usage() {
+    let out = fenerjc().args(["frobnicate", "x.fej"]).output().expect("spawn");
+    assert_eq!(out.status.code(), Some(1));
+    assert!(out.stdout.is_empty());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.starts_with("fenerjc: unknown command `frobnicate`"), "{stderr}");
+    assert!(stderr.contains("usage: fenerjc <check|run|chaos|print>"), "{stderr}");
+}

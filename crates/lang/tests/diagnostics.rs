@@ -1,0 +1,318 @@
+//! Diagnostic coverage: one test per [`TypeErrorKind`] variant.
+//!
+//! Each test pins *which* rule rejects a minimal offending program and
+//! *where* — the reported span's text must be exactly the offending
+//! fragment. Two variants are unreachable from source text (the parser
+//! cannot spell them) and are exercised through hand-built ASTs:
+//! `NewOfNonClass` and `LostInDeclaration`.
+
+use enerj_lang::ast::{ClassDecl, Expr, ExprKind, FieldDecl, NodeId, Program};
+use enerj_lang::error::{Span, TypeErrorKind};
+use enerj_lang::types::{BaseType, Qual, Type};
+use enerj_lang::CompileError;
+
+/// Compiles `src`, asserting rejection with `kind` at the span whose text
+/// is exactly `at`.
+#[track_caller]
+fn rejects(src: &str, kind: TypeErrorKind, at: &str) {
+    match enerj_lang::compile(src) {
+        Ok(_) => panic!("accepted, expected {kind:?}:\n{src}"),
+        Err(CompileError::Type(e)) => {
+            assert_eq!(e.kind, kind, "wrong kind ({}):\n{src}", e.message);
+            let text = &src[e.span.start..e.span.end];
+            assert_eq!(text, at, "span points at {text:?}, expected {at:?}:\n{src}");
+        }
+        Err(e) => panic!("did not parse ({e}):\n{src}"),
+    }
+}
+
+#[test]
+fn object_redefined() {
+    rejects("class Object { } main { 0 }", TypeErrorKind::ObjectRedefined, "class Object { }");
+}
+
+#[test]
+fn duplicate_class() {
+    rejects("class A { } class A { } main { 0 }", TypeErrorKind::DuplicateClass, "class A { }");
+}
+
+#[test]
+fn unknown_superclass() {
+    rejects(
+        "class A extends B { } main { 0 }",
+        TypeErrorKind::UnknownSuperclass,
+        "class A extends B { }",
+    );
+}
+
+#[test]
+fn cyclic_inheritance() {
+    rejects(
+        "class A extends B { } class B extends A { } main { 0 }",
+        TypeErrorKind::CyclicInheritance,
+        "class A extends B { }",
+    );
+}
+
+#[test]
+fn duplicate_field() {
+    rejects("class A { int f; int f; } main { 0 }", TypeErrorKind::DuplicateField, "int f;");
+}
+
+#[test]
+fn field_shadowing() {
+    rejects(
+        "class A { int f; } class B extends A { int f; } main { 0 }",
+        TypeErrorKind::FieldShadowing,
+        "int f;",
+    );
+}
+
+#[test]
+fn duplicate_method() {
+    rejects(
+        "class A { int m() { 0 } int m() { 1 } } main { 0 }",
+        TypeErrorKind::DuplicateMethod,
+        "int m() { 1 }",
+    );
+}
+
+#[test]
+fn signature_changing_override() {
+    rejects(
+        "class A { int m() { 0 } } class B extends A { float m() { 1.0 } } main { 0 }",
+        TypeErrorKind::SignatureChangingOverride,
+        "float m() { 1.0 }",
+    );
+}
+
+#[test]
+fn mismatched_approx_overload() {
+    rejects(
+        "class A { int m() { 0 } int m(int p) approx { 0 } } main { 0 }",
+        TypeErrorKind::MismatchedApproxOverload,
+        "int m(int p) approx { 0 }",
+    );
+}
+
+#[test]
+fn not_a_subtype() {
+    rejects(
+        "class A { int f; approx int g; } main { let a = new A() in (a.f := a.g); 0 }",
+        TypeErrorKind::NotASubtype,
+        "a.g",
+    );
+}
+
+#[test]
+fn incompatible_branches() {
+    rejects(
+        "class A { } main { if (1) { 1 } else { new A() } }",
+        TypeErrorKind::IncompatibleBranches,
+        "if (1) { 1 } else { new A() }",
+    );
+}
+
+#[test]
+fn unknown_variable() {
+    rejects("main { x }", TypeErrorKind::UnknownVariable, "x");
+}
+
+#[test]
+fn this_outside_class() {
+    rejects("main { this }", TypeErrorKind::ThisOutsideClass, "this");
+}
+
+#[test]
+fn unknown_class() {
+    rejects("main { new C() }", TypeErrorKind::UnknownClass, "new C()");
+}
+
+#[test]
+fn context_outside_class() {
+    rejects(
+        "class A { } main { new context A() }",
+        TypeErrorKind::ContextOutsideClass,
+        "new context A()",
+    );
+}
+
+#[test]
+fn bad_instantiation_qualifier() {
+    rejects(
+        "class A { } main { new top A() }",
+        TypeErrorKind::BadInstantiationQualifier,
+        "new top A()",
+    );
+}
+
+#[test]
+fn imprecise_array_length() {
+    rejects("main { new int[1.5] }", TypeErrorKind::ImpreciseArrayLength, "1.5");
+}
+
+#[test]
+fn not_an_array() {
+    rejects("main { let x = 1 in x[0] }", TypeErrorKind::NotAnArray, "x");
+}
+
+#[test]
+fn imprecise_index() {
+    rejects("main { let a = new int[4] in a[1.5] }", TypeErrorKind::ImpreciseIndex, "1.5");
+}
+
+#[test]
+fn write_through_lost() {
+    // Reading `g` through a `top` receiver adapts `context` to `lost`;
+    // writing through the lost type is unsound and must be rejected.
+    rejects(
+        "class A { top A g; context int f; } main { let o = new A() in (o.g.f := 1) }",
+        TypeErrorKind::WriteThroughLost,
+        "o.g.f := 1",
+    );
+}
+
+#[test]
+fn unknown_field() {
+    rejects("class A { } main { new A().nope }", TypeErrorKind::UnknownField, "new A().nope");
+}
+
+#[test]
+fn unknown_method() {
+    rejects("class A { } main { new A().nope() }", TypeErrorKind::UnknownMethod, "new A().nope()");
+}
+
+#[test]
+fn arity_mismatch() {
+    rejects(
+        "class A { int m(int p) { p } } main { new A().m() }",
+        TypeErrorKind::ArityMismatch,
+        "new A().m()",
+    );
+}
+
+#[test]
+fn lost_parameter() {
+    rejects(
+        "class A { top A g; int m(context int p) { 0 } } main { let o = new A() in o.g.m(1) }",
+        TypeErrorKind::LostParameter,
+        "o.g.m(1)",
+    );
+}
+
+#[test]
+fn cast_target_not_class() {
+    rejects(
+        "class A { } main { (precise int) new A() }",
+        TypeErrorKind::CastTargetNotClass,
+        "(precise int) new A()",
+    );
+}
+
+#[test]
+fn cast_of_primitive() {
+    rejects("class A { } main { (precise A) 1 }", TypeErrorKind::CastOfPrimitive, "(precise A) 1");
+}
+
+#[test]
+fn unrelated_cast() {
+    rejects(
+        "class A { } class B { } main { (precise B) new A() }",
+        TypeErrorKind::UnrelatedCast,
+        "(precise B) new A()",
+    );
+}
+
+#[test]
+fn qualifier_narrowing_cast() {
+    rejects(
+        "class A { } main { (precise A) new approx A() }",
+        TypeErrorKind::QualifierNarrowingCast,
+        "(precise A) new approx A()",
+    );
+}
+
+#[test]
+fn non_primitive_operands() {
+    rejects("class A { } main { new A() + 1 }", TypeErrorKind::NonPrimitiveOperands, "new A() + 1");
+}
+
+#[test]
+fn compute_on_top_or_lost() {
+    rejects(
+        "class A { top int f; } main { new A().f + 1 }",
+        TypeErrorKind::ComputeOnTopOrLost,
+        "new A().f + 1",
+    );
+}
+
+#[test]
+fn imprecise_condition() {
+    rejects("main { if (1.5) { 1 } else { 2 } }", TypeErrorKind::ImpreciseCondition, "1.5");
+}
+
+#[test]
+fn bind_lost() {
+    rejects(
+        "class A { top A g; context int f; } main { let o = new A() in let x = o.g.f in 0 }",
+        TypeErrorKind::BindLost,
+        "o.g.f",
+    );
+}
+
+#[test]
+fn null_receiver() {
+    rejects("main { null.f }", TypeErrorKind::NullReceiver, "null");
+}
+
+#[test]
+fn not_an_object() {
+    rejects("main { let x = 1 in x.f }", TypeErrorKind::NotAnObject, "x");
+}
+
+#[test]
+fn endorse_of_non_primitive() {
+    rejects(
+        "class A { } main { endorse(new A()) }",
+        TypeErrorKind::EndorseOfNonPrimitive,
+        "endorse(new A())",
+    );
+}
+
+// --- Variants the parser cannot spell: exercised at the AST level. ---
+
+fn expr(id: u32, lo: usize, hi: usize, kind: ExprKind) -> Expr {
+    Expr { id: NodeId(id), span: Span::new(lo, hi), kind }
+}
+
+#[test]
+fn new_of_non_class() {
+    // `new precise int()` is unparseable; the checker still guards it.
+    let main = expr(0, 0, 3, ExprKind::New(Type::precise_int()));
+    let program = Program { classes: vec![], main };
+    let e = enerj_lang::typecheck::check(program).unwrap_err();
+    assert_eq!(e.kind, TypeErrorKind::NewOfNonClass);
+    assert_eq!(e.span, Span::new(0, 3));
+}
+
+#[test]
+fn lost_in_declaration() {
+    // `lost int f;` is unparseable; the class-table validator still
+    // rejects a declared type that mentions the internal qualifier.
+    let field_span = Span::new(10, 21);
+    let class = ClassDecl {
+        name: "A".to_owned(),
+        superclass: None,
+        fields: vec![FieldDecl {
+            ty: Type::new(Qual::Lost, BaseType::Int),
+            name: "f".to_owned(),
+            span: field_span,
+        }],
+        methods: vec![],
+        span: Span::new(0, 23),
+    };
+    let program = Program { classes: vec![class], main: expr(0, 24, 25, ExprKind::IntLit(0)) };
+    let e = enerj_lang::typecheck::check(program).unwrap_err();
+    assert_eq!(e.kind, TypeErrorKind::LostInDeclaration);
+    assert_eq!(e.span, field_span);
+}

@@ -1,0 +1,110 @@
+//! Pretty-printer round-trip coverage: for every shipped `.fej` program
+//! (good and bad) and a battery of syntactically thorny inline sources,
+//! `parse → print → parse → print` must reach a fixpoint and the
+//! typecheck verdict must be identical on both sides of the trip.
+
+use enerj_lang::pretty::program_to_string;
+use enerj_lang::{compile, parser, CompileError};
+
+/// Asserts the round-trip property for one source, returning the printed
+/// form for further inspection.
+#[track_caller]
+fn roundtrips(label: &str, source: &str) -> String {
+    let program = parser::parse(source).unwrap_or_else(|e| panic!("{label}: does not parse: {e}"));
+    let printed = program_to_string(&program);
+    let reparsed = parser::parse(&printed)
+        .unwrap_or_else(|e| panic!("{label}: printed form does not parse: {e}\n{printed}"));
+    let reprinted = program_to_string(&reparsed);
+    assert_eq!(printed, reprinted, "{label}: printing is not a fixpoint");
+
+    let verdict = |src: &str| match compile(src) {
+        Ok(_) => None,
+        Err(CompileError::Type(e)) => Some(e.kind),
+        Err(e) => panic!("{label}: unexpected parse failure in verdict: {e}"),
+    };
+    assert_eq!(
+        verdict(source),
+        verdict(&printed),
+        "{label}: typecheck verdict changed across the round trip\n{printed}"
+    );
+    printed
+}
+
+#[test]
+fn every_shipped_program_roundtrips() {
+    let root = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    let mut paths = Vec::new();
+    for dir in [root.join("programs"), root.join("programs/bad"), root.join("../../corpus")] {
+        for entry in std::fs::read_dir(&dir).unwrap_or_else(|e| panic!("{}: {e}", dir.display())) {
+            let path = entry.unwrap().path();
+            if path.extension().is_some_and(|x| x == "fej") {
+                paths.push(path);
+            }
+        }
+    }
+    paths.sort();
+    assert!(paths.len() >= 12, "expected the full program set, found {}", paths.len());
+    for path in paths {
+        let label = path.file_name().unwrap().to_string_lossy().into_owned();
+        let source = std::fs::read_to_string(&path).unwrap();
+        roundtrips(&label, &source);
+    }
+}
+
+#[test]
+fn array_cast_prints_without_duplicate_qualifier() {
+    // The element qualifier lives inside the brackets; a naive printer
+    // emits `(precise approx int[])` which does not re-parse.
+    let printed = roundtrips(
+        "array-cast",
+        "class A { } main { let a = new approx int[2] in ((approx int[]) a).length }",
+    );
+    assert!(printed.contains("(approx int[])"), "cast lost its shape:\n{printed}");
+}
+
+#[test]
+fn non_postfix_receivers_are_parenthesized() {
+    roundtrips(
+        "if-receiver",
+        "class A { int f; } main { let o = new A() in ((if (1 < 2) { o } else { o }).f := 3) }",
+    );
+    roundtrips(
+        "let-receiver",
+        "class A { int m() { 0 } } main { let o = new A() in (let p = o in p).m() }",
+    );
+    roundtrips("cast-receiver", "class A { int f; } main { let o = new A() in ((precise A) o).f }");
+}
+
+#[test]
+fn assignments_inside_arithmetic_keep_their_parens() {
+    roundtrips(
+        "fieldset-operand",
+        "class A { int f; int[] g; } main { let o = new A() in \
+         (o.g := new int[2]); ((o.g[0] := 2); 0) + (o.f := 5) + o.g[0] }",
+    );
+}
+
+#[test]
+fn endorse_and_length_chains_roundtrip() {
+    roundtrips(
+        "endorse-chain",
+        "class A { approx int f; } main { let o = new A() in endorse(o.f + 1) * 2 }",
+    );
+    roundtrips(
+        "length-of-cast",
+        "class A { approx int[] f; } main { let o = new A() in ((approx int[]) o.f).length }",
+    );
+}
+
+#[test]
+fn operator_precedence_survives_printing() {
+    for (label, src) in [
+        ("mul-add", "main { 1 + 2 * 3 - 4 }"),
+        ("paren-add", "main { (1 + 2) * 3 }"),
+        ("cmp-nesting", "main { if ((1 < 2) == (3 < 4)) { 1 } else { 0 } }"),
+        ("mod-div", "main { 7 % 3 / 2 }"),
+        ("unary-ish", "main { 0 - 1 - 2 }"),
+    ] {
+        roundtrips(label, src);
+    }
+}

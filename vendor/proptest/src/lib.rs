@@ -25,6 +25,11 @@
 //!   pattern form.
 //! * Case generation is deterministic per case index (no `PROPTEST_*`
 //!   environment handling), so test runs are reproducible by construction.
+//!   The one environment knob is `ENERJ_PROPTEST_CASES`, which overrides
+//!   the *number* of cases a default-configured block runs (never the
+//!   cases themselves): CI smoke keeps the 256-case default while deep
+//!   runs scale the same tests up, exactly like `ENERJ_FUZZ_CASES` does
+//!   for the conformance fuzzer.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -50,8 +55,15 @@ pub mod test_runner {
     }
 
     impl Default for Config {
+        /// 256 cases, overridable with the `ENERJ_PROPTEST_CASES`
+        /// environment variable (ignored when unset or unparsable).
         fn default() -> Self {
-            Config { cases: 256 }
+            let cases = std::env::var("ENERJ_PROPTEST_CASES")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .filter(|&n| n > 0)
+                .unwrap_or(256);
+            Config { cases }
         }
     }
 
@@ -806,5 +818,23 @@ mod tests {
             prop_assert_eq!(u32::from(x) + y - y, u32::from(x));
             prop_assert!(v.len() < 4);
         }
+    }
+
+    #[test]
+    fn default_case_count_honours_the_environment() {
+        // Serial with respect to itself only: no other test in this
+        // binary reads or writes ENERJ_PROPTEST_CASES.
+        assert_eq!(ProptestConfig::default().cases, 256);
+        std::env::set_var("ENERJ_PROPTEST_CASES", "17");
+        assert_eq!(ProptestConfig::default().cases, 17);
+        std::env::set_var("ENERJ_PROPTEST_CASES", "not-a-number");
+        assert_eq!(ProptestConfig::default().cases, 256);
+        std::env::set_var("ENERJ_PROPTEST_CASES", "0");
+        assert_eq!(ProptestConfig::default().cases, 256);
+        std::env::remove_var("ENERJ_PROPTEST_CASES");
+        // Explicit configuration is never overridden.
+        std::env::set_var("ENERJ_PROPTEST_CASES", "9999");
+        assert_eq!(ProptestConfig::with_cases(32).cases, 32);
+        std::env::remove_var("ENERJ_PROPTEST_CASES");
     }
 }
