@@ -43,6 +43,13 @@ pub fn run() -> Output {
     Output::Values(image.endorse_to_vec().iter().map(|&v| f64::from(v)).collect())
 }
 
+/// Recovery sanity check (see [`App::check`](crate::App)): pixels are 8-bit
+/// intensities, so a value outside `[0, 255]` is a corrupted word that the
+/// coordinate-clamping endorsements did not catch.
+pub fn check(output: &Output) -> Result<(), String> {
+    crate::qos::check_values(output, &enerj_core::in_range(0.0, 255.0))
+}
+
 /// Endorses an approximate coordinate and clamps it into bounds — the
 /// "intelligent handling" an endorsement certifies (section 2.2).
 fn to_index(coord: Approx<i32>) -> usize {

@@ -50,6 +50,17 @@ pub fn run() -> Output {
     Output::Decisions(decisions)
 }
 
+/// Recovery sanity check (see [`App::check`](crate::App)): the batch size
+/// is precise, so anything but exactly [`CASES`] decisions means the run
+/// corrupted its own control flow.
+pub fn check(output: &Output) -> Result<(), String> {
+    match output {
+        Output::Decisions(d) if d.len() == CASES => Ok(()),
+        Output::Decisions(d) => Err(format!("expected {CASES} decisions, got {}", d.len())),
+        other => Err(format!("expected decisions, got {other}")),
+    }
+}
+
 /// Möller–Trumbore over `@Approx Vector3f` values — the paper's own
 /// annotation for this engine: the `Vector3f` class is `@Approximable`
 /// and every instance in the collision kernel is declared approximate.

@@ -31,6 +31,7 @@ pub mod jmonkey;
 pub mod meta;
 pub mod qos;
 pub mod raytracer;
+pub mod recovery;
 pub mod scimark;
 pub mod trials;
 pub mod tuner;
@@ -51,6 +52,17 @@ pub struct App {
     pub meta: AppMeta,
     /// The benchmark body.
     pub run: fn() -> Output,
+    /// Cheap, reference-free sanity check of an output — the application's
+    /// "handle the imprecision intelligently" knowledge, hoisted to where
+    /// the recovery layer ([`recovery`]) can act on it. Must accept the
+    /// reference output (pinned by a test); [`no_check`] accepts anything.
+    pub check: fn(&Output) -> Result<(), String>,
+}
+
+/// A checker that accepts any output — for apps (or tests) without a
+/// meaningful reference-free sanity condition.
+pub fn no_check(_output: &Output) -> Result<(), String> {
+    Ok(())
 }
 
 impl std::fmt::Debug for App {
@@ -62,15 +74,23 @@ impl std::fmt::Debug for App {
 /// All nine benchmarks, in the paper's Table 3 order.
 pub fn all_apps() -> Vec<App> {
     vec![
-        App { meta: scimark::fft::meta(), run: scimark::fft::run },
-        App { meta: scimark::sor::meta(), run: scimark::sor::run },
-        App { meta: scimark::montecarlo::meta(), run: scimark::montecarlo::run },
-        App { meta: scimark::sparse::meta(), run: scimark::sparse::run },
-        App { meta: scimark::lu::meta(), run: scimark::lu::run },
-        App { meta: zxing::meta(), run: zxing::run },
-        App { meta: jmonkey::meta(), run: jmonkey::run },
-        App { meta: imagej::meta(), run: imagej::run },
-        App { meta: raytracer::meta(), run: raytracer::run },
+        App { meta: scimark::fft::meta(), run: scimark::fft::run, check: scimark::fft::check },
+        App { meta: scimark::sor::meta(), run: scimark::sor::run, check: scimark::sor::check },
+        App {
+            meta: scimark::montecarlo::meta(),
+            run: scimark::montecarlo::run,
+            check: scimark::montecarlo::check,
+        },
+        App {
+            meta: scimark::sparse::meta(),
+            run: scimark::sparse::run,
+            check: scimark::sparse::check,
+        },
+        App { meta: scimark::lu::meta(), run: scimark::lu::run, check: scimark::lu::check },
+        App { meta: zxing::meta(), run: zxing::run, check: zxing::check },
+        App { meta: jmonkey::meta(), run: jmonkey::run, check: jmonkey::check },
+        App { meta: imagej::meta(), run: imagej::run, check: imagej::check },
+        App { meta: raytracer::meta(), run: raytracer::run, check: raytracer::check },
     ]
 }
 
@@ -231,6 +251,30 @@ mod tests {
             let m2 = harness::reference(&app);
             assert_eq!(m.output, m2.output, "{} reference unstable", app.meta.name);
         }
+    }
+
+    #[test]
+    fn every_checker_accepts_its_reference_output() {
+        // The Precise rung of the recovery ladder re-runs at the reference
+        // configuration, so a checker that rejects the reference output
+        // would make a trial structurally unrecoverable.
+        for app in all_apps() {
+            let m = harness::reference(&app);
+            assert_eq!((app.check)(&m.output), Ok(()), "{}", app.meta.name);
+        }
+    }
+
+    #[test]
+    fn checkers_reject_obvious_garbage() {
+        for app in all_apps() {
+            let garbage = qos::Output::Values(vec![f64::NAN; 3]);
+            assert!(
+                (app.check)(&garbage).is_err(),
+                "{}: NaN garbage passed its checker",
+                app.meta.name
+            );
+        }
+        assert_eq!(no_check(&qos::Output::Text(None)), Ok(()));
     }
 
     #[test]

@@ -75,12 +75,28 @@ impl fmt::Display for QosMetric {
 /// scores error 1.0 (logged in debug builds, since for a reference-vs-
 /// reference comparison it would indicate a harness bug).
 ///
+/// The result is guaranteed to be a number in `[0, 1]`: per-entry scoring
+/// already maps NaN entries to 1, and as defense in depth the final score
+/// is clamped, with NaN mapped to worst-case 1.0 — one pathological
+/// observed output (fp-timing faults can manufacture any bit pattern,
+/// including NaN and ±∞) must degrade *that trial*, never poison a whole
+/// campaign's mean with NaN.
+///
 /// # Panics
 ///
 /// Panics only if `metric` does not apply to the shape of `reference`
 /// itself — the reference comes from the precise run, so that really is a
 /// harness bug.
 pub fn output_error(metric: QosMetric, reference: &Output, observed: &Output) -> f64 {
+    let raw = raw_output_error(metric, reference, observed);
+    if raw.is_nan() {
+        1.0
+    } else {
+        raw.clamp(0.0, 1.0)
+    }
+}
+
+fn raw_output_error(metric: QosMetric, reference: &Output, observed: &Output) -> f64 {
     match (metric, reference) {
         (QosMetric::MeanEntryDiff, Output::Values(r)) => match observed {
             Output::Values(o) if o.len() == r.len() => mean_over(r, o, capped_abs_diff),
@@ -160,6 +176,25 @@ fn normalized_diff(a: f64, b: f64) -> f64 {
     }
     let denom = a.abs().max(1e-9);
     ((a - b).abs() / denom).min(1.0)
+}
+
+/// Checks every entry of a `Values` output against a core
+/// [`Guard`](enerj_core::Guard); the shared body of the per-app checker
+/// hooks (see [`App::check`](crate::App)). Non-`Values` outputs are
+/// rejected (the caller's app produces `Values`, so a different variant
+/// means the run corrupted its own control flow).
+pub fn check_values(output: &Output, guard: &impl enerj_core::Guard<f64>) -> Result<(), String> {
+    match output {
+        Output::Values(v) => {
+            for (i, x) in v.iter().enumerate() {
+                if !guard.admit(x) {
+                    return Err(format!("entry {i} = {x} fails '{}'", guard.describe()));
+                }
+            }
+            Ok(())
+        }
+        other => Err(format!("expected numeric output, got {other}")),
+    }
 }
 
 fn mean_over(r: &[f64], o: &[f64], f: impl Fn(f64, f64) -> f64) -> f64 {
@@ -280,6 +315,65 @@ mod tests {
         let r = Output::Text(Some("CODE-123".into()));
         let o = Output::Values(vec![67.0, 79.0]);
         assert_eq!(output_error(QosMetric::BinaryCorrect, &r, &o), 1.0);
+    }
+
+    #[test]
+    fn adversarial_observed_outputs_never_score_nan() {
+        // fp-timing faults can manufacture any bit pattern; whatever the
+        // observed output contains, the trial's error must stay a number in
+        // [0, 1] instead of poisoning campaign means with NaN.
+        let adversarial = [
+            vec![f64::NAN, f64::NAN],
+            vec![f64::INFINITY, 1.0],
+            vec![f64::NEG_INFINITY, f64::INFINITY],
+            vec![f64::MAX, f64::MIN],
+            vec![0.0, -0.0],
+        ];
+        let metrics = [
+            QosMetric::MeanEntryDiff,
+            QosMetric::NormalizedDiff,
+            QosMetric::MeanNormalizedDiff,
+            QosMetric::MeanPixelDiff { full_scale: 255.0 },
+        ];
+        for observed in &adversarial {
+            for reference in &adversarial {
+                for metric in metrics {
+                    let e = output_error(
+                        metric,
+                        &Output::Values(reference.clone()),
+                        &Output::Values(observed.clone()),
+                    );
+                    assert!(
+                        !e.is_nan() && (0.0..=1.0).contains(&e),
+                        "{metric:?} on {reference:?} vs {observed:?} scored {e}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn infinite_reference_and_observed_clamp_to_worst_case() {
+        // (inf - inf).abs() is NaN; the per-entry cap and the final clamp
+        // must turn that into 1.0, not propagate it.
+        let r = Output::Values(vec![f64::INFINITY]);
+        let o = Output::Values(vec![f64::INFINITY]);
+        assert_eq!(output_error(QosMetric::MeanEntryDiff, &r, &o), 1.0);
+    }
+
+    #[test]
+    fn check_values_reports_first_offender() {
+        use enerj_core::{finite, in_range, Guard};
+        let good = Output::Values(vec![0.1, 0.9]);
+        assert_eq!(check_values(&good, &finite()), Ok(()));
+        let bad = Output::Values(vec![0.1, f64::NAN, f64::INFINITY]);
+        let err = check_values(&bad, &finite()).unwrap_err();
+        assert!(err.contains("entry 1"), "{err}");
+        let out_of_range = Output::Values(vec![5.0]);
+        let err = check_values(&out_of_range, &in_range(0.0, 1.0)).unwrap_err();
+        assert!(err.contains("in [0.0, 1.0]"), "{err}");
+        let guard = finite().and(in_range(0.0, 1.0));
+        assert!(check_values(&Output::Text(None), &guard).is_err(), "wrong variant rejected");
     }
 
     #[test]

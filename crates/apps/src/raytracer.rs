@@ -43,6 +43,15 @@ pub fn run() -> Output {
     Output::Values(image.endorse_to_vec())
 }
 
+/// Recovery sanity check (see [`App::check`](crate::App)): shades are
+/// normalized intensities; anything non-finite or far outside `[0, 1]` is
+/// fault damage. The range is padded because approximate shading arithmetic
+/// may legitimately wander slightly past the nominal scale.
+pub fn check(output: &Output) -> Result<(), String> {
+    use enerj_core::Guard;
+    crate::qos::check_values(output, &enerj_core::finite().and(enerj_core::in_range(-1.0, 2.0)))
+}
+
 /// Traces the primary ray through pixel (x, y).
 fn trace_pixel(x: usize, y: usize) -> Approx<f64> {
     // Camera at the origin looking down -z; film plane at z = -1.

@@ -39,6 +39,13 @@ pub fn run() -> Output {
     Output::Values(out)
 }
 
+/// Recovery sanity check (see [`App::check`](crate::App)): a fault that
+/// reaches a high-order exponent bit turns the whole spectrum into
+/// infinities; every entry must stay finite.
+pub fn check(output: &Output) -> Result<(), String> {
+    crate::qos::check_values(output, &enerj_core::finite())
+}
+
 /// In-place decimation-in-time FFT on approximate arrays.
 fn fft_in_place(re: &mut ApproxVec<f64>, im: &mut ApproxVec<f64>) {
     let n = re.len();

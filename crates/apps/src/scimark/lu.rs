@@ -36,6 +36,13 @@ pub fn run() -> Output {
     Output::Values(a.endorse_to_vec())
 }
 
+/// Recovery sanity check (see [`App::check`](crate::App)): every entry of
+/// the factored matrix must be finite (a corrupted pivot division is the
+/// classic way this kernel explodes).
+pub fn check(output: &Output) -> Result<(), String> {
+    crate::qos::check_values(output, &enerj_core::finite())
+}
+
 fn factorize(a: &mut ApproxVec<f64>) {
     for k in 0..N {
         // Partial pivoting: find the row with the largest |a[r][k]|.

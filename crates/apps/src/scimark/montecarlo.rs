@@ -50,6 +50,13 @@ pub fn run() -> Output {
     Output::Values(vec![pi.get()])
 }
 
+/// Recovery sanity check (see [`App::check`](crate::App)): the estimate is
+/// `4 * hits/samples`, so any value outside `[0, 4]` is fault-corrupted.
+pub fn check(output: &Output) -> Result<(), String> {
+    use enerj_core::Guard;
+    crate::qos::check_values(output, &enerj_core::finite().and(enerj_core::in_range(0.0, 4.0)))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

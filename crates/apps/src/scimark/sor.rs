@@ -37,6 +37,12 @@ pub fn run() -> Output {
     Output::Values(grid.endorse_to_vec())
 }
 
+/// Recovery sanity check (see [`App::check`](crate::App)): relaxation is a
+/// contraction, so a non-finite grid entry can only come from a fault.
+pub fn check(output: &Output) -> Result<(), String> {
+    crate::qos::check_values(output, &enerj_core::finite())
+}
+
 /// Gauss–Seidel-style in-place sweeps with the standard SciMark update:
 /// `g[i][j] = ω/4 (up + down + left + right) + (1-ω) g[i][j]`.
 fn relax(grid: &mut ApproxVec<f64>, sweeps: usize) {

@@ -64,6 +64,12 @@ pub fn run() -> Output {
     Output::Values(x.endorse_to_vec())
 }
 
+/// Recovery sanity check (see [`App::check`](crate::App)): every entry of
+/// the product vector must be finite.
+pub fn check(output: &Output) -> Result<(), String> {
+    crate::qos::check_values(output, &enerj_core::finite())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

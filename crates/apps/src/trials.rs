@@ -19,10 +19,18 @@
 //!   trial's [`panic`](TrialResult::panic) field instead of killing the
 //!   campaign.
 //!
+//! A spec may also carry a [`recovery::Policy`]: the trial then runs under
+//! the watchdog/check/retry protocol of the [`recovery`](crate::recovery)
+//! module, its energy and statistics summed over every attempt, with the
+//! attempt count, escalation outcome and failure causes recorded on the
+//! [`TrialResult`]. Recovery uses per-trial fixed retry seeds, so
+//! recovery-enabled campaigns keep the bit-identical-at-any-thread-count
+//! guarantee.
+//!
 //! The resulting [`CampaignReport`] carries per-trial errors, merged
 //! [`Stats`], per-trial [`EnergyBreakdown`]s, per-trial fault telemetry
 //! ([`FaultCounters`], plus opt-in structured [`FaultEvent`] logs) and
-//! wall-clock times, and serializes to JSON (`schema: "enerj-campaign/2"`)
+//! wall-clock times, and serializes to JSON (`schema: "enerj-campaign/3"`)
 //! for the bench binaries' `results/BENCH_*.json` reports. The fault log
 //! exports as NDJSON via [`CampaignReport::write_fault_log`]. Campaigns run
 //! through [`CampaignOptions`] can also report live progress (trials done,
@@ -35,6 +43,7 @@ use std::time::{Duration, Instant};
 
 use crate::harness::{self, FAULT_SEED_BASE};
 use crate::qos::{output_error, Output};
+use crate::recovery;
 use crate::App;
 use enerj_hw::config::{HwConfig, Level, StrategyMask};
 use enerj_hw::energy::EnergyBreakdown;
@@ -59,6 +68,10 @@ pub struct TrialSpec {
     /// Keep the trial's output in the result (reference campaigns need it;
     /// large fault campaigns usually don't).
     pub keep_output: bool,
+    /// When set, the trial runs under QoS-guarded recovery: watchdog,
+    /// reference-free output check, QoS threshold, and the policy's
+    /// precision-escalation ladder on failure (see [`recovery`]).
+    pub recovery: Option<recovery::Policy>,
 }
 
 impl TrialSpec {
@@ -77,6 +90,7 @@ impl TrialSpec {
             seed,
             reference: Some(reference),
             keep_output: false,
+            recovery: None,
         }
     }
 
@@ -89,7 +103,14 @@ impl TrialSpec {
             seed: 0,
             reference: None,
             keep_output: true,
+            recovery: None,
         }
+    }
+
+    /// Runs this trial under `policy`'s recovery protocol.
+    pub fn with_recovery(mut self, policy: recovery::Policy) -> Self {
+        self.recovery = Some(policy);
+        self
     }
 }
 
@@ -125,12 +146,33 @@ pub struct TrialResult {
     /// [`CampaignOptions::log_events`] (empty otherwise, and for panicked
     /// trials).
     pub events: Vec<FaultEvent>,
+    /// Executions this trial took: 1 without recovery (or when the first
+    /// attempt passed), one extra per escalation rung tried.
+    pub attempts: u32,
+    /// The ladder rung whose output was accepted, when recovery was needed
+    /// and succeeded (`None` for unrecovered or never-failed trials).
+    pub recovered_at_level: Option<String>,
+    /// Why each failed attempt was rejected, in attempt order (rendered
+    /// [`recovery::FailureCause`]s; for plain trials, the panic cause when
+    /// the trial crashed).
+    pub failure_causes: Vec<String>,
+    /// Energy charged to attempts whose output was *not* accepted — the
+    /// price of recovery, already included in [`energy`](Self::energy).
+    pub recovery_energy_overhead: f64,
 }
 
 impl TrialResult {
-    /// Whether the trial crashed (and was scored worst-case).
+    /// Whether the trial crashed (and was scored worst-case). For
+    /// recovery-enabled trials this means the *final* attempt panicked;
+    /// a panic the ladder recovered from is in
+    /// [`failure_causes`](Self::failure_causes) instead.
     pub fn panicked(&self) -> bool {
         self.panic.is_some()
+    }
+
+    /// Whether the accepted output came from an escalation rung.
+    pub fn recovered(&self) -> bool {
+        self.recovered_at_level.is_some()
     }
 }
 
@@ -174,6 +216,16 @@ impl CampaignReport {
         self.trials.iter().filter(|t| t.panicked()).count()
     }
 
+    /// Number of trials whose accepted output came from an escalation rung.
+    pub fn recovered_count(&self) -> usize {
+        self.trials.iter().filter(|t| t.recovered()).count()
+    }
+
+    /// Total energy charged to rejected attempts across the campaign.
+    pub fn recovery_energy_overhead(&self) -> f64 {
+        self.trials.iter().map(|t| t.recovery_energy_overhead).sum()
+    }
+
     /// Per-kind fault counters merged over all trials.
     pub fn fault_totals(&self) -> FaultCounters {
         let mut totals = FaultCounters::new();
@@ -183,15 +235,17 @@ impl CampaignReport {
         totals
     }
 
-    /// Serializes the report as a JSON object (`schema: "enerj-campaign/2"`;
-    /// the telemetry-free `/1` schema is superseded — see DESIGN.md).
+    /// Serializes the report as a JSON object (`schema: "enerj-campaign/3"`,
+    /// which adds the recovery fields; the `/1` and `/2` schemas are
+    /// superseded — see DESIGN.md).
     pub fn to_json(&self) -> String {
         let mut out = String::with_capacity(256 + 256 * self.trials.len());
-        out.push_str("{\"schema\":\"enerj-campaign/2\"");
+        out.push_str("{\"schema\":\"enerj-campaign/3\"");
         out.push_str(&format!(",\"threads\":{}", self.threads));
         out.push_str(&format!(",\"wall_seconds\":{:.6}", self.wall.as_secs_f64()));
         out.push_str(&format!(",\"mean_error\":{}", json_f64(self.mean_error())));
         out.push_str(&format!(",\"panics\":{}", self.panic_count()));
+        out.push_str(&format!(",\"recovered\":{}", self.recovered_count()));
         out.push_str(",\"merged_stats\":");
         out.push_str(&stats_json(&self.merged_stats));
         out.push_str(",\"fault_totals\":");
@@ -201,9 +255,12 @@ impl CampaignReport {
             if i > 0 {
                 out.push(',');
             }
+            let causes: Vec<String> = t.failure_causes.iter().map(|c| json_string(c)).collect();
             out.push_str(&format!(
                 "{{\"index\":{},\"app\":{},\"label\":{},\"seed\":{},\"error\":{},\
-                 \"wall_seconds\":{:.6},\"panic\":{},\"stats\":{},\"energy\":{},\
+                 \"wall_seconds\":{:.6},\"panic\":{},\"attempts\":{},\
+                 \"recovered_at_level\":{},\"failure_causes\":[{}],\
+                 \"recovery_energy_overhead\":{},\"stats\":{},\"energy\":{},\
                  \"fault_counts\":{}}}",
                 t.index,
                 json_string(t.app),
@@ -215,6 +272,13 @@ impl CampaignReport {
                     Some(msg) => json_string(msg),
                     None => "null".to_owned(),
                 },
+                t.attempts,
+                match &t.recovered_at_level {
+                    Some(level) => json_string(level),
+                    None => "null".to_owned(),
+                },
+                causes.join(","),
+                json_f64(t.recovery_energy_overhead),
                 stats_json(&t.stats),
                 energy_json(&t.energy),
                 counters_json(&t.fault_counts),
@@ -423,7 +487,11 @@ impl Progress {
 }
 
 /// Runs one trial, catching panics from fault-corrupted executions.
+/// Recovery-enabled specs go through [`run_recovered_trial`] instead.
 fn run_trial(index: usize, spec: &TrialSpec, log_events: bool) -> TrialResult {
+    if let Some(policy) = &spec.recovery {
+        return run_recovered_trial(index, spec, policy, log_events);
+    }
     let start = Instant::now();
     let outcome = catch_unwind(AssertUnwindSafe(|| {
         let m = harness::measure_with_telemetry(&spec.app, spec.cfg, spec.seed, log_events);
@@ -448,15 +516,13 @@ fn run_trial(index: usize, spec: &TrialSpec, log_events: bool) -> TrialResult {
             panic: None,
             fault_counts: m.fault_counts,
             events: m.events,
+            attempts: 1,
+            recovered_at_level: None,
+            failure_causes: Vec::new(),
+            recovery_energy_overhead: 0.0,
         },
         Err(payload) => {
-            let msg = if let Some(s) = payload.downcast_ref::<&str>() {
-                (*s).to_owned()
-            } else if let Some(s) = payload.downcast_ref::<String>() {
-                s.clone()
-            } else {
-                "non-string panic payload".to_owned()
-            };
+            let msg = enerj_core::panic_message(payload.as_ref());
             TrialResult {
                 index,
                 app: spec.app.meta.name,
@@ -469,9 +535,87 @@ fn run_trial(index: usize, spec: &TrialSpec, log_events: bool) -> TrialResult {
                 stats: Stats::new(),
                 energy: EnergyBreakdown { instructions: 1.0, sram: 1.0, dram: 1.0, total: 1.0 },
                 wall,
+                failure_causes: vec![format!("panic: {msg}")],
                 panic: Some(msg),
                 fault_counts: FaultCounters::new(),
                 events: Vec::new(),
+                attempts: 1,
+                recovered_at_level: None,
+                recovery_energy_overhead: 0.0,
+            }
+        }
+    }
+}
+
+/// Runs one trial under its spec's recovery policy. The recovery runner
+/// already contains app panics and watchdog trips per attempt; the outer
+/// `catch_unwind` only guards against harness bugs (a panicking checker or
+/// QoS metric), scored like a plain crashed trial.
+fn run_recovered_trial(
+    index: usize,
+    spec: &TrialSpec,
+    policy: &recovery::Policy,
+    log_events: bool,
+) -> TrialResult {
+    let start = Instant::now();
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        recovery::run_with_recovery(
+            &spec.app,
+            spec.cfg,
+            spec.seed,
+            policy,
+            spec.reference.as_deref(),
+            log_events,
+        )
+    }));
+    let wall = start.elapsed();
+    match outcome {
+        Ok(r) => {
+            // An unrecovered trial whose last attempt panicked keeps the
+            // plain-trial contract: `panic` is set. Failures the ladder
+            // recovered from live in `failure_causes` only.
+            let panic = match (r.output.is_none(), r.failure_causes.last()) {
+                (true, Some(recovery::FailureCause::Panic(msg))) => Some(msg.clone()),
+                _ => None,
+            };
+            TrialResult {
+                index,
+                app: spec.app.meta.name,
+                label: spec.label.clone(),
+                seed: spec.seed,
+                error: r.error,
+                output: if spec.keep_output { r.output } else { None },
+                stats: r.stats,
+                energy: r.energy,
+                wall,
+                panic,
+                fault_counts: r.fault_counts,
+                events: r.events,
+                attempts: r.attempts,
+                recovered_at_level: r.recovered_at.map(|rung| rung.to_string()),
+                failure_causes: r.failure_causes.iter().map(|c| c.to_string()).collect(),
+                recovery_energy_overhead: r.recovery_energy_overhead,
+            }
+        }
+        Err(payload) => {
+            let msg = enerj_core::panic_message(payload.as_ref());
+            TrialResult {
+                index,
+                app: spec.app.meta.name,
+                label: spec.label.clone(),
+                seed: spec.seed,
+                error: 1.0,
+                output: None,
+                stats: Stats::new(),
+                energy: EnergyBreakdown { instructions: 1.0, sram: 1.0, dram: 1.0, total: 1.0 },
+                wall,
+                failure_causes: vec![format!("panic: {msg}")],
+                panic: Some(msg),
+                fault_counts: FaultCounters::new(),
+                events: Vec::new(),
+                attempts: 1,
+                recovered_at_level: None,
+                recovery_energy_overhead: 0.0,
             }
         }
     }
@@ -639,13 +783,108 @@ mod tests {
         let specs = vec![TrialSpec::reference(&app("MonteCarlo"))];
         let report = run_campaign(&specs, 1);
         let json = report.to_json();
-        assert!(json.starts_with("{\"schema\":\"enerj-campaign/2\""));
+        assert!(json.starts_with("{\"schema\":\"enerj-campaign/3\""));
         assert!(json.contains("\"app\":\"MonteCarlo\""));
         assert!(json.contains("\"merged_stats\""));
         assert!(json.contains("\"panic\":null"));
         assert!(json.contains("\"fault_totals\""));
         assert!(json.contains("\"fault_counts\""));
         assert!(json.contains("\"sram-read-upset\""));
+        assert!(json.contains("\"recovered\":0"));
+        assert!(json.contains("\"attempts\":1"));
+        assert!(json.contains("\"recovered_at_level\":null"));
+        assert!(json.contains("\"failure_causes\":[]"));
+        assert!(json.contains("\"recovery_energy_overhead\":0"));
+    }
+
+    #[test]
+    fn recovery_specs_escalate_and_report_in_the_campaign() {
+        use crate::recovery::{chaos_config, Policy};
+        let mc = app("MonteCarlo");
+        let reference = Arc::new(harness::reference(&mc).output);
+        // Threshold 0 forces every faulted trial down the ladder; the
+        // Precise backstop reproduces the reference, so error ends at 0.
+        let policy = Policy { qos_threshold: Some(0.0), ..Policy::standard() };
+        let specs: Vec<TrialSpec> = (0..4)
+            .map(|i| {
+                TrialSpec::scored(
+                    &mc,
+                    "chaos",
+                    chaos_config(50.0),
+                    FAULT_SEED_BASE ^ i,
+                    Arc::clone(&reference),
+                )
+                .with_recovery(policy.clone())
+            })
+            .collect();
+        let report = run_campaign(&specs, 2);
+        assert!(report.recovered_count() > 0, "50x chaos at threshold 0 must escalate");
+        assert!(report.recovery_energy_overhead() > 0.0);
+        for t in &report.trials {
+            if t.recovered() {
+                assert!(t.attempts >= 2);
+                assert!(!t.failure_causes.is_empty());
+                assert!(!t.panicked(), "recovered trials are not crashes");
+            }
+            assert!(t.error <= f64::EPSILON, "trial {}: error {}", t.index, t.error);
+        }
+        let json = report.to_json();
+        assert!(
+            json.contains("\"recovered_at_level\":\"Precise\"")
+                || json.contains("\"recovered_at_level\":\"Mild\"")
+        );
+        assert!(
+            json.contains("\"failure_causes\":[\"qos:")
+                || json.contains("\"failure_causes\":[\"check:")
+                || json.contains("\"failure_causes\":[\"panic:")
+        );
+    }
+
+    #[test]
+    fn recovery_campaigns_are_bit_identical_across_thread_counts() {
+        use crate::recovery::{chaos_config, Policy};
+        let apps = [app("SOR"), app("MonteCarlo")];
+        let policy = Policy { qos_threshold: Some(0.01), ..Policy::standard() };
+        let specs: Vec<TrialSpec> = apps
+            .iter()
+            .flat_map(|a| {
+                let reference = Arc::new(harness::reference(a).output);
+                let policy = policy.clone();
+                (0..3).map(move |i| {
+                    TrialSpec::scored(
+                        a,
+                        "chaos",
+                        chaos_config(25.0),
+                        FAULT_SEED_BASE ^ i,
+                        Arc::clone(&reference),
+                    )
+                    .with_recovery(policy.clone())
+                })
+            })
+            .collect();
+        let digest = |r: &CampaignReport| {
+            r.trials
+                .iter()
+                .map(|t| {
+                    (
+                        t.error.to_bits(),
+                        t.attempts,
+                        t.recovered_at_level.clone(),
+                        t.failure_causes.clone(),
+                        t.energy.total.to_bits(),
+                        t.recovery_energy_overhead.to_bits(),
+                        t.stats,
+                    )
+                })
+                .collect::<Vec<_>>()
+        };
+        let base = digest(&run_campaign(&specs, 1));
+        for threads in [4, 8] {
+            assert_eq!(digest(&run_campaign(&specs, threads)), base, "{threads} threads");
+        }
+        // Telemetry must not perturb recovery outcomes either.
+        let opts = CampaignOptions { threads: 4, log_events: true, progress: false };
+        assert_eq!(digest(&run_campaign_with(&specs, &opts)), base, "with fault log");
     }
 
     #[test]

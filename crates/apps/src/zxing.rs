@@ -49,6 +49,19 @@ pub fn run() -> Output {
     Output::Text(decode(&image))
 }
 
+/// Recovery sanity check (see [`App::check`](crate::App)): the decode must
+/// produce *some* non-empty payload. This is exactly the check a real
+/// barcode pipeline gets for free — a failed decode is observable without a
+/// reference.
+pub fn check(output: &Output) -> Result<(), String> {
+    match output {
+        Output::Text(Some(s)) if !s.is_empty() => Ok(()),
+        Output::Text(Some(_)) => Err("decoded payload is empty".to_owned()),
+        Output::Text(None) => Err("decode failed".to_owned()),
+        other => Err(format!("expected text output, got {other}")),
+    }
+}
+
 // ---- encoding & rendering: the (precise) world that produces the input ----
 
 /// Whether module (r, c) belongs to a finder pattern zone (including the

@@ -117,6 +117,7 @@ fn panicking_app() -> App {
             source: "",
         },
         run: panicking_run,
+        check: enerj_apps::no_check,
     }
 }
 

@@ -1,7 +1,7 @@
 //! Integration tests for the fault-telemetry layer: telemetry must never
-//! change campaign outcomes, the `enerj-campaign/2` serialization must stay
-//! byte-stable (golden files), and the tuner's seed space must be provably
-//! disjoint from the evaluation's.
+//! change campaign outcomes, the `enerj-campaign/3` serialization must stay
+//! byte-stable (golden files), and the evaluation, tuner and recovery-retry
+//! seed spaces must be provably pairwise disjoint.
 
 use std::path::PathBuf;
 use std::sync::Arc;
@@ -102,6 +102,10 @@ fn synthetic_report() -> CampaignReport {
             FaultEvent { kind: FaultKind::SramReadUpset, time: 0.5, width: 64, bits_flipped: 1 },
             FaultEvent { kind: FaultKind::IntTiming, time: 1.25, width: 32, bits_flipped: 2 },
         ],
+        attempts: 2,
+        recovered_at_level: Some("Precise".to_owned()),
+        failure_causes: vec!["qos: error 0.5000 > threshold 0.1".to_owned()],
+        recovery_energy_overhead: 0.84,
     };
     let crashed = TrialResult {
         index: 1,
@@ -116,6 +120,10 @@ fn synthetic_report() -> CampaignReport {
         panic: Some("index \"7\" out of bounds\n".to_owned()),
         fault_counts: FaultCounters::new(),
         events: Vec::new(),
+        attempts: 1,
+        recovered_at_level: None,
+        failure_causes: vec!["panic: index \"7\" out of bounds\n".to_owned()],
+        recovery_energy_overhead: 0.0,
     };
     CampaignReport {
         merged_stats: healthy.stats,
@@ -141,17 +149,17 @@ fn check_golden(name: &str, actual: &str) {
         .unwrap_or_else(|e| panic!("{}: {e}; run with BLESS_GOLDEN=1 to create", path.display()));
     assert_eq!(
         actual, expected,
-        "{name} drifted from the committed enerj-campaign/2 golden; if the \
+        "{name} drifted from the committed enerj-campaign/3 golden; if the \
          schema change is intentional, bump the schema tag, document it in \
          DESIGN.md and re-bless with BLESS_GOLDEN=1"
     );
 }
 
 #[test]
-fn campaign_report_json_matches_the_v2_golden() {
+fn campaign_report_json_matches_the_v3_golden() {
     let json = synthetic_report().to_json();
-    assert!(json.starts_with("{\"schema\":\"enerj-campaign/2\""));
-    check_golden("campaign_v2.json", &(json + "\n"));
+    assert!(json.starts_with("{\"schema\":\"enerj-campaign/3\""));
+    check_golden("campaign_v3.json", &(json + "\n"));
 }
 
 #[test]
@@ -160,12 +168,13 @@ fn fault_log_ndjson_matches_the_v2_golden() {
 }
 
 #[test]
-fn seed_bases_split_the_seed_space_in_half() {
-    // The evaluation base keeps bit 63 clear; the tuner base sets it. XOR
-    // with any index below 2^63 cannot change bit 63, so the two streams
-    // can never collide — see `harness::TUNER_SEED_BASE`.
-    assert_eq!(FAULT_SEED_BASE >> 63, 0);
-    assert_eq!(TUNER_SEED_BASE >> 63, 1);
+fn seed_bases_partition_the_seed_space() {
+    // The top two bits identify the stream: evaluation seeds have `00`,
+    // tuner seeds `10`, recovery-retry seeds `01` — see
+    // `harness::TUNER_SEED_BASE` and `recovery::RETRY_SEED_BASE`.
+    assert_eq!(FAULT_SEED_BASE >> 62, 0b00);
+    assert_eq!(TUNER_SEED_BASE >> 62, 0b10);
+    assert_eq!(enerj_apps::recovery::RETRY_SEED_BASE >> 62, 0b01);
     assert_eq!(TUNER_SEED_BASE & !(1 << 63), FAULT_SEED_BASE);
 }
 
@@ -178,5 +187,23 @@ proptest! {
         r in 0u64..(1 << 63),
     ) {
         prop_assert_ne!(FAULT_SEED_BASE ^ i, TUNER_SEED_BASE ^ r);
+    }
+
+    /// Recovery-retry seeds never collide with the evaluation or tuner
+    /// streams: retries always carry the top-bit pattern `01`, which no
+    /// plausible evaluation index (below 2^62) or tuner index can produce.
+    /// A retry therefore never replays a fault sequence any scored or
+    /// profiling run has seen.
+    #[test]
+    fn retry_seeds_never_collide_with_other_streams(
+        trial in 0u64..(1 << 62),
+        attempt in 1u32..8,
+        i in 0u64..(1 << 62),
+        r in 0u64..(1 << 62),
+    ) {
+        let retry = enerj_apps::recovery::retry_seed(FAULT_SEED_BASE ^ trial, attempt);
+        prop_assert_eq!(retry >> 62, 0b01);
+        prop_assert_ne!(retry, FAULT_SEED_BASE ^ i);
+        prop_assert_ne!(retry, TUNER_SEED_BASE ^ r);
     }
 }

@@ -2,20 +2,25 @@
 //! artifacts.
 //!
 //! ```text
-//! faultscope <results/BENCH_*.json | faults.ndjson> [--label L] [--bits]
+//! faultscope <results/BENCH_*.json | faults.ndjson> [--label L] [--bits] [--causes]
 //! ```
 //!
-//! Reads either a campaign report (`enerj-campaign/2` JSON, aggregating
-//! each trial's `fault_counts`) or an NDJSON fault log (counting events),
-//! auto-detected, and prints one row per application with a column per
-//! fault kind. Cells are injection counts with each unit's share of the
-//! app's total; `--bits` switches to flipped-bit totals — the honest
-//! "where did my error come from" measure. `--label L` restricts to one
-//! campaign label (a level or strategy name).
+//! Reads either a campaign report (`enerj-campaign/2` or `/3` JSON,
+//! aggregating each trial's `fault_counts`) or an NDJSON fault log
+//! (counting events), auto-detected, and prints one row per application
+//! with a column per fault kind. Cells are injection counts with each
+//! unit's share of the app's total; `--bits` switches to flipped-bit
+//! totals — the honest "where did my error come from" measure. `--label L`
+//! restricts to one campaign label (a level or strategy name).
+//!
+//! `--causes` switches to the recovery view (`/3` reports): one row per
+//! app × label with the trial count, how many trials needed recovery, how
+//! many stayed degraded, and the failure-cause mix (panics, watchdog
+//! op-budget trips, failed output checks, QoS threshold breaches).
 //!
 //! This is the observability counterpart to `fig5`: instead of "FFT
 //! degrades at Medium", it answers "FFT's faults are 90% SRAM read
-//! upsets".
+//! upsets" — or, with `--causes`, "FFT's retries are mostly QoS breaches".
 
 use std::collections::BTreeMap;
 use std::process::ExitCode;
@@ -36,7 +41,8 @@ fn main() -> ExitCode {
 }
 
 fn usage() -> String {
-    "usage: faultscope <BENCH_report.json | fault_log.ndjson> [--label L] [--bits]".to_owned()
+    "usage: faultscope <BENCH_report.json | fault_log.ndjson> [--label L] [--bits] [--causes]"
+        .to_owned()
 }
 
 /// injections and bits flipped, per (app, kind).
@@ -46,17 +52,28 @@ fn run(args: &[String]) -> Result<(), String> {
     let mut path = None;
     let mut label = None;
     let mut bits = false;
+    let mut causes = false;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--label" => label = Some(it.next().ok_or("--label needs a value")?.clone()),
             "--bits" => bits = true,
+            "--causes" => causes = true,
             other if !other.starts_with("--") => path = Some(other.to_owned()),
             other => return Err(format!("unknown flag `{other}`\n{}", usage())),
         }
     }
     let path = path.ok_or_else(usage)?;
     let text = std::fs::read_to_string(&path).map_err(|e| format!("{path}: {e}"))?;
+
+    if causes {
+        if !looks_like_report(&text) {
+            return Err("--causes needs a campaign report (fault logs carry no \
+                        recovery telemetry)"
+                .to_owned());
+        }
+        return print_causes(&text, label.as_deref());
+    }
 
     let (breakdown, source) = if looks_like_report(&text) {
         (from_report(&text, label.as_deref())?, "campaign report")
@@ -150,6 +167,84 @@ fn from_report(text: &str, label: Option<&str>) -> Result<Breakdown, String> {
         }
     }
     Ok(breakdown)
+}
+
+/// The stable failure-cause categories `enerj-campaign/3` reports use as
+/// `failure_causes` prefixes (see `enerj_apps::recovery::FailureCause`).
+const CAUSE_CATEGORIES: [&str; 4] = ["panic", "op-budget", "check", "qos"];
+
+/// Prints the recovery view: per app × label, the trial count, recovery
+/// outcomes and the failure-cause mix.
+fn print_causes(text: &str, label: Option<&str>) -> Result<(), String> {
+    let report = Json::parse(text.trim()).map_err(|e| format!("report: {e}"))?;
+    let schema = report.get("schema").and_then(Json::as_str).ok_or("report: missing `schema`")?;
+    if schema != "enerj-campaign/3" {
+        return Err(format!(
+            "schema `{schema}` carries no recovery telemetry; re-run the bench \
+             binary to produce an enerj-campaign/3 report"
+        ));
+    }
+    let trials = report.get("trials").and_then(Json::as_array).ok_or("report: missing `trials`")?;
+    // (app, label) -> [trials, recovered, degraded, per-category counts...].
+    let mut rows: BTreeMap<(String, String), [u64; 3 + CAUSE_CATEGORIES.len()]> = BTreeMap::new();
+    for trial in trials {
+        let app = trial.get("app").and_then(Json::as_str).ok_or("trial: missing `app`")?;
+        let trial_label =
+            trial.get("label").and_then(Json::as_str).ok_or("trial: missing `label`")?;
+        if let Some(want) = label {
+            if trial_label != want {
+                continue;
+            }
+        }
+        let entry = rows.entry((app.to_owned(), trial_label.to_owned())).or_default();
+        entry[0] += 1;
+        if trial.get("recovered_at_level").and_then(Json::as_str).is_some() {
+            entry[1] += 1;
+        }
+        let causes = trial
+            .get("failure_causes")
+            .and_then(Json::as_array)
+            .ok_or("trial: missing `failure_causes`")?;
+        // Unrecovered: final attempt also failed (causes cover every attempt).
+        let attempts = trial.get("attempts").and_then(Json::as_f64).unwrap_or(1.0);
+        if !causes.is_empty() && causes.len() as f64 >= attempts {
+            entry[2] += 1;
+        }
+        for cause in causes {
+            let cause = cause.as_str().unwrap_or("");
+            for (i, cat) in CAUSE_CATEGORIES.iter().enumerate() {
+                if cause.starts_with(&format!("{cat}:")) {
+                    entry[3 + i] += 1;
+                }
+            }
+        }
+    }
+    if rows.is_empty() {
+        println!(
+            "no trials{}",
+            match &label {
+                Some(l) => format!(" for label `{l}`"),
+                None => String::new(),
+            }
+        );
+        return Ok(());
+    }
+    let mut headers = vec!["Application", "Label", "trials", "recovered", "degraded"];
+    headers.extend(CAUSE_CATEGORIES);
+    let table_rows: Vec<Vec<String>> = rows
+        .iter()
+        .map(|((app, lbl), counts)| {
+            let mut row = vec![app.clone(), lbl.clone()];
+            row.extend(counts.iter().map(|n| if *n == 0 { "-".to_owned() } else { n.to_string() }));
+            // `trials` reads better as a number even when zero can't occur.
+            row[2] = counts[0].to_string();
+            row
+        })
+        .collect();
+    println!("Recovery outcomes and failure causes by app and label");
+    println!();
+    println!("{}", render_table(&headers, &table_rows));
+    Ok(())
 }
 
 fn from_ndjson(text: &str, label: Option<&str>) -> Result<Breakdown, String> {

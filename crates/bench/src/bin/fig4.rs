@@ -26,6 +26,7 @@ fn main() {
                 seed: 1,
                 reference: None,
                 keep_output: false,
+                recovery: None,
             })
         })
         .collect();

@@ -6,7 +6,7 @@
 //!                 [--hwperf <BENCH_hwperf.json>]...
 //! ```
 //!
-//! Validates each `--report` against `enerj-campaign/2`, each `--fault-log`
+//! Validates each `--report` against `enerj-campaign/3`, each `--fault-log`
 //! against the NDJSON fault-event schema, and each `--hwperf` against the
 //! `enerj-hwperf/1` throughput-report schema. Exit code 0 when everything
 //! conforms, 1 on the first violation — the CI smoke and perf-smoke jobs
@@ -39,7 +39,7 @@ fn run(args: &[String]) -> Result<(), String> {
                 let parsed = Json::parse(text.trim()).map_err(|e| format!("{path}: {e}"))?;
                 let trials =
                     validate_campaign_report(&parsed).map_err(|e| format!("{path}: {e}"))?;
-                println!("{path}: OK (enerj-campaign/2, {trials} trials)");
+                println!("{path}: OK (enerj-campaign/3, {trials} trials)");
                 checked += 1;
             }
             "--fault-log" => {

@@ -1,20 +1,41 @@
 //! Schema validation for the telemetry artifacts.
 //!
 //! Checks `results/BENCH_*.json` campaign reports against the
-//! `enerj-campaign/2` schema and NDJSON fault logs against the fault-event
+//! `enerj-campaign/3` schema and NDJSON fault logs against the fault-event
 //! schema, both as documented in DESIGN.md. Used by the `validate_schema`
-//! binary (and the CI smoke job) to catch emitter drift.
+//! binary (and the CI smoke jobs) to catch emitter drift.
 
 use crate::json::Json;
 use enerj_hw::trace::FaultKind;
 
-/// Top-level keys every `enerj-campaign/2` report must carry.
-const REPORT_KEYS: [&str; 7] =
-    ["schema", "threads", "wall_seconds", "mean_error", "panics", "merged_stats", "fault_totals"];
+/// Top-level keys every `enerj-campaign/3` report must carry.
+const REPORT_KEYS: [&str; 8] = [
+    "schema",
+    "threads",
+    "wall_seconds",
+    "mean_error",
+    "panics",
+    "recovered",
+    "merged_stats",
+    "fault_totals",
+];
 
 /// Keys every trial object must carry.
-const TRIAL_KEYS: [&str; 9] =
-    ["index", "app", "label", "seed", "error", "wall_seconds", "panic", "stats", "energy"];
+const TRIAL_KEYS: [&str; 13] = [
+    "index",
+    "app",
+    "label",
+    "seed",
+    "error",
+    "wall_seconds",
+    "panic",
+    "attempts",
+    "recovered_at_level",
+    "failure_causes",
+    "recovery_energy_overhead",
+    "stats",
+    "energy",
+];
 
 /// Keys every NDJSON fault-log line must carry.
 const EVENT_KEYS: [&str; 8] =
@@ -52,12 +73,12 @@ fn validate_counters(counters: &Json, what: &str) -> Result<(), String> {
     Ok(())
 }
 
-/// Validates a parsed `enerj-campaign/2` report. Returns the trial count.
+/// Validates a parsed `enerj-campaign/3` report. Returns the trial count.
 pub fn validate_campaign_report(report: &Json) -> Result<usize, String> {
     let schema =
         report.get("schema").and_then(Json::as_str).ok_or("report: missing `schema` string")?;
-    if schema != "enerj-campaign/2" {
-        return Err(format!("report: schema `{schema}`, expected `enerj-campaign/2`"));
+    if schema != "enerj-campaign/3" {
+        return Err(format!("report: schema `{schema}`, expected `enerj-campaign/3`"));
     }
     for key in REPORT_KEYS {
         if report.get(key).is_none() {
@@ -80,6 +101,28 @@ pub fn validate_campaign_report(report: &Json) -> Result<usize, String> {
         let err = require_number(trial, "error", &what)?;
         if !(0.0..=1.0).contains(&err) {
             return Err(format!("{what}: error {err} outside [0, 1]"));
+        }
+        let attempts = require_number(trial, "attempts", &what)?;
+        if attempts < 1.0 || attempts.fract() != 0.0 {
+            return Err(format!("{what}: attempts {attempts} not a positive integer"));
+        }
+        let causes = trial
+            .get("failure_causes")
+            .and_then(Json::as_array)
+            .ok_or_else(|| format!("{what}: `failure_causes` must be an array"))?;
+        // N attempts can reject at most N causes (equality only when even
+        // the last rung failed).
+        if causes.len() as f64 > attempts {
+            return Err(format!("{what}: {} failure causes for {attempts} attempts", causes.len()));
+        }
+        for (j, cause) in causes.iter().enumerate() {
+            if cause.as_str().is_none() {
+                return Err(format!("{what}: failure_causes[{j}] must be a string"));
+            }
+        }
+        let overhead = require_number(trial, "recovery_energy_overhead", &what)?;
+        if overhead < 0.0 {
+            return Err(format!("{what}: negative recovery_energy_overhead {overhead}"));
         }
     }
     Ok(trials.len())
@@ -261,10 +304,52 @@ mod tests {
 
     #[test]
     fn rejects_wrong_schema_and_missing_keys() {
-        let v = Json::parse(r#"{"schema":"enerj-campaign/1"}"#).unwrap();
-        assert!(validate_campaign_report(&v).unwrap_err().contains("schema"));
-        let v = Json::parse(r#"{"schema":"enerj-campaign/2","threads":1}"#).unwrap();
+        for old in ["enerj-campaign/1", "enerj-campaign/2"] {
+            let v = Json::parse(&format!(r#"{{"schema":"{old}"}}"#)).unwrap();
+            assert!(validate_campaign_report(&v).unwrap_err().contains("schema"));
+        }
+        let v = Json::parse(r#"{"schema":"enerj-campaign/3","threads":1}"#).unwrap();
         assert!(validate_campaign_report(&v).unwrap_err().contains("missing top-level"));
+    }
+
+    #[test]
+    fn rejects_malformed_recovery_fields() {
+        let good = aggressive_campaign().to_json();
+        let zero_attempts = good.replace("\"attempts\":1", "\"attempts\":0");
+        let v = Json::parse(&zero_attempts).unwrap();
+        assert!(validate_campaign_report(&v).unwrap_err().contains("attempts"));
+        let too_many_causes =
+            good.replace("\"failure_causes\":[]", "\"failure_causes\":[\"qos: a\",\"qos: b\"]");
+        let v = Json::parse(&too_many_causes).unwrap();
+        assert!(validate_campaign_report(&v).unwrap_err().contains("failure causes"));
+        let negative_overhead =
+            good.replace("\"recovery_energy_overhead\":0", "\"recovery_energy_overhead\":-0.5");
+        let v = Json::parse(&negative_overhead).unwrap();
+        assert!(validate_campaign_report(&v).unwrap_err().contains("recovery_energy_overhead"));
+    }
+
+    #[test]
+    fn recovery_campaign_report_validates() {
+        use enerj_apps::recovery::{chaos_config, Policy};
+        let app = enerj_apps::all_apps().remove(2); // MonteCarlo
+        let reference = Arc::new(enerj_apps::harness::reference(&app).output);
+        let policy = Policy { qos_threshold: Some(0.0), ..Policy::standard() };
+        let specs: Vec<TrialSpec> = (0..3)
+            .map(|i| {
+                TrialSpec::scored(
+                    &app,
+                    "chaos",
+                    chaos_config(50.0),
+                    enerj_apps::harness::FAULT_SEED_BASE ^ i,
+                    Arc::clone(&reference),
+                )
+                .with_recovery(policy.clone())
+            })
+            .collect();
+        let report = run_campaign_with(&specs, &CampaignOptions::with_threads(1));
+        assert!(report.recovered_count() > 0, "threshold 0 under chaos must escalate");
+        let parsed = Json::parse(&report.to_json()).unwrap();
+        assert_eq!(validate_campaign_report(&parsed), Ok(3));
     }
 
     const HWPERF_OK: &str = r#"{

@@ -44,6 +44,7 @@
 #![warn(missing_docs)]
 
 mod approx;
+pub mod check;
 pub mod context;
 mod math;
 mod precise;
@@ -53,11 +54,12 @@ mod runtime;
 mod vecs;
 
 pub use approx::{endorse, Approx};
+pub use check::{endorse_checked, finite, in_range, not_nan, predicate, EndorseError, Guard};
 pub use context::{endorse_ctx, ApproxMode, Ctx, Mode, PreciseMode};
 pub use precise::Precise;
 pub use prim::{ApproxArith, ApproxBits, ApproxPrim};
 pub use record::{ApproxRecord, RecordSchema, RecordSchemaBuilder};
-pub use runtime::Runtime;
+pub use runtime::{panic_message, Degraded, Runtime, PANIC_MESSAGE_LIMIT};
 pub use vecs::{ApproxVec, PreciseVec};
 
 #[cfg(test)]

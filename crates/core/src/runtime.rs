@@ -9,13 +9,72 @@
 //! precisely, mirroring the paper's observation that "one valid execution is
 //! to ignore all annotations and execute the code as plain Java."
 
+use std::any::Any;
 use std::cell::RefCell;
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::rc::Rc;
 
 use enerj_hw::config::{HwConfig, Level};
 use enerj_hw::energy::{normalized_energy, EnergyBreakdown};
 use enerj_hw::stats::Stats;
-use enerj_hw::Hardware;
+use enerj_hw::{Hardware, WatchdogTrip};
+
+/// Why a [`Runtime::run_guarded`] call failed to complete normally.
+///
+/// Both arms are *graceful degradation*, not harness errors: the guarded
+/// region was stopped, the runtime is intact, and its statistics and energy
+/// accounting still reflect the work performed up to the stop — recovery
+/// layers charge that partial work honestly before retrying.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Degraded {
+    /// The op-tick budget was exhausted: a fault-corrupted loop (or
+    /// genuinely over-budget computation) was terminated by the watchdog.
+    OpBudgetExceeded {
+        /// Completed simulated operations at the moment of the trip.
+        op_ticks: u64,
+        /// The budget the watchdog was armed with.
+        budget: u64,
+    },
+    /// The guarded closure panicked; carries the truncated panic message.
+    Panicked(String),
+}
+
+impl fmt::Display for Degraded {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Degraded::OpBudgetExceeded { op_ticks, budget } => {
+                write!(f, "op budget exceeded ({op_ticks} ticks, budget {budget})")
+            }
+            Degraded::Panicked(msg) => write!(f, "panicked: {msg}"),
+        }
+    }
+}
+
+/// Extracts a human-readable message from a panic payload, truncated to
+/// `PANIC_MESSAGE_LIMIT` bytes (on a char boundary) so one huge formatted
+/// panic cannot bloat failure-cause records.
+pub fn panic_message(payload: &(dyn Any + Send)) -> String {
+    let msg = if let Some(s) = payload.downcast_ref::<&str>() {
+        s
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.as_str()
+    } else {
+        "<non-string panic payload>"
+    };
+    let mut end = msg.len().min(PANIC_MESSAGE_LIMIT);
+    while !msg.is_char_boundary(end) {
+        end -= 1;
+    }
+    if end < msg.len() {
+        format!("{}…", &msg[..end])
+    } else {
+        msg.to_string()
+    }
+}
+
+/// Longest panic message retained by [`panic_message`], in bytes.
+pub const PANIC_MESSAGE_LIMIT: usize = 120;
 
 thread_local! {
     static CURRENT: RefCell<Vec<Rc<RefCell<Hardware>>>> = const { RefCell::new(Vec::new()) };
@@ -74,6 +133,51 @@ impl Runtime {
         CURRENT.with(|c| c.borrow_mut().push(Rc::clone(&self.hw)));
         let _guard = Guard;
         f()
+    }
+
+    /// Runs `f` like [`Runtime::run`], but under a watchdog: if the
+    /// simulated machine completes more than `max_ops` op-ticks, the region
+    /// is terminated and `Err(Degraded::OpBudgetExceeded)` returned; if `f`
+    /// panics, the panic is contained as `Err(Degraded::Panicked)`.
+    ///
+    /// The budget is measured on the virtual clock, so a trip is a
+    /// deterministic function of the configuration, seed and program —
+    /// independent of host speed and thread count. Statistics and energy
+    /// remain readable after a degraded return and cover the partial work.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use enerj_core::{endorse, Approx, Degraded, Runtime};
+    /// use enerj_hw::config::Level;
+    ///
+    /// let rt = Runtime::new(Level::Mild, 0);
+    /// let out = rt.run_guarded(100, || {
+    ///     let mut acc = Approx::new(0i64);
+    ///     loop {
+    ///         acc += 1; // a "corrupted loop bound": never exits
+    ///     }
+    ///     #[allow(unreachable_code)]
+    ///     endorse(acc)
+    /// });
+    /// assert!(matches!(out, Err(Degraded::OpBudgetExceeded { .. })));
+    /// ```
+    pub fn run_guarded<R>(&self, max_ops: u64, f: impl FnOnce() -> R) -> Result<R, Degraded> {
+        enerj_hw::silence_watchdog_panics();
+        self.hw.borrow_mut().arm_watchdog(max_ops);
+        let result = catch_unwind(AssertUnwindSafe(|| self.run(f)));
+        // The trip disarms itself, but a normal or panicking return leaves
+        // the deadline armed — clear it so later unguarded use never trips.
+        self.hw.borrow_mut().disarm_watchdog();
+        match result {
+            Ok(value) => Ok(value),
+            Err(payload) => match payload.downcast_ref::<WatchdogTrip>() {
+                Some(trip) => {
+                    Err(Degraded::OpBudgetExceeded { op_ticks: trip.op_ticks, budget: trip.budget })
+                }
+                None => Err(Degraded::Panicked(panic_message(payload.as_ref()))),
+            },
+        }
     }
 
     /// A snapshot of the machine's statistics.
@@ -240,6 +344,78 @@ mod tests {
             assert!(current_hw().is_some());
         });
         assert_eq!(rt.stats().int_precise_ops, 0, "worker ops never hit this runtime");
+    }
+
+    #[test]
+    fn run_guarded_completes_within_budget() {
+        let rt = Runtime::new(Level::Mild, 0);
+        let out = rt.run_guarded(1_000_000, || {
+            let mut acc = crate::Approx::new(0i64);
+            for i in 0..100 {
+                acc += i;
+            }
+            crate::endorse(acc)
+        });
+        assert_eq!(out, Ok(4950));
+        assert!(!rt.hardware().borrow().watchdog_armed(), "budget cleared on success");
+    }
+
+    #[test]
+    fn run_guarded_trips_on_runaway_loops_deterministically() {
+        let trip = |seed: u64| {
+            let rt = Runtime::new(Level::Aggressive, seed);
+            let out: Result<(), Degraded> = rt.run_guarded(10_000, || {
+                let mut acc = crate::Approx::new(0i64);
+                loop {
+                    acc += 1;
+                }
+            });
+            (out, rt.stats().int_approx_ops, rt.energy().total)
+        };
+        let (out, ops, energy) = trip(7);
+        match out {
+            Err(Degraded::OpBudgetExceeded { op_ticks, budget }) => {
+                assert_eq!(budget, 10_000);
+                assert!(op_ticks >= 10_000);
+            }
+            other => panic!("expected budget trip, got {other:?}"),
+        }
+        assert!(ops > 0, "partial work is still accounted");
+        assert!(energy > 0.0 && energy <= 1.0);
+        assert_eq!(trip(7), trip(7), "trips are deterministic per seed");
+    }
+
+    #[test]
+    fn run_guarded_contains_panics_with_message() {
+        let rt = Runtime::new(Level::Mild, 0);
+        let out: Result<(), Degraded> = rt.run_guarded(1_000, || panic!("boom at {}", 42));
+        assert_eq!(out, Err(Degraded::Panicked("boom at 42".to_string())));
+        assert!(current_hw().is_none(), "installation popped on panic");
+    }
+
+    #[test]
+    fn run_guarded_leaves_runtime_usable_after_trip() {
+        let rt = Runtime::new(Level::Mild, 3);
+        let _ = rt.run_guarded(100, || {
+            let mut acc = crate::Approx::new(0i64);
+            loop {
+                acc += 1;
+            }
+        });
+        // The same runtime can run unguarded work afterwards.
+        let out = rt.run(|| crate::endorse(crate::Approx::new(1i64) + 1));
+        assert_eq!(out, 2);
+    }
+
+    #[test]
+    fn panic_message_truncates_on_char_boundary() {
+        assert_eq!(panic_message(&"short"), "short");
+        let long = "é".repeat(100); // 200 bytes of two-byte chars
+        let got = panic_message(&long.clone());
+        assert!(got.ends_with('…'));
+        assert!(got.len() <= PANIC_MESSAGE_LIMIT + '…'.len_utf8());
+        let boxed: Box<dyn std::any::Any + Send> = Box::new(17u32);
+        assert_eq!(panic_message(boxed.as_ref()), "<non-string panic payload>");
     }
 
     #[test]

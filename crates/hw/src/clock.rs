@@ -5,6 +5,53 @@
 //! the simulator advances a virtual clock by a fixed amount per simulated
 //! event (see [`HwConfig::seconds_per_op`](crate::config::HwConfig)).
 
+use std::fmt;
+use std::panic::PanicHookInfo;
+use std::sync::Once;
+
+/// The panic payload thrown when an armed watchdog exhausts its op-tick
+/// budget (see [`Hardware::arm_watchdog`](crate::Hardware::arm_watchdog)).
+///
+/// A fault-corrupted loop bound cannot be interrupted cooperatively — the
+/// approximate region is arbitrary host code — so the watchdog aborts it by
+/// unwinding with this payload from the clock tick that crosses the
+/// deadline. Guarded runners (`enerj_core::Runtime::run_guarded`, `fenerjc
+/// --max-ops`) catch the unwind and downcast to this type to distinguish a
+/// deterministic budget trip from an application panic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WatchdogTrip {
+    /// The clock reading (completed simulated operations) at trip time.
+    pub op_ticks: u64,
+    /// The budget that was armed, in op-ticks.
+    pub budget: u64,
+}
+
+impl fmt::Display for WatchdogTrip {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "op budget exceeded: {} ticks elapsed, budget {}", self.op_ticks, self.budget)
+    }
+}
+
+/// Suppresses the default "thread panicked" stderr message for
+/// [`WatchdogTrip`] unwinds, process-wide.
+///
+/// Watchdog trips are an expected, recoverable outcome in campaigns with
+/// recovery enabled; without this, every trip would spray a spurious panic
+/// report into trace output and golden CLI captures. The hook wraps (and
+/// otherwise delegates to) whatever hook was installed before it, and is
+/// installed at most once per process.
+pub fn silence_watchdog_panics() {
+    static INSTALL: Once = Once::new();
+    INSTALL.call_once(|| {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info: &PanicHookInfo<'_>| {
+            if info.payload().downcast_ref::<WatchdogTrip>().is_none() {
+                previous(info);
+            }
+        }));
+    });
+}
+
 /// A deterministic virtual clock counting simulated seconds.
 ///
 /// # Examples

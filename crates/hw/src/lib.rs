@@ -59,6 +59,8 @@ pub use dram::DramArray;
 pub use stats::{MemKind, OpKind, Stats};
 pub use telemetry::FaultCounters;
 
+pub use clock::{silence_watchdog_panics, WatchdogTrip};
+
 use fault::{GeomCountdown, HazardCountdown};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -166,6 +168,12 @@ pub struct Hardware {
     /// Completed simulated operations; simulated time is
     /// `op_ticks * seconds_per_op`.
     op_ticks: u64,
+    /// Op-tick value at which an armed watchdog trips; `u64::MAX` (never)
+    /// when disarmed, so the hot-path check is a single always-false
+    /// comparison in the common case.
+    watchdog_deadline: u64,
+    /// The budget the watchdog was armed with, for trip diagnostics.
+    watchdog_budget: u64,
     stats: Stats,
     /// SRAM residency not yet folded into `stats`, in bit-access quanta,
     /// indexed by `approx as usize`. Folded lazily by [`Hardware::stats`].
@@ -192,6 +200,8 @@ impl Hardware {
             rng,
             sched,
             op_ticks: 0,
+            watchdog_deadline: u64::MAX,
+            watchdog_budget: 0,
             stats: Stats::new(),
             pending_sram_bits: [0; 2],
             decay_cache: (0, 0.0),
@@ -316,18 +326,57 @@ impl Hardware {
         self.op_ticks
     }
 
-    /// Advances the virtual clock by one operation time.
+    /// Advances the virtual clock by one operation time. Trips the
+    /// watchdog, if armed, when the deadline is crossed.
     #[inline]
     pub(crate) fn tick(&mut self) {
         self.op_ticks += 1;
+        if self.op_ticks >= self.watchdog_deadline {
+            self.watchdog_trip();
+        }
+    }
+
+    /// Arms the watchdog: once `max_ops` further op-ticks have elapsed, the
+    /// next clock advance unwinds with a [`WatchdogTrip`] payload. The
+    /// deadline is measured in op-ticks — simulated work — so a trip is a
+    /// deterministic function of `(config, seed, program)`, independent of
+    /// host speed or thread scheduling. Re-arming replaces any previous
+    /// deadline.
+    pub fn arm_watchdog(&mut self, max_ops: u64) {
+        self.watchdog_deadline = self.op_ticks.saturating_add(max_ops.max(1));
+        self.watchdog_budget = max_ops;
+    }
+
+    /// Disarms the watchdog; subsequent op-ticks never trip.
+    pub fn disarm_watchdog(&mut self) {
+        self.watchdog_deadline = u64::MAX;
+    }
+
+    /// Whether a watchdog deadline is currently armed.
+    pub fn watchdog_armed(&self) -> bool {
+        self.watchdog_deadline != u64::MAX
+    }
+
+    /// Unwinds out of the approximate region with a [`WatchdogTrip`]
+    /// payload. The watchdog disarms itself first so clock advances during
+    /// unwinding (or after recovery) cannot re-trip.
+    #[cold]
+    #[inline(never)]
+    fn watchdog_trip(&mut self) -> ! {
+        let trip = WatchdogTrip { op_ticks: self.op_ticks, budget: self.watchdog_budget };
+        self.watchdog_deadline = u64::MAX;
+        std::panic::panic_any(trip);
     }
 
     /// Resets statistics, fault counters, the event log and the clock,
-    /// keeping configuration, RNG state and the fault countdowns.
+    /// keeping configuration, RNG state and the fault countdowns. Any armed
+    /// watchdog is disarmed (its deadline is an absolute clock reading and
+    /// would be meaningless after the clock rewinds).
     pub fn reset_stats(&mut self) {
         self.stats = Stats::new();
         self.pending_sram_bits = [0; 2];
         self.op_ticks = 0;
+        self.watchdog_deadline = u64::MAX;
         self.counters = FaultCounters::new();
         if let Some(log) = &mut self.event_log {
             log.clear();
@@ -415,6 +464,48 @@ mod tests {
         assert_eq!(hw.event_log(), Some(&[][..]));
         let _ = hw.approx_int_result(1, 32);
         assert_eq!(hw.event_log().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn watchdog_trips_deterministically_at_the_deadline() {
+        clock::silence_watchdog_panics();
+        let trip_tick = |budget: u64| -> u64 {
+            let mut hw = Hardware::new(HwConfig::default(), 0);
+            hw.arm_watchdog(budget);
+            let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                for i in 0.. {
+                    let _ = hw.approx_int_result(i, 64);
+                }
+            }))
+            .expect_err("armed watchdog must trip");
+            let trip = err.downcast_ref::<WatchdogTrip>().expect("payload is WatchdogTrip");
+            assert_eq!(trip.budget, budget);
+            trip.op_ticks
+        };
+        assert_eq!(trip_tick(100), trip_tick(100));
+        assert!(trip_tick(100) >= 100);
+        assert!(trip_tick(10) < trip_tick(1000));
+    }
+
+    #[test]
+    fn disarmed_watchdog_never_trips() {
+        let mut hw = Hardware::new(HwConfig::default(), 0);
+        hw.arm_watchdog(5);
+        assert!(hw.watchdog_armed());
+        hw.disarm_watchdog();
+        assert!(!hw.watchdog_armed());
+        for i in 0..1000u64 {
+            let _ = hw.approx_int_result(i, 64);
+        }
+        assert!(hw.op_ticks() >= 1000);
+    }
+
+    #[test]
+    fn reset_stats_disarms_the_watchdog() {
+        let mut hw = Hardware::new(HwConfig::default(), 0);
+        hw.arm_watchdog(5);
+        hw.reset_stats();
+        assert!(!hw.watchdog_armed());
     }
 
     #[test]

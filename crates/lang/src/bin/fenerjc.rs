@@ -2,13 +2,17 @@
 //!
 //! ```text
 //! fenerjc check <file>                 type-check only
-//! fenerjc run <file> [--level L] [--seed N] [--trace] [--fault-log F]
+//! fenerjc run <file> [--level L] [--seed N] [--max-ops N] [--trace]
+//!                    [--fault-log F]
 //!                                      run (precise, or fault-injected at
-//!                                      mild/medium/aggressive); `--trace`
-//!                                      prints per-unit fault counters on
-//!                                      stderr, `--fault-log` writes the
-//!                                      NDJSON fault-event stream to F
-//! fenerjc chaos <file> [--seeds N] [--trace] [--fault-log F]
+//!                                      mild/medium/aggressive); `--max-ops`
+//!                                      bounds execution so a fault-corrupted
+//!                                      loop terminates with a diagnostic
+//!                                      instead of hanging; `--trace` prints
+//!                                      per-unit fault counters on stderr,
+//!                                      `--fault-log` writes the NDJSON
+//!                                      fault-event stream to F
+//! fenerjc chaos <file> [--seeds N] [--max-ops N] [--trace] [--fault-log F]
 //!                                      verify non-interference
 //!                                      adversarially; `--trace` reports
 //!                                      per-seed progress, `--fault-log`
@@ -19,15 +23,16 @@
 //! Exit code 0 on success, 1 on any reported failure — usable in test
 //! harnesses and CI, like the paper's JSR 308 checker plugin.
 
-use enerj_lang::interp::{run, ExecMode};
-use enerj_lang::noninterference::check_non_interference;
+use enerj_lang::interp::{run_with_fuel, ExecMode, DEFAULT_FUEL};
+use enerj_lang::noninterference::check_non_interference_with_fuel;
 use enerj_lang::{compile, pretty};
 use std::cell::RefCell;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::process::ExitCode;
 use std::rc::Rc;
 
 use enerj_hw::config::{HwConfig, Level};
-use enerj_hw::Hardware;
+use enerj_hw::{Hardware, WatchdogTrip};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -58,6 +63,7 @@ fn dispatch(args: &[String]) -> Result<(), String> {
             let program = compile(&source).map_err(|e| diagnose(&source, &path, &e))?;
             let trace = has_flag(rest, "--trace");
             let fault_log = flag_string(rest, "--fault-log")?;
+            let max_ops = flag_value(rest, "--max-ops")?;
             let hw = parse_hardware(rest)?;
             let mode = match &hw {
                 None => ExecMode::Reliable,
@@ -65,10 +71,34 @@ fn dispatch(args: &[String]) -> Result<(), String> {
                     if fault_log.is_some() {
                         hw.borrow_mut().enable_event_log();
                     }
+                    if let Some(budget) = max_ops {
+                        // The runtime watchdog hook: hardware op-ticks are
+                        // bounded exactly like `Runtime::run_guarded`.
+                        hw.borrow_mut().arm_watchdog(budget);
+                    }
                     ExecMode::Faulty(Rc::clone(hw))
                 }
             };
-            let out = run(&program, mode).map_err(|e| e.to_string())?;
+            // The interpreter's own step budget covers work the hardware
+            // clock cannot see (reliable mode, precise-only loops).
+            let fuel = max_ops.unwrap_or(DEFAULT_FUEL);
+            enerj_hw::silence_watchdog_panics();
+            let out = catch_unwind(AssertUnwindSafe(|| run_with_fuel(&program, mode, fuel)));
+            if let Some(hw) = &hw {
+                hw.borrow_mut().disarm_watchdog();
+            }
+            let out = match out {
+                Ok(result) => result.map_err(|e| match (max_ops, e) {
+                    (Some(budget), enerj_lang::error::EvalError::OutOfFuel) => {
+                        op_budget_diagnostic(budget)
+                    }
+                    (_, e) => e.to_string(),
+                })?,
+                Err(payload) => match payload.downcast_ref::<WatchdogTrip>() {
+                    Some(trip) => return Err(op_budget_diagnostic(trip.budget)),
+                    None => std::panic::resume_unwind(payload),
+                },
+            };
             println!("{}", out.value.describe());
             match &hw {
                 None => {
@@ -96,6 +126,18 @@ fn dispatch(args: &[String]) -> Result<(), String> {
             let seeds = flag_value(rest, "--seeds")?.unwrap_or(50);
             let trace = has_flag(rest, "--trace");
             let fault_log = flag_string(rest, "--fault-log")?;
+            let max_ops = flag_value(rest, "--max-ops")?;
+            let fuel = max_ops.unwrap_or(DEFAULT_FUEL);
+            let check = |range: std::ops::Range<u64>| {
+                check_non_interference_with_fuel(&program, range, fuel).map_err(|e| {
+                    match (max_ops, &e) {
+                        (Some(budget), e) if e.to_string().contains("step budget") => {
+                            op_budget_diagnostic(budget)
+                        }
+                        _ => e.to_string(),
+                    }
+                })
+            };
             if trace || fault_log.is_some() {
                 // Per-seed loop: same seed set as the batched call, but each
                 // seed is checked on its own so progress and outcomes can be
@@ -103,10 +145,10 @@ fn dispatch(args: &[String]) -> Result<(), String> {
                 let mut log = String::new();
                 let mut first_failure = None;
                 for s in 0..seeds {
-                    let outcome = check_non_interference(&program, s..s + 1);
+                    let outcome = check(s..s + 1);
                     let interferes = outcome.is_err();
                     if let Err(e) = outcome {
-                        first_failure.get_or_insert_with(|| e.to_string());
+                        first_failure.get_or_insert(e);
                     }
                     if fault_log.is_some() {
                         log.push_str(&format!("{{\"seed\":{s},\"interference\":{interferes}}}\n"));
@@ -127,7 +169,7 @@ fn dispatch(args: &[String]) -> Result<(), String> {
                     return Err(failure);
                 }
             } else {
-                check_non_interference(&program, 0..seeds).map_err(|e| e.to_string())?;
+                check(0..seeds)?;
             }
             println!("{path}: non-interference holds over {seeds} adversarial runs");
             Ok(())
@@ -144,14 +186,22 @@ fn dispatch(args: &[String]) -> Result<(), String> {
 
 fn usage() -> String {
     "usage: fenerjc <check|run|chaos|print> <file.fej> \
-     [--level mild|medium|aggressive] [--seed N] [--seeds N] \
+     [--level mild|medium|aggressive] [--seed N] [--seeds N] [--max-ops N] \
      [--trace] [--fault-log FILE]"
         .to_owned()
 }
 
+/// The watchdog/fuel diagnostic: same wording whichever mechanism fired.
+fn op_budget_diagnostic(budget: u64) -> String {
+    format!(
+        "op budget exceeded: execution passed {budget} ops (see --max-ops); a \
+             fault-corrupted loop bound is the usual cause"
+    )
+}
+
 /// Flags that consume the following argument; their values must never be
 /// mistaken for the source path.
-const VALUE_FLAGS: [&str; 4] = ["--level", "--seed", "--seeds", "--fault-log"];
+const VALUE_FLAGS: [&str; 5] = ["--level", "--seed", "--seeds", "--fault-log", "--max-ops"];
 
 fn read_source(rest: &[String]) -> Result<(String, String), String> {
     let mut skip_next = false;

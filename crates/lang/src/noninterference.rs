@@ -15,7 +15,7 @@
 //! allocation order because allocation is driven by precise control flow).
 
 use crate::error::EvalError;
-use crate::interp::{run, ExecMode, RunOutcome, Value};
+use crate::interp::{ExecMode, RunOutcome, Value};
 use crate::typecheck::TypedProgram;
 use crate::types::Qual;
 
@@ -62,13 +62,29 @@ pub fn check_non_interference(
     program: &TypedProgram,
     seeds: impl IntoIterator<Item = u64>,
 ) -> Result<(), NonInterferenceError> {
+    check_non_interference_with_fuel(program, seeds, crate::interp::DEFAULT_FUEL)
+}
+
+/// [`check_non_interference`] with an explicit per-run step budget, so a
+/// fault-corrupted (or simply divergent) program terminates with a
+/// diagnostic instead of hanging the checker.
+///
+/// # Errors
+///
+/// As [`check_non_interference`]; a run that exhausts `fuel` surfaces as
+/// [`NonInterferenceError::Eval`].
+pub fn check_non_interference_with_fuel(
+    program: &TypedProgram,
+    seeds: impl IntoIterator<Item = u64>,
+    fuel: u64,
+) -> Result<(), NonInterferenceError> {
     if program.program.uses_endorse() {
         return Err(NonInterferenceError::UsesEndorse);
     }
-    let reference = eval(program, ExecMode::Reliable)?;
+    let reference = eval(program, ExecMode::Reliable, fuel)?;
     let main_is_precise = program.main_type().qual == Qual::Precise;
     for seed in seeds {
-        let chaotic = eval(program, ExecMode::Chaos { seed })?;
+        let chaotic = eval(program, ExecMode::Chaos { seed }, fuel)?;
         if main_is_precise && !values_agree(&reference.value, &chaotic.value) {
             return Err(NonInterferenceError::Violation {
                 seed,
@@ -84,8 +100,13 @@ pub fn check_non_interference(
     Ok(())
 }
 
-fn eval(program: &TypedProgram, mode: ExecMode) -> Result<RunOutcome, NonInterferenceError> {
-    run(program, mode).map_err(|e: EvalError| NonInterferenceError::Eval(e.to_string()))
+fn eval(
+    program: &TypedProgram,
+    mode: ExecMode,
+    fuel: u64,
+) -> Result<RunOutcome, NonInterferenceError> {
+    crate::interp::run_with_fuel(program, mode, fuel)
+        .map_err(|e: EvalError| NonInterferenceError::Eval(e.to_string()))
 }
 
 fn values_agree(a: &Value, b: &Value) -> bool {

@@ -266,6 +266,52 @@ fn golden_type_error_has_path_line_col_and_hint() {
     }
 }
 
+/// A precise-only runaway loop: with no op budget it would spin for 10^8
+/// iterations; `--max-ops` must cut it off with a diagnostic instead.
+const GOLDEN_SPIN: &str = "class L {\n    int spin(int n) {\n        if (n == 0) { 0 } else { this.spin(n - 1) }\n    }\n}\nmain {\n    new L().spin(100000000)\n}\n";
+
+#[test]
+fn golden_max_ops_stops_runaway_runs_with_a_diagnostic() {
+    let path = fixture("spin_run", GOLDEN_SPIN);
+    let diagnostic = "fenerjc: op budget exceeded: execution passed 1000 ops (see --max-ops); \
+                      a fault-corrupted loop bound is the usual cause\n";
+    // Reliable mode bounds via interpreter fuel; faulty mode additionally
+    // arms the hardware watchdog. Both must yield the same diagnostic.
+    for extra in [&[][..], &["--level", "aggressive", "--seed", "3"][..]] {
+        let out = fenerjc()
+            .args(["run", &path, "--max-ops", "1000"].iter().copied().chain(extra.iter().copied()))
+            .output()
+            .expect("spawn");
+        assert_eq!(out.status.code(), Some(1), "args: {extra:?}");
+        assert!(out.stdout.is_empty(), "stdout: {}", String::from_utf8_lossy(&out.stdout));
+        assert_eq!(String::from_utf8_lossy(&out.stderr), diagnostic, "args: {extra:?}");
+    }
+}
+
+#[test]
+fn golden_max_ops_bounds_chaos_verification_too() {
+    let path = fixture("spin_chaos", GOLDEN_SPIN);
+    let out = fenerjc()
+        .args(["chaos", &path, "--seeds", "2", "--max-ops", "1000"])
+        .output()
+        .expect("spawn");
+    assert_eq!(out.status.code(), Some(1));
+    assert!(out.stdout.is_empty(), "stdout: {}", String::from_utf8_lossy(&out.stdout));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("op budget exceeded"), "{stderr}");
+}
+
+#[test]
+fn max_ops_leaves_terminating_runs_unchanged() {
+    let bounded = fenerjc()
+        .args(["run", &program("checksum.fej"), "--max-ops", "1000000"])
+        .output()
+        .expect("spawn");
+    let plain = fenerjc().args(["run", &program("checksum.fej")]).output().expect("spawn");
+    assert!(bounded.status.success(), "{}", String::from_utf8_lossy(&bounded.stderr));
+    assert_eq!(bounded.stdout, plain.stdout, "a generous budget must not change the result");
+}
+
 #[test]
 fn golden_missing_file_reports_os_error_with_exit_one() {
     let path = "/nonexistent/enerjc_golden.fej";
