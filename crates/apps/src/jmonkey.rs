@@ -114,7 +114,7 @@ mod tests {
         let _ = rt.run(run);
         let s = rt.stats();
         assert!(s.approx_op_fraction(enerj_hw::OpKind::Fp) > 0.99);
-        assert_eq!(s.dram_approx_byte_seconds, 0.0, "all data lives in locals");
+        assert!(s.dram_approx_quanta.is_zero(), "all data lives in locals");
     }
 
     #[test]

@@ -100,7 +100,7 @@ pub mod harness {
     use crate::qos::Output;
     use enerj_core::Runtime;
     use enerj_hw::config::{HwConfig, Level, StrategyMask};
-    use enerj_hw::energy::EnergyBreakdown;
+    use enerj_hw::energy::{EnergyBreakdown, EnergyQuantaBreakdown};
     use enerj_hw::stats::Stats;
     use enerj_hw::trace::FaultEvent;
     use enerj_hw::FaultCounters;
@@ -130,6 +130,9 @@ pub mod harness {
         pub stats: Stats,
         /// Normalized energy under the run's Table 2 parameters.
         pub energy: EnergyBreakdown,
+        /// Exact integer energy (scaled and baseline quanta per component);
+        /// the normalized breakdown is its f64 projection.
+        pub energy_quanta: EnergyQuantaBreakdown,
         /// Per-kind fault counters (always collected).
         pub fault_counts: FaultCounters,
         /// Structured fault events (empty unless the run was measured with
@@ -174,6 +177,7 @@ pub mod harness {
             output,
             stats: rt.stats(),
             energy: rt.energy(),
+            energy_quanta: rt.energy_quanta(),
             fault_counts: rt.fault_counters(),
             events: rt.take_fault_events(),
         }

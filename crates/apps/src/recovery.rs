@@ -35,7 +35,8 @@ use crate::qos::{output_error, Output};
 use crate::App;
 use enerj_core::{Degraded, Runtime};
 use enerj_hw::config::{HwConfig, Level, StrategyMask};
-use enerj_hw::energy::EnergyBreakdown;
+use enerj_hw::energy::{EnergyBreakdown, EnergyQuantaBreakdown};
+use enerj_hw::quanta::EnergyQuanta;
 use enerj_hw::stats::Stats;
 use enerj_hw::trace::FaultEvent;
 use enerj_hw::FaultCounters;
@@ -211,6 +212,10 @@ pub struct Recovered {
     /// Normalized energy summed over every attempt — may exceed 1.0; the
     /// price of recovery is charged, not hidden.
     pub energy: EnergyBreakdown,
+    /// Exact integer energy summed over every attempt. Quanta addition is
+    /// associative, so this total is independent of attempt interleaving
+    /// and merge order.
+    pub energy_quanta: EnergyQuantaBreakdown,
     /// Fault counters merged over every attempt.
     pub fault_counts: FaultCounters,
     /// Fault events of every attempt, in attempt order (empty unless the
@@ -227,6 +232,11 @@ pub struct Recovered {
     /// Energy spent on attempts that did not produce the accepted output:
     /// `energy.total` minus the final attempt's total.
     pub recovery_energy_overhead: f64,
+    /// The same overhead in exact quanta: `energy_quanta.total` minus the
+    /// accepted attempt's quanta total. The accounting identity
+    /// `accepted + overhead == energy_quanta.total` holds *exactly*, which
+    /// the f64 twin cannot promise.
+    pub recovery_energy_overhead_quanta: EnergyQuanta,
 }
 
 impl Recovered {
@@ -241,6 +251,7 @@ struct Attempt {
     output: Option<Output>,
     error: f64,
     energy_total: f64,
+    energy_quanta_total: EnergyQuanta,
     failure: Option<FailureCause>,
 }
 
@@ -261,11 +272,13 @@ fn run_attempt(
     // Charge the attempt whether or not it completed: a watchdog trip or a
     // panic still executed (and must pay for) its partial work.
     let energy = rt.energy();
+    let energy_quanta = rt.energy_quanta();
     acc.stats.merge(&rt.stats());
     acc.energy.instructions += energy.instructions;
     acc.energy.sram += energy.sram;
     acc.energy.dram += energy.dram;
     acc.energy.total += energy.total;
+    acc.energy_quanta.merge(&energy_quanta);
     acc.fault_counts.merge(&rt.fault_counters());
     acc.events.extend(rt.take_fault_events());
     acc.attempts += 1;
@@ -293,7 +306,13 @@ fn run_attempt(
         }
         Err(Degraded::Panicked(msg)) => (None, 1.0, Some(FailureCause::Panic(msg))),
     };
-    Attempt { output, error, energy_total: energy.total, failure }
+    Attempt {
+        output,
+        error,
+        energy_total: energy.total,
+        energy_quanta_total: energy_quanta.total,
+        failure,
+    }
 }
 
 /// Runs one trial under `policy`: the initial attempt at `cfg`/`seed`,
@@ -314,12 +333,14 @@ pub fn run_with_recovery(
         error: 1.0,
         stats: Stats::new(),
         energy: EnergyBreakdown { instructions: 0.0, sram: 0.0, dram: 0.0, total: 0.0 },
+        energy_quanta: EnergyQuantaBreakdown::ZERO,
         fault_counts: FaultCounters::new(),
         events: Vec::new(),
         attempts: 0,
         recovered_at: None,
         failure_causes: Vec::new(),
         recovery_energy_overhead: 0.0,
+        recovery_energy_overhead_quanta: EnergyQuanta::ZERO,
     };
 
     let mut attempt = run_attempt(app, cfg, seed, policy, reference, log_events, &mut acc);
@@ -346,13 +367,18 @@ pub fn run_with_recovery(
             acc.failure_causes.push(cause);
             acc.output = None;
             acc.error = 1.0;
+            // No attempt was accepted, so no energy is attributable to
+            // *recovery* — the whole cost is the trial's energy itself.
             acc.recovery_energy_overhead = 0.0;
+            acc.recovery_energy_overhead_quanta = EnergyQuanta::ZERO;
             return acc;
         }
     }
     acc.error = attempt.error;
     acc.output = attempt.output;
     acc.recovery_energy_overhead = acc.energy.total - attempt.energy_total;
+    // Exact: `accepted + overhead == total` round-trips in u128.
+    acc.recovery_energy_overhead_quanta = acc.energy_quanta.total - attempt.energy_quanta_total;
     acc
 }
 
@@ -424,11 +450,14 @@ mod tests {
         assert!(!out.recovered());
         assert!(out.failure_causes.is_empty());
         assert_eq!(out.recovery_energy_overhead, 0.0);
+        assert_eq!(out.recovery_energy_overhead_quanta, EnergyQuanta::ZERO);
         assert!(out.error <= 0.1);
-        // Identical accounting to an unrecovered measurement.
+        // Identical accounting to an unrecovered measurement — exact on the
+        // integer quanta, not just on the f64 projection.
         let m = harness::measure_with(&mc, HwConfig::for_level(Level::Mild), FAULT_SEED_BASE);
         assert_eq!(out.stats, m.stats);
         assert_eq!(out.energy.total, m.energy.total);
+        assert_eq!(out.energy_quanta, m.energy_quanta);
     }
 
     #[test]
@@ -447,8 +476,10 @@ mod tests {
         assert!(out.attempts >= 2);
         assert_eq!(out.failure_causes.len() as u32, out.attempts - 1);
         assert!(out.recovery_energy_overhead > 0.0, "failed attempts cost energy");
+        assert!(out.recovery_energy_overhead_quanta > EnergyQuanta::ZERO);
         let m = harness::measure_with(&mc, chaos, FAULT_SEED_BASE);
         assert!(out.energy.total > m.energy.total, "retry energy is added, not hidden");
+        assert!(out.energy_quanta.total > m.energy_quanta.total);
     }
 
     #[test]

@@ -91,8 +91,8 @@ mod tests {
         let rt = exact();
         let _ = rt.run(run);
         let s = rt.stats();
-        assert_eq!(s.dram_approx_byte_seconds, 0.0);
-        assert!(s.sram_approx_byte_seconds > 0.0);
+        assert!(s.dram_approx_quanta.is_zero());
+        assert!(!s.sram_approx_quanta.is_zero());
     }
 
     #[test]

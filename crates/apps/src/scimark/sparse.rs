@@ -121,8 +121,8 @@ mod tests {
         let rt = exact();
         let _ = rt.run(run);
         let s = rt.stats();
-        assert!(s.dram_approx_byte_seconds > 0.0);
-        assert!(s.dram_precise_byte_seconds > 0.0);
+        assert!(!s.dram_approx_quanta.is_zero());
+        assert!(!s.dram_precise_quanta.is_zero());
         let frac = s.approx_storage_fraction(enerj_hw::MemKind::Dram);
         // Values are f64 and indices i64 with comparable counts: the
         // approximate share sits in the middle of the range.

@@ -28,9 +28,10 @@
 //! guarantee.
 //!
 //! The resulting [`CampaignReport`] carries per-trial errors, merged
-//! [`Stats`], per-trial [`EnergyBreakdown`]s, per-trial fault telemetry
+//! [`Stats`], per-trial [`EnergyBreakdown`]s and exact
+//! [`EnergyQuantaBreakdown`]s, per-trial fault telemetry
 //! ([`FaultCounters`], plus opt-in structured [`FaultEvent`] logs) and
-//! wall-clock times, and serializes to JSON (`schema: "enerj-campaign/3"`)
+//! wall-clock times, and serializes to JSON (`schema: "enerj-campaign/4"`)
 //! for the bench binaries' `results/BENCH_*.json` reports. The fault log
 //! exports as NDJSON via [`CampaignReport::write_fault_log`]. Campaigns run
 //! through [`CampaignOptions`] can also report live progress (trials done,
@@ -46,7 +47,8 @@ use crate::qos::{output_error, Output};
 use crate::recovery;
 use crate::App;
 use enerj_hw::config::{HwConfig, Level, StrategyMask};
-use enerj_hw::energy::EnergyBreakdown;
+use enerj_hw::energy::{EnergyBreakdown, EnergyQuantaBreakdown};
+use enerj_hw::quanta::EnergyQuanta;
 use enerj_hw::stats::Stats;
 use enerj_hw::trace::FaultEvent;
 use enerj_hw::FaultCounters;
@@ -135,6 +137,11 @@ pub struct TrialResult {
     /// Normalized energy (pinned to the precise baseline, 1.0, for
     /// panicked trials — a crashed run saves nothing we can claim).
     pub energy: EnergyBreakdown,
+    /// Exact integer energy (zeroed for panicked trials, matching their
+    /// zeroed [`stats`](Self::stats)): scaled and baseline quanta per
+    /// component. Campaign totals built from this field are bit-identical
+    /// for any merge order or thread count.
+    pub energy_quanta: EnergyQuantaBreakdown,
     /// Wall-clock time of this trial.
     pub wall: Duration,
     /// The panic payload, when the trial crashed.
@@ -159,6 +166,11 @@ pub struct TrialResult {
     /// Energy charged to attempts whose output was *not* accepted — the
     /// price of recovery, already included in [`energy`](Self::energy).
     pub recovery_energy_overhead: f64,
+    /// The same overhead in exact quanta, already included in
+    /// [`energy_quanta`](Self::energy_quanta): the accounting identity
+    /// `accepted-attempt energy + overhead == energy_quanta.total` holds
+    /// exactly.
+    pub recovery_energy_overhead_quanta: EnergyQuanta,
 }
 
 impl TrialResult {
@@ -221,9 +233,21 @@ impl CampaignReport {
         self.trials.iter().filter(|t| t.recovered()).count()
     }
 
-    /// Total energy charged to rejected attempts across the campaign.
-    pub fn recovery_energy_overhead(&self) -> f64 {
-        self.trials.iter().map(|t| t.recovery_energy_overhead).sum()
+    /// Total energy charged to rejected attempts across the campaign, in
+    /// exact quanta. Pure integer summation: the total is independent of
+    /// trial iteration order (the old f64 sum was not).
+    pub fn recovery_energy_overhead(&self) -> EnergyQuanta {
+        self.trials.iter().map(|t| t.recovery_energy_overhead_quanta).sum()
+    }
+
+    /// Exact energy totals over every trial, merged in trial-index order —
+    /// though with quanta any order gives bit-identical results.
+    pub fn energy_quanta_totals(&self) -> EnergyQuantaBreakdown {
+        let mut totals = EnergyQuantaBreakdown::ZERO;
+        for t in &self.trials {
+            totals.merge(&t.energy_quanta);
+        }
+        totals
     }
 
     /// Per-kind fault counters merged over all trials.
@@ -235,17 +259,27 @@ impl CampaignReport {
         totals
     }
 
-    /// Serializes the report as a JSON object (`schema: "enerj-campaign/3"`,
-    /// which adds the recovery fields; the `/1` and `/2` schemas are
-    /// superseded — see DESIGN.md).
+    /// Serializes the report as a JSON object (`schema: "enerj-campaign/4"`,
+    /// which moves storage accounting and energy totals to exact integer
+    /// quanta; the `/1`–`/3` schemas are superseded — see DESIGN.md).
+    ///
+    /// All `*_quanta` values are raw integers (no exponent notation), so a
+    /// byte-level comparison of those fields across reports is an exact
+    /// comparison of the underlying `u128` totals.
     pub fn to_json(&self) -> String {
         let mut out = String::with_capacity(256 + 256 * self.trials.len());
-        out.push_str("{\"schema\":\"enerj-campaign/3\"");
+        out.push_str("{\"schema\":\"enerj-campaign/4\"");
         out.push_str(&format!(",\"threads\":{}", self.threads));
         out.push_str(&format!(",\"wall_seconds\":{:.6}", self.wall.as_secs_f64()));
         out.push_str(&format!(",\"mean_error\":{}", json_f64(self.mean_error())));
         out.push_str(&format!(",\"panics\":{}", self.panic_count()));
         out.push_str(&format!(",\"recovered\":{}", self.recovered_count()));
+        out.push_str(&format!(
+            ",\"recovery_energy_overhead_quanta\":{}",
+            self.recovery_energy_overhead()
+        ));
+        out.push_str(",\"energy_quanta\":");
+        out.push_str(&energy_quanta_json(&self.energy_quanta_totals()));
         out.push_str(",\"merged_stats\":");
         out.push_str(&stats_json(&self.merged_stats));
         out.push_str(",\"fault_totals\":");
@@ -260,8 +294,9 @@ impl CampaignReport {
                 "{{\"index\":{},\"app\":{},\"label\":{},\"seed\":{},\"error\":{},\
                  \"wall_seconds\":{:.6},\"panic\":{},\"attempts\":{},\
                  \"recovered_at_level\":{},\"failure_causes\":[{}],\
-                 \"recovery_energy_overhead\":{},\"stats\":{},\"energy\":{},\
-                 \"fault_counts\":{}}}",
+                 \"recovery_energy_overhead\":{},\
+                 \"recovery_energy_overhead_quanta\":{},\"stats\":{},\
+                 \"energy\":{},\"energy_quanta\":{},\"fault_counts\":{}}}",
                 t.index,
                 json_string(t.app),
                 json_string(&t.label),
@@ -279,8 +314,10 @@ impl CampaignReport {
                 },
                 causes.join(","),
                 json_f64(t.recovery_energy_overhead),
+                t.recovery_energy_overhead_quanta,
                 stats_json(&t.stats),
                 energy_json(&t.energy),
+                energy_quanta_json(&t.energy_quanta),
                 counters_json(&t.fault_counts),
             ));
         }
@@ -381,18 +418,34 @@ fn json_f64(x: f64) -> String {
 fn stats_json(s: &Stats) -> String {
     format!(
         "{{\"int_approx_ops\":{},\"int_precise_ops\":{},\"fp_approx_ops\":{},\
-         \"fp_precise_ops\":{},\"sram_approx_byte_seconds\":{},\
-         \"sram_precise_byte_seconds\":{},\"dram_approx_byte_seconds\":{},\
-         \"dram_precise_byte_seconds\":{},\"faults_injected\":{}}}",
+         \"fp_precise_ops\":{},\"sram_approx_quanta\":{},\
+         \"sram_precise_quanta\":{},\"dram_approx_quanta\":{},\
+         \"dram_precise_quanta\":{},\"faults_injected\":{}}}",
         s.int_approx_ops,
         s.int_precise_ops,
         s.fp_approx_ops,
         s.fp_precise_ops,
-        json_f64(s.sram_approx_byte_seconds),
-        json_f64(s.sram_precise_byte_seconds),
-        json_f64(s.dram_approx_byte_seconds),
-        json_f64(s.dram_precise_byte_seconds),
+        s.sram_approx_quanta,
+        s.sram_precise_quanta,
+        s.dram_approx_quanta,
+        s.dram_precise_quanta,
         s.faults_injected,
+    )
+}
+
+fn energy_quanta_json(q: &EnergyQuantaBreakdown) -> String {
+    format!(
+        "{{\"instructions\":{},\"baseline_instructions\":{},\"sram\":{},\
+         \"baseline_sram\":{},\"dram\":{},\"baseline_dram\":{},\"total\":{},\
+         \"baseline_total\":{}}}",
+        q.instructions,
+        q.baseline_instructions,
+        q.sram,
+        q.baseline_sram,
+        q.dram,
+        q.baseline_dram,
+        q.total,
+        q.baseline_total,
     )
 }
 
@@ -512,6 +565,7 @@ fn run_trial(index: usize, spec: &TrialSpec, log_events: bool) -> TrialResult {
             output: spec.keep_output.then_some(m.output),
             stats: m.stats,
             energy: m.energy,
+            energy_quanta: m.energy_quanta,
             wall,
             panic: None,
             fault_counts: m.fault_counts,
@@ -520,6 +574,7 @@ fn run_trial(index: usize, spec: &TrialSpec, log_events: bool) -> TrialResult {
             recovered_at_level: None,
             failure_causes: Vec::new(),
             recovery_energy_overhead: 0.0,
+            recovery_energy_overhead_quanta: EnergyQuanta::ZERO,
         },
         Err(payload) => {
             let msg = enerj_core::panic_message(payload.as_ref());
@@ -534,6 +589,7 @@ fn run_trial(index: usize, spec: &TrialSpec, log_events: bool) -> TrialResult {
                 output: None,
                 stats: Stats::new(),
                 energy: EnergyBreakdown { instructions: 1.0, sram: 1.0, dram: 1.0, total: 1.0 },
+                energy_quanta: EnergyQuantaBreakdown::ZERO,
                 wall,
                 failure_causes: vec![format!("panic: {msg}")],
                 panic: Some(msg),
@@ -542,6 +598,7 @@ fn run_trial(index: usize, spec: &TrialSpec, log_events: bool) -> TrialResult {
                 attempts: 1,
                 recovered_at_level: None,
                 recovery_energy_overhead: 0.0,
+                recovery_energy_overhead_quanta: EnergyQuanta::ZERO,
             }
         }
     }
@@ -587,6 +644,7 @@ fn run_recovered_trial(
                 output: if spec.keep_output { r.output } else { None },
                 stats: r.stats,
                 energy: r.energy,
+                energy_quanta: r.energy_quanta,
                 wall,
                 panic,
                 fault_counts: r.fault_counts,
@@ -595,6 +653,7 @@ fn run_recovered_trial(
                 recovered_at_level: r.recovered_at.map(|rung| rung.to_string()),
                 failure_causes: r.failure_causes.iter().map(|c| c.to_string()).collect(),
                 recovery_energy_overhead: r.recovery_energy_overhead,
+                recovery_energy_overhead_quanta: r.recovery_energy_overhead_quanta,
             }
         }
         Err(payload) => {
@@ -608,6 +667,7 @@ fn run_recovered_trial(
                 output: None,
                 stats: Stats::new(),
                 energy: EnergyBreakdown { instructions: 1.0, sram: 1.0, dram: 1.0, total: 1.0 },
+                energy_quanta: EnergyQuantaBreakdown::ZERO,
                 wall,
                 failure_causes: vec![format!("panic: {msg}")],
                 panic: Some(msg),
@@ -616,6 +676,7 @@ fn run_recovered_trial(
                 attempts: 1,
                 recovered_at_level: None,
                 recovery_energy_overhead: 0.0,
+                recovery_energy_overhead_quanta: EnergyQuanta::ZERO,
             }
         }
     }
@@ -783,7 +844,7 @@ mod tests {
         let specs = vec![TrialSpec::reference(&app("MonteCarlo"))];
         let report = run_campaign(&specs, 1);
         let json = report.to_json();
-        assert!(json.starts_with("{\"schema\":\"enerj-campaign/3\""));
+        assert!(json.starts_with("{\"schema\":\"enerj-campaign/4\""));
         assert!(json.contains("\"app\":\"MonteCarlo\""));
         assert!(json.contains("\"merged_stats\""));
         assert!(json.contains("\"panic\":null"));
@@ -795,6 +856,15 @@ mod tests {
         assert!(json.contains("\"recovered_at_level\":null"));
         assert!(json.contains("\"failure_causes\":[]"));
         assert!(json.contains("\"recovery_energy_overhead\":0"));
+        assert!(json.contains("\"recovery_energy_overhead_quanta\":0"));
+        assert!(json.contains("\"energy_quanta\":{\"instructions\":"));
+        assert!(json.contains("\"baseline_total\":"));
+        assert!(json.contains("\"sram_approx_quanta\":"));
+        // Quanta serialize as raw integers: no sign, exponent or dot.
+        let field = json.split("\"sram_precise_quanta\":").nth(1).expect("field present");
+        let value: String = field.chars().take_while(|c| c.is_ascii_digit()).collect();
+        assert!(!value.is_empty());
+        assert_eq!(value.parse::<u128>().unwrap(), report.merged_stats.sram_precise_quanta.get());
     }
 
     #[test]
@@ -819,7 +889,7 @@ mod tests {
             .collect();
         let report = run_campaign(&specs, 2);
         assert!(report.recovered_count() > 0, "50x chaos at threshold 0 must escalate");
-        assert!(report.recovery_energy_overhead() > 0.0);
+        assert!(report.recovery_energy_overhead() > EnergyQuanta::ZERO);
         for t in &report.trials {
             if t.recovered() {
                 assert!(t.attempts >= 2);
@@ -873,18 +943,81 @@ mod tests {
                         t.failure_causes.clone(),
                         t.energy.total.to_bits(),
                         t.recovery_energy_overhead.to_bits(),
+                        t.energy_quanta,
+                        t.recovery_energy_overhead_quanta,
                         t.stats,
                     )
                 })
                 .collect::<Vec<_>>()
         };
         let base = digest(&run_campaign(&specs, 1));
-        for threads in [4, 8] {
+        for threads in [2, 4, 8] {
             assert_eq!(digest(&run_campaign(&specs, threads)), base, "{threads} threads");
         }
         // Telemetry must not perturb recovery outcomes either.
         let opts = CampaignOptions { threads: 4, log_events: true, progress: false };
         assert_eq!(digest(&run_campaign_with(&specs, &opts)), base, "with fault log");
+    }
+
+    /// Satellite of the quanta refactor: the accounting identity
+    /// `accepted-attempt energy + recovery overhead == trial energy` holds
+    /// *exactly* — asserted with `==` on `u128` quanta, no epsilon — for
+    /// every trial of a chaos campaign, with the accepted attempt's energy
+    /// recomputed by an independent replay rather than read back from the
+    /// report.
+    #[test]
+    fn trial_energy_decomposes_exactly_into_accepted_attempt_plus_overhead() {
+        use crate::recovery::{chaos_config, retry_seed, Policy, Rung};
+        let mc = app("MonteCarlo");
+        let reference = Arc::new(harness::reference(&mc).output);
+        let policy = Policy { qos_threshold: Some(0.0), ..Policy::standard() };
+        let chaos = chaos_config(50.0);
+        let specs: Vec<TrialSpec> = (0..6)
+            .map(|i| {
+                TrialSpec::scored(&mc, "chaos", chaos, FAULT_SEED_BASE ^ i, Arc::clone(&reference))
+                    .with_recovery(policy.clone())
+            })
+            .collect();
+        let report = run_campaign(&specs, 4);
+        assert!(report.recovered_count() > 0, "50x chaos at threshold 0 must escalate");
+        for t in &report.trials {
+            // Exact decomposition: subtraction round-trips in u128.
+            let accepted = t.energy_quanta.total - t.recovery_energy_overhead_quanta;
+            assert_eq!(accepted + t.recovery_energy_overhead_quanta, t.energy_quanta.total);
+            if t.panicked() || (t.recovered_at_level.is_none() && t.attempts > 1) {
+                continue; // no accepted attempt to replay
+            }
+            // Replay the accepted attempt from its spec alone.
+            let (cfg, seed) = match &t.recovered_at_level {
+                None => (chaos, t.seed),
+                Some(name) => {
+                    let rung = if name == "Precise" {
+                        Rung::Precise
+                    } else {
+                        let level = *Level::ALL
+                            .iter()
+                            .find(|l| &l.to_string() == name)
+                            .expect("rung name is a Table 2 level");
+                        Rung::Level(level)
+                    };
+                    (rung.config(), retry_seed(t.seed, t.attempts - 1))
+                }
+            };
+            let replay = harness::measure_with(&mc, cfg, seed);
+            assert_eq!(
+                replay.energy_quanta.total, accepted,
+                "trial {}: accepted-attempt energy must replay exactly",
+                t.index
+            );
+        }
+        // The same identity at campaign scale, summed in any order.
+        let total: EnergyQuanta = report.trials.iter().map(|t| t.energy_quanta.total).sum();
+        let accepted: EnergyQuanta = report
+            .trials
+            .iter()
+            .map(|t| t.energy_quanta.total - t.recovery_energy_overhead_quanta)
+            .sum();
+        assert_eq!(accepted + report.recovery_energy_overhead(), total);
     }
 
     #[test]
@@ -933,5 +1066,85 @@ mod tests {
         let serial = harness::mean_output_error(&apps[0], Level::Mild, 3);
         let parallel = report.mean_error_for("MonteCarlo", "Mild");
         assert_eq!(serial.to_bits(), parallel.to_bits());
+    }
+
+    /// One chaos-recovery campaign per thread count in {1, 2, 4, 8},
+    /// computed once and shared across proptest cases.
+    fn shared_thread_reports() -> &'static Vec<(usize, CampaignReport)> {
+        use std::sync::OnceLock;
+        static REPORTS: OnceLock<Vec<(usize, CampaignReport)>> = OnceLock::new();
+        REPORTS.get_or_init(|| {
+            use crate::recovery::{chaos_config, Policy};
+            let mc = app("MonteCarlo");
+            let reference = Arc::new(harness::reference(&mc).output);
+            let policy = Policy { qos_threshold: Some(0.01), ..Policy::standard() };
+            let specs: Vec<TrialSpec> = (0..4)
+                .map(|i| {
+                    TrialSpec::scored(
+                        &mc,
+                        "chaos",
+                        chaos_config(25.0),
+                        FAULT_SEED_BASE ^ i,
+                        Arc::clone(&reference),
+                    )
+                    .with_recovery(policy.clone())
+                })
+                .collect();
+            [1usize, 2, 4, 8].iter().map(|&t| (t, run_campaign(&specs, t))).collect()
+        })
+    }
+
+    /// Deterministic Fisher–Yates driven by a SplitMix64 stream.
+    fn shuffle<T>(items: &mut [T], mut seed: u64) {
+        let mut next = || {
+            seed = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = seed;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        for i in (1..items.len()).rev() {
+            items.swap(i, (next() % (i as u64 + 1)) as usize);
+        }
+    }
+
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Satellite of the quanta refactor: shuffle the trial merge order
+        /// *and* the thread count — every campaign energy total (per-pool
+        /// stats quanta, the energy breakdown, and the recovery overhead)
+        /// is bit-identical, asserted with `==` on the integers.
+        #[test]
+        fn campaign_energy_totals_are_order_and_thread_independent(
+            seed: u64,
+            threads in proptest::sample::select(vec![1usize, 2, 4, 8]),
+        ) {
+            let reports = shared_thread_reports();
+            let base = &reports[0].1;
+            let report =
+                &reports.iter().find(|(t, _)| *t == threads).expect("precomputed").1;
+
+            // Thread count cannot perturb any total.
+            prop_assert_eq!(report.energy_quanta_totals(), base.energy_quanta_totals());
+            prop_assert_eq!(report.recovery_energy_overhead(), base.recovery_energy_overhead());
+            prop_assert_eq!(report.merged_stats, base.merged_stats);
+
+            // Neither can merge order: fold the trials in a shuffled order
+            // and compare whole-struct equality against the in-order totals.
+            let mut order: Vec<usize> = (0..report.trials.len()).collect();
+            shuffle(&mut order, seed);
+            let mut energy = EnergyQuantaBreakdown::ZERO;
+            let mut overhead = EnergyQuanta::ZERO;
+            let mut stats = Stats::new();
+            for &i in &order {
+                energy.merge(&report.trials[i].energy_quanta);
+                overhead += report.trials[i].recovery_energy_overhead_quanta;
+                stats.merge(&report.trials[i].stats);
+            }
+            prop_assert_eq!(energy, base.energy_quanta_totals());
+            prop_assert_eq!(overhead, base.recovery_energy_overhead());
+            prop_assert_eq!(stats, base.merged_stats);
+        }
     }
 }

@@ -20,6 +20,7 @@ use crate::trials::{
 };
 use crate::App;
 use enerj_hw::config::{HwConfig, Level};
+use enerj_hw::energy::EnergyQuantaBreakdown;
 
 /// Outcome of profiling one application against an error budget.
 #[derive(Debug, Clone)]
@@ -31,6 +32,10 @@ pub struct TuningResult {
     pub errors: [f64; 3],
     /// Normalized energy at each level (baseline = 1.0).
     pub energy: [f64; 3],
+    /// Exact integer energy at each level — `energy` is its f64
+    /// projection. Budget comparisons on these are `==`-exact and immune
+    /// to summation order.
+    pub energy_quanta: [EnergyQuantaBreakdown; 3],
 }
 
 impl TuningResult {
@@ -43,6 +48,15 @@ impl TuningResult {
                 self.energy[i]
             }
         }
+    }
+
+    /// The exact energy quanta of the chosen configuration (`None` when
+    /// running precisely — a precise run has no profiled breakdown here).
+    pub fn chosen_energy_quanta(&self) -> Option<EnergyQuantaBreakdown> {
+        self.chosen.map(|level| {
+            let i = Level::ALL.iter().position(|l| *l == level).expect("known level");
+            self.energy_quanta[i]
+        })
     }
 
     /// The profiled error of the chosen configuration (0 when precise).
@@ -116,6 +130,7 @@ pub fn tune_campaign(
     let report = run_campaign_with(&specs, opts);
     let mut errors = [0.0f64; 3];
     let mut energy = [1.0f64; 3];
+    let mut energy_quanta = [EnergyQuantaBreakdown::ZERO; 3];
     for (i, level) in Level::ALL.iter().enumerate() {
         let label = level.to_string();
         errors[i] = report.mean_error_for(app.meta.name, &label);
@@ -123,6 +138,7 @@ pub fn tune_campaign(
         // faults; keep the serial loop's last-run value.
         if let Some(last) = report.trials_for(app.meta.name, &label).last() {
             energy[i] = last.energy.total;
+            energy_quanta[i] = last.energy_quanta;
         }
     }
     let chosen = Level::ALL
@@ -131,7 +147,7 @@ pub fn tune_campaign(
         .rev()
         .find(|(i, _)| errors[*i] <= error_budget)
         .map(|(_, l)| *l);
-    (TuningResult { chosen, errors, energy }, report)
+    (TuningResult { chosen, errors, energy, energy_quanta }, report)
 }
 
 #[cfg(test)]
@@ -177,6 +193,7 @@ mod tests {
         if r.chosen.is_none() {
             assert_eq!(r.chosen_energy(), 1.0);
             assert_eq!(r.chosen_error(), 0.0);
+            assert_eq!(r.chosen_energy_quanta(), None);
         }
     }
 
@@ -186,6 +203,13 @@ mod tests {
         assert_eq!(r.chosen, Some(Level::Aggressive), "budget 1.0 admits everything");
         assert!(r.errors[0] <= r.errors[2] + 1e-9);
         assert!(r.energy[0] >= r.energy[2]);
+        // The quanta are the exact source of the normalized numbers: each
+        // level's scaled total stays at or below its own baseline, and the
+        // chosen level's breakdown is returned verbatim (==-comparable).
+        for q in &r.energy_quanta {
+            assert!(q.total <= q.baseline_total);
+        }
+        assert_eq!(r.chosen_energy_quanta(), Some(r.energy_quanta[2]));
     }
 
     #[test]
@@ -203,6 +227,7 @@ mod tests {
         for i in 0..3 {
             assert_eq!(serial.errors[i].to_bits(), parallel.errors[i].to_bits());
             assert_eq!(serial.energy[i].to_bits(), parallel.energy[i].to_bits());
+            assert_eq!(serial.energy_quanta[i], parallel.energy_quanta[i]);
         }
     }
 }

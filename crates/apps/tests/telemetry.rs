@@ -1,5 +1,5 @@
 //! Integration tests for the fault-telemetry layer: telemetry must never
-//! change campaign outcomes, the `enerj-campaign/3` serialization must stay
+//! change campaign outcomes, the `enerj-campaign/4` serialization must stay
 //! byte-stable (golden files), and the evaluation, tuner and recovery-retry
 //! seed spaces must be provably pairwise disjoint.
 
@@ -13,7 +13,8 @@ use enerj_apps::trials::{
 };
 use enerj_apps::{all_apps, App};
 use enerj_hw::config::{HwConfig, Level};
-use enerj_hw::energy::EnergyBreakdown;
+use enerj_hw::energy::{EnergyBreakdown, EnergyQuantaBreakdown};
+use enerj_hw::quanta::EnergyQuanta;
 use enerj_hw::stats::Stats;
 use enerj_hw::trace::{FaultEvent, FaultKind};
 use enerj_hw::FaultCounters;
@@ -77,8 +78,8 @@ fn synthetic_report() -> CampaignReport {
     stats.int_approx_ops = 10;
     stats.int_precise_ops = 20;
     stats.fp_approx_ops = 7;
-    stats.sram_approx_byte_seconds = 1.5;
-    stats.sram_precise_byte_seconds = 0.25;
+    stats.sram_approx_quanta = EnergyQuanta::new(12_000_000);
+    stats.sram_precise_quanta = EnergyQuanta::new(2_000_000);
     stats.faults_injected = 4;
 
     let mut counts = FaultCounters::new();
@@ -106,6 +107,17 @@ fn synthetic_report() -> CampaignReport {
         recovered_at_level: Some("Precise".to_owned()),
         failure_causes: vec!["qos: error 0.5000 > threshold 0.1".to_owned()],
         recovery_energy_overhead: 0.84,
+        recovery_energy_overhead_quanta: EnergyQuanta::new(1_234_500),
+        energy_quanta: EnergyQuantaBreakdown {
+            instructions: EnergyQuanta::new(8_000_000),
+            baseline_instructions: EnergyQuanta::new(10_000_000),
+            sram: EnergyQuanta::new(126_000_000_000),
+            baseline_sram: EnergyQuanta::new(140_000_000_000),
+            dram: EnergyQuanta::ZERO,
+            baseline_dram: EnergyQuanta::ZERO,
+            total: EnergyQuanta::new(126_008_000_000),
+            baseline_total: EnergyQuanta::new(140_010_000_000),
+        },
     };
     let crashed = TrialResult {
         index: 1,
@@ -124,6 +136,8 @@ fn synthetic_report() -> CampaignReport {
         recovered_at_level: None,
         failure_causes: vec!["panic: index \"7\" out of bounds\n".to_owned()],
         recovery_energy_overhead: 0.0,
+        recovery_energy_overhead_quanta: EnergyQuanta::ZERO,
+        energy_quanta: EnergyQuantaBreakdown::ZERO,
     };
     CampaignReport {
         merged_stats: healthy.stats,
@@ -149,17 +163,17 @@ fn check_golden(name: &str, actual: &str) {
         .unwrap_or_else(|e| panic!("{}: {e}; run with BLESS_GOLDEN=1 to create", path.display()));
     assert_eq!(
         actual, expected,
-        "{name} drifted from the committed enerj-campaign/3 golden; if the \
+        "{name} drifted from the committed enerj-campaign/4 golden; if the \
          schema change is intentional, bump the schema tag, document it in \
          DESIGN.md and re-bless with BLESS_GOLDEN=1"
     );
 }
 
 #[test]
-fn campaign_report_json_matches_the_v3_golden() {
+fn campaign_report_json_matches_the_v4_golden() {
     let json = synthetic_report().to_json();
-    assert!(json.starts_with("{\"schema\":\"enerj-campaign/3\""));
-    check_golden("campaign_v3.json", &(json + "\n"));
+    assert!(json.starts_with("{\"schema\":\"enerj-campaign/4\""));
+    check_golden("campaign_v4.json", &(json + "\n"));
 }
 
 #[test]

@@ -5,7 +5,7 @@
 //! faultscope <results/BENCH_*.json | faults.ndjson> [--label L] [--bits] [--causes]
 //! ```
 //!
-//! Reads either a campaign report (`enerj-campaign/2` or `/3` JSON,
+//! Reads either a campaign report (`enerj-campaign/2` through `/4` JSON,
 //! aggregating each trial's `fault_counts`) or an NDJSON fault log
 //! (counting events), auto-detected, and prints one row per application
 //! with a column per fault kind. Cells are injection counts with each
@@ -13,10 +13,11 @@
 //! totals — the honest "where did my error come from" measure. `--label L`
 //! restricts to one campaign label (a level or strategy name).
 //!
-//! `--causes` switches to the recovery view (`/3` reports): one row per
+//! `--causes` switches to the recovery view (`/3`+ reports): one row per
 //! app × label with the trial count, how many trials needed recovery, how
-//! many stayed degraded, and the failure-cause mix (panics, watchdog
-//! op-budget trips, failed output checks, QoS threshold breaches).
+//! many stayed degraded, the failure-cause mix (panics, watchdog
+//! op-budget trips, failed output checks, QoS threshold breaches), and —
+//! for `/4` reports — the exact retry energy overhead in integer quanta.
 //!
 //! This is the observability counterpart to `fig5`: instead of "FFT
 //! degrades at Medium", it answers "FFT's faults are 90% SRAM read
@@ -169,24 +170,27 @@ fn from_report(text: &str, label: Option<&str>) -> Result<Breakdown, String> {
     Ok(breakdown)
 }
 
-/// The stable failure-cause categories `enerj-campaign/3` reports use as
+/// The stable failure-cause categories `enerj-campaign/3`+ reports use as
 /// `failure_causes` prefixes (see `enerj_apps::recovery::FailureCause`).
 const CAUSE_CATEGORIES: [&str; 4] = ["panic", "op-budget", "check", "qos"];
 
 /// Prints the recovery view: per app × label, the trial count, recovery
-/// outcomes and the failure-cause mix.
+/// outcomes, the failure-cause mix, and the exact retry energy overhead
+/// (integer quanta, `enerj-campaign/4`).
 fn print_causes(text: &str, label: Option<&str>) -> Result<(), String> {
     let report = Json::parse(text.trim()).map_err(|e| format!("report: {e}"))?;
     let schema = report.get("schema").and_then(Json::as_str).ok_or("report: missing `schema`")?;
-    if schema != "enerj-campaign/3" {
+    if !["enerj-campaign/3", "enerj-campaign/4"].contains(&schema) {
         return Err(format!(
             "schema `{schema}` carries no recovery telemetry; re-run the bench \
-             binary to produce an enerj-campaign/3 report"
+             binary to produce an enerj-campaign/4 report"
         ));
     }
     let trials = report.get("trials").and_then(Json::as_array).ok_or("report: missing `trials`")?;
     // (app, label) -> [trials, recovered, degraded, per-category counts...].
     let mut rows: BTreeMap<(String, String), [u64; 3 + CAUSE_CATEGORIES.len()]> = BTreeMap::new();
+    // (app, label) -> summed retry overhead quanta (absent in /3 reports).
+    let mut overhead_quanta: BTreeMap<(String, String), u128> = BTreeMap::new();
     for trial in trials {
         let app = trial.get("app").and_then(Json::as_str).ok_or("trial: missing `app`")?;
         let trial_label =
@@ -218,6 +222,8 @@ fn print_causes(text: &str, label: Option<&str>) -> Result<(), String> {
                 }
             }
         }
+        let q = trial.get("recovery_energy_overhead_quanta").and_then(Json::as_f64).unwrap_or(0.0);
+        *overhead_quanta.entry((app.to_owned(), trial_label.to_owned())).or_default() += q as u128;
     }
     if rows.is_empty() {
         println!(
@@ -231,6 +237,7 @@ fn print_causes(text: &str, label: Option<&str>) -> Result<(), String> {
     }
     let mut headers = vec!["Application", "Label", "trials", "recovered", "degraded"];
     headers.extend(CAUSE_CATEGORIES);
+    headers.push("overhead quanta");
     let table_rows: Vec<Vec<String>> = rows
         .iter()
         .map(|((app, lbl), counts)| {
@@ -238,6 +245,8 @@ fn print_causes(text: &str, label: Option<&str>) -> Result<(), String> {
             row.extend(counts.iter().map(|n| if *n == 0 { "-".to_owned() } else { n.to_string() }));
             // `trials` reads better as a number even when zero can't occur.
             row[2] = counts[0].to_string();
+            let q = overhead_quanta.get(&(app.clone(), lbl.clone())).copied().unwrap_or(0);
+            row.push(if q == 0 { "-".to_owned() } else { q.to_string() });
             row
         })
         .collect();

@@ -226,8 +226,8 @@ fn sram_kernel(level: Level, accesses: u64) -> KernelRow {
     });
     // Both samplers must have walked the same access count (sanity: the
     // baseline's accounting is per-access, the amortized side's is lazy).
-    assert!(base.stats().sram_approx_byte_seconds > 0.0);
-    assert!(hw.stats().sram_approx_byte_seconds > 0.0);
+    assert!(!base.stats().sram_approx_quanta.is_zero());
+    assert!(!hw.stats().sram_approx_quanta.is_zero());
     KernelRow {
         kernel: "sram",
         level,

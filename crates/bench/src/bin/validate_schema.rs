@@ -4,13 +4,18 @@
 //! ```text
 //! validate_schema [--report <BENCH_*.json>]... [--fault-log <log.ndjson>]...
 //!                 [--hwperf <BENCH_hwperf.json>]...
+//!                 [--quanta-compare <a.json> <b.json>]...
 //! ```
 //!
-//! Validates each `--report` against `enerj-campaign/3`, each `--fault-log`
+//! Validates each `--report` against `enerj-campaign/4`, each `--fault-log`
 //! against the NDJSON fault-event schema, and each `--hwperf` against the
-//! `enerj-hwperf/1` throughput-report schema. Exit code 0 when everything
-//! conforms, 1 on the first violation — the CI smoke and perf-smoke jobs
-//! run this over freshly generated artifacts to catch emitter drift.
+//! `enerj-hwperf/1` throughput-report schema. `--quanta-compare` checks
+//! that two campaign reports carry *byte-identical* integer energy totals
+//! (`energy_quanta` and `recovery_energy_overhead_quanta`), comparing the
+//! raw JSON text so values above 2^53 cannot be blurred by f64 parsing —
+//! the CI quanta-smoke job runs the same campaign at two thread counts and
+//! requires the totals to match exactly. Exit code 0 when everything
+//! conforms, 1 on the first violation.
 
 use std::process::ExitCode;
 
@@ -28,6 +33,34 @@ fn main() -> ExitCode {
     }
 }
 
+/// Extracts the raw text of the top-level `"key":<value>` pair from a
+/// campaign report, where `<value>` is an integer or a `{...}` object of
+/// integers. Textual extraction keeps >2^53 quanta byte-exact.
+fn raw_field(text: &str, key: &str) -> Result<String, String> {
+    let needle = format!("\"{key}\":");
+    let start = text.find(&needle).ok_or_else(|| format!("missing `{key}`"))?;
+    let rest = &text[start + needle.len()..];
+    let end = if rest.starts_with('{') {
+        rest.find('}').map(|i| i + 1).ok_or_else(|| format!("unterminated `{key}` object"))?
+    } else {
+        rest.find([',', '}']).ok_or_else(|| format!("unterminated `{key}` value"))?
+    };
+    Ok(rest[..end].to_owned())
+}
+
+fn compare_quanta(path_a: &str, path_b: &str) -> Result<(), String> {
+    let a = std::fs::read_to_string(path_a).map_err(|e| format!("{path_a}: {e}"))?;
+    let b = std::fs::read_to_string(path_b).map_err(|e| format!("{path_b}: {e}"))?;
+    for key in ["energy_quanta", "recovery_energy_overhead_quanta"] {
+        let va = raw_field(&a, key).map_err(|e| format!("{path_a}: {e}"))?;
+        let vb = raw_field(&b, key).map_err(|e| format!("{path_b}: {e}"))?;
+        if va != vb {
+            return Err(format!("`{key}` differs between {path_a} and {path_b}:\n  {va}\n  {vb}"));
+        }
+    }
+    Ok(())
+}
+
 fn run(args: &[String]) -> Result<(), String> {
     let mut checked = 0usize;
     let mut it = args.iter();
@@ -39,7 +72,7 @@ fn run(args: &[String]) -> Result<(), String> {
                 let parsed = Json::parse(text.trim()).map_err(|e| format!("{path}: {e}"))?;
                 let trials =
                     validate_campaign_report(&parsed).map_err(|e| format!("{path}: {e}"))?;
-                println!("{path}: OK (enerj-campaign/3, {trials} trials)");
+                println!("{path}: OK (enerj-campaign/4, {trials} trials)");
                 checked += 1;
             }
             "--fault-log" => {
@@ -58,10 +91,18 @@ fn run(args: &[String]) -> Result<(), String> {
                 println!("{path}: OK (enerj-hwperf/1, {kernels} kernel rows)");
                 checked += 1;
             }
+            "--quanta-compare" => {
+                let a = it.next().ok_or("--quanta-compare needs two paths")?;
+                let b = it.next().ok_or("--quanta-compare needs two paths")?;
+                compare_quanta(a, b)?;
+                println!("{a} == {b}: OK (energy quanta byte-identical)");
+                checked += 1;
+            }
             other => {
                 return Err(format!(
                     "unknown argument `{other}`\nusage: validate_schema \
-                     [--report <path>]... [--fault-log <path>]... [--hwperf <path>]..."
+                     [--report <path>]... [--fault-log <path>]... [--hwperf <path>]... \
+                     [--quanta-compare <a> <b>]..."
                 ))
             }
         }
@@ -70,4 +111,24 @@ fn run(args: &[String]) -> Result<(), String> {
         return Err("nothing to validate; pass --report and/or --fault-log".to_owned());
     }
     Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::raw_field;
+
+    #[test]
+    fn raw_field_extracts_integers_and_objects_textually() {
+        let text = r#"{"schema":"enerj-campaign/4","recovery_energy_overhead_quanta":340282366920938463463374607431768211455,"energy_quanta":{"total":12,"baseline_total":34},"trials":[]}"#;
+        // Wider than u64: only textual extraction keeps it exact.
+        assert_eq!(
+            raw_field(text, "recovery_energy_overhead_quanta").unwrap(),
+            "340282366920938463463374607431768211455"
+        );
+        assert_eq!(
+            raw_field(text, "energy_quanta").unwrap(),
+            r#"{"total":12,"baseline_total":34}"#
+        );
+        assert!(raw_field(text, "absent").is_err());
+    }
 }

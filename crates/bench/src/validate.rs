@@ -1,27 +1,29 @@
 //! Schema validation for the telemetry artifacts.
 //!
 //! Checks `results/BENCH_*.json` campaign reports against the
-//! `enerj-campaign/3` schema and NDJSON fault logs against the fault-event
+//! `enerj-campaign/4` schema and NDJSON fault logs against the fault-event
 //! schema, both as documented in DESIGN.md. Used by the `validate_schema`
 //! binary (and the CI smoke jobs) to catch emitter drift.
 
 use crate::json::Json;
 use enerj_hw::trace::FaultKind;
 
-/// Top-level keys every `enerj-campaign/3` report must carry.
-const REPORT_KEYS: [&str; 8] = [
+/// Top-level keys every `enerj-campaign/4` report must carry.
+const REPORT_KEYS: [&str; 10] = [
     "schema",
     "threads",
     "wall_seconds",
     "mean_error",
     "panics",
     "recovered",
+    "recovery_energy_overhead_quanta",
+    "energy_quanta",
     "merged_stats",
     "fault_totals",
 ];
 
 /// Keys every trial object must carry.
-const TRIAL_KEYS: [&str; 13] = [
+const TRIAL_KEYS: [&str; 15] = [
     "index",
     "app",
     "label",
@@ -33,8 +35,26 @@ const TRIAL_KEYS: [&str; 13] = [
     "recovered_at_level",
     "failure_causes",
     "recovery_energy_overhead",
+    "recovery_energy_overhead_quanta",
     "stats",
     "energy",
+    "energy_quanta",
+];
+
+/// Integer-quanta pool keys inside every `stats`/`merged_stats` object.
+const STATS_QUANTA_KEYS: [&str; 4] =
+    ["sram_approx_quanta", "sram_precise_quanta", "dram_approx_quanta", "dram_precise_quanta"];
+
+/// Keys every `energy_quanta` breakdown object must carry.
+const ENERGY_QUANTA_KEYS: [&str; 8] = [
+    "instructions",
+    "baseline_instructions",
+    "sram",
+    "baseline_sram",
+    "dram",
+    "baseline_dram",
+    "total",
+    "baseline_total",
 ];
 
 /// Keys every NDJSON fault-log line must carry.
@@ -45,6 +65,48 @@ fn require_number(obj: &Json, key: &str, what: &str) -> Result<f64, String> {
     obj.get(key)
         .and_then(Json::as_f64)
         .ok_or_else(|| format!("{what}: missing or non-numeric `{key}`"))
+}
+
+/// Checks that `obj[key]` is a non-negative integer energy-quanta count.
+///
+/// The parser stores numbers as f64, which is lossy above 2^53; this check
+/// gates sign and integrality only — byte-exact quanta comparisons are done
+/// on the raw JSON text (`validate_schema --quanta-compare`).
+fn require_quanta(obj: &Json, key: &str, what: &str) -> Result<(), String> {
+    let v = require_number(obj, key, what)?;
+    if v < 0.0 || v.fract() != 0.0 {
+        return Err(format!("{what}: `{key}` must be a non-negative integer ({v})"));
+    }
+    Ok(())
+}
+
+/// Checks the four per-(memory × precision) quanta pools of a stats object.
+fn validate_stats_quanta(stats: &Json, what: &str) -> Result<(), String> {
+    for key in STATS_QUANTA_KEYS {
+        require_quanta(stats, key, what)?;
+    }
+    Ok(())
+}
+
+/// Checks an `energy_quanta` breakdown: all eight fields present,
+/// non-negative integers, with scaled never exceeding its baseline.
+fn validate_energy_quanta(quanta: &Json, what: &str) -> Result<(), String> {
+    for key in ENERGY_QUANTA_KEYS {
+        require_quanta(quanta, key, what)?;
+    }
+    for (scaled, baseline) in [
+        ("instructions", "baseline_instructions"),
+        ("sram", "baseline_sram"),
+        ("dram", "baseline_dram"),
+        ("total", "baseline_total"),
+    ] {
+        let s = require_number(quanta, scaled, what)?;
+        let b = require_number(quanta, baseline, what)?;
+        if s > b {
+            return Err(format!("{what}: `{scaled}` {s} exceeds `{baseline}` {b}"));
+        }
+    }
+    Ok(())
 }
 
 /// Checks that `counters` is a per-kind counter object: one entry per
@@ -73,12 +135,12 @@ fn validate_counters(counters: &Json, what: &str) -> Result<(), String> {
     Ok(())
 }
 
-/// Validates a parsed `enerj-campaign/3` report. Returns the trial count.
+/// Validates a parsed `enerj-campaign/4` report. Returns the trial count.
 pub fn validate_campaign_report(report: &Json) -> Result<usize, String> {
     let schema =
         report.get("schema").and_then(Json::as_str).ok_or("report: missing `schema` string")?;
-    if schema != "enerj-campaign/3" {
-        return Err(format!("report: schema `{schema}`, expected `enerj-campaign/3`"));
+    if schema != "enerj-campaign/4" {
+        return Err(format!("report: schema `{schema}`, expected `enerj-campaign/4`"));
     }
     for key in REPORT_KEYS {
         if report.get(key).is_none() {
@@ -86,6 +148,9 @@ pub fn validate_campaign_report(report: &Json) -> Result<usize, String> {
         }
     }
     validate_counters(report.get("fault_totals").expect("checked above"), "fault_totals")?;
+    require_quanta(report, "recovery_energy_overhead_quanta", "report")?;
+    validate_stats_quanta(report.get("merged_stats").expect("checked above"), "merged_stats")?;
+    validate_energy_quanta(report.get("energy_quanta").expect("checked above"), "energy_quanta")?;
     let trials =
         report.get("trials").and_then(Json::as_array).ok_or("report: `trials` must be an array")?;
     for (i, trial) in trials.iter().enumerate() {
@@ -124,6 +189,11 @@ pub fn validate_campaign_report(report: &Json) -> Result<usize, String> {
         if overhead < 0.0 {
             return Err(format!("{what}: negative recovery_energy_overhead {overhead}"));
         }
+        require_quanta(trial, "recovery_energy_overhead_quanta", &what)?;
+        let stats = trial.get("stats").expect("checked above");
+        validate_stats_quanta(stats, &format!("{what}.stats"))?;
+        let quanta = trial.get("energy_quanta").expect("checked above");
+        validate_energy_quanta(quanta, &format!("{what}.energy_quanta"))?;
     }
     Ok(trials.len())
 }
@@ -304,11 +374,11 @@ mod tests {
 
     #[test]
     fn rejects_wrong_schema_and_missing_keys() {
-        for old in ["enerj-campaign/1", "enerj-campaign/2"] {
+        for old in ["enerj-campaign/1", "enerj-campaign/2", "enerj-campaign/3"] {
             let v = Json::parse(&format!(r#"{{"schema":"{old}"}}"#)).unwrap();
             assert!(validate_campaign_report(&v).unwrap_err().contains("schema"));
         }
-        let v = Json::parse(r#"{"schema":"enerj-campaign/3","threads":1}"#).unwrap();
+        let v = Json::parse(r#"{"schema":"enerj-campaign/4","threads":1}"#).unwrap();
         assert!(validate_campaign_report(&v).unwrap_err().contains("missing top-level"));
     }
 
@@ -323,9 +393,33 @@ mod tests {
         let v = Json::parse(&too_many_causes).unwrap();
         assert!(validate_campaign_report(&v).unwrap_err().contains("failure causes"));
         let negative_overhead =
-            good.replace("\"recovery_energy_overhead\":0", "\"recovery_energy_overhead\":-0.5");
+            good.replace("\"recovery_energy_overhead\":0,", "\"recovery_energy_overhead\":-0.5,");
         let v = Json::parse(&negative_overhead).unwrap();
         assert!(validate_campaign_report(&v).unwrap_err().contains("recovery_energy_overhead"));
+    }
+
+    #[test]
+    fn rejects_malformed_quanta_fields() {
+        let good = aggressive_campaign().to_json();
+        // Fractional quanta: energy is an integer count, not a float.
+        let fractional = good.replacen("\"baseline_total\":", "\"baseline_total\":0.5,\"_x\":", 1);
+        let v = Json::parse(&fractional).unwrap();
+        assert!(validate_campaign_report(&v).unwrap_err().contains("non-negative integer"));
+        // Negative overhead quanta.
+        let negative = good.replacen(
+            "\"recovery_energy_overhead_quanta\":",
+            "\"recovery_energy_overhead_quanta\":-1,\"_x\":",
+            1,
+        );
+        let v = Json::parse(&negative).unwrap();
+        assert!(validate_campaign_report(&v)
+            .unwrap_err()
+            .contains("recovery_energy_overhead_quanta"));
+        // Scaled energy above its own baseline is an accounting bug.
+        let inverted =
+            good.replacen("\"baseline_instructions\":", "\"baseline_instructions\":0,\"_x\":", 1);
+        let v = Json::parse(&inverted).unwrap();
+        assert!(validate_campaign_report(&v).unwrap_err().contains("exceeds"));
     }
 
     #[test]

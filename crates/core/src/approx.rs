@@ -454,8 +454,8 @@ mod tests {
             let _ = a + a;
         });
         let s = rt.stats();
-        assert!(s.sram_approx_byte_seconds > 0.0);
-        assert_eq!(s.sram_precise_byte_seconds, 0.0);
+        assert!(!s.sram_approx_quanta.is_zero());
+        assert!(s.sram_precise_quanta.is_zero());
     }
 
     #[test]

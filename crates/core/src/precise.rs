@@ -231,8 +231,8 @@ mod tests {
             let _ = Precise::new(1.0f32) + Precise::new(2.0f32);
         });
         let s = rt.stats();
-        assert!(s.sram_precise_byte_seconds > 0.0);
-        assert_eq!(s.sram_approx_byte_seconds, 0.0);
+        assert!(!s.sram_precise_quanta.is_zero());
+        assert!(s.sram_approx_quanta.is_zero());
     }
 
     #[test]

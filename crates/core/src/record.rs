@@ -334,8 +334,8 @@ mod tests {
             drop(p);
         });
         let s = rt.stats();
-        assert!(s.dram_approx_byte_seconds > 0.0);
-        assert!(s.dram_precise_byte_seconds > 0.0);
+        assert!(!s.dram_approx_quanta.is_zero());
+        assert!(!s.dram_precise_quanta.is_zero());
     }
 
     #[test]

@@ -16,7 +16,7 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::rc::Rc;
 
 use enerj_hw::config::{HwConfig, Level};
-use enerj_hw::energy::{normalized_energy, EnergyBreakdown};
+use enerj_hw::energy::{energy_quanta, normalized_energy, EnergyBreakdown, EnergyQuantaBreakdown};
 use enerj_hw::stats::Stats;
 use enerj_hw::{Hardware, WatchdogTrip};
 
@@ -190,6 +190,15 @@ impl Runtime {
     pub fn energy(&self) -> EnergyBreakdown {
         let hw = self.hw.borrow();
         normalized_energy(&hw.stats(), &hw.config().params)
+    }
+
+    /// Exact integer energy of the run so far: scaled and baseline quanta
+    /// per component (see [`enerj_hw::quanta`]). Unlike [`Runtime::energy`]
+    /// this involves no floats, so totals built from it can be merged in
+    /// any order and compared with `==`.
+    pub fn energy_quanta(&self) -> EnergyQuantaBreakdown {
+        let hw = self.hw.borrow();
+        energy_quanta(&hw.stats(), &hw.config().params)
     }
 
     /// The active hardware configuration.

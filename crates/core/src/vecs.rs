@@ -272,8 +272,8 @@ mod tests {
             drop(p);
         });
         let s = rt.stats();
-        assert!(s.dram_approx_byte_seconds > 0.0);
-        assert!(s.dram_precise_byte_seconds > s.dram_approx_byte_seconds * 0.9);
+        assert!(!s.dram_approx_quanta.is_zero());
+        assert!(10 * s.dram_precise_quanta.get() > 9 * s.dram_approx_quanta.get());
         let frac = s.approx_storage_fraction(MemKind::Dram);
         assert!(frac > 0.4 && frac < 0.55, "frac = {frac}");
     }

@@ -14,6 +14,7 @@
 
 use crate::fault;
 use crate::layout::{self, FieldSpec, Layout};
+use crate::quanta::EnergyQuanta;
 use crate::stats::MemKind;
 use crate::Hardware;
 
@@ -196,21 +197,32 @@ impl DramArray {
         self.last_access[i] = hw.op_ticks();
     }
 
-    /// Accounts this array's storage byte-seconds and marks it retired.
+    /// Accounts this array's storage quanta and marks it retired.
     ///
     /// Idempotent: a second call does nothing. Higher layers call this from
     /// `Drop`; benchmarks may call it eagerly before reading statistics.
+    /// The charge is an exact widening multiply of bits held by op-ticks
+    /// held — no floats, so retire order cannot perturb the totals.
     pub fn retire(&mut self, hw: &mut Hardware) {
         if self.retired {
             return;
         }
         self.retired = true;
-        let held = (hw.op_ticks() - self.alloc_tick) as f64 * hw.config().seconds_per_op;
-        let precise_bytes =
-            (self.layout.precise_bytes + self.layout.approx_bytes_on_precise_lines) as f64;
-        let approx_bytes = self.layout.approx_bytes_on_approx_lines as f64;
-        hw.stats_mut().record_storage(MemKind::Dram, false, precise_bytes, held);
-        hw.stats_mut().record_storage(MemKind::Dram, true, approx_bytes, held);
+        let held_ticks = hw.op_ticks() - self.alloc_tick;
+        let precise_bits =
+            8 * (self.layout.precise_bytes + self.layout.approx_bytes_on_precise_lines) as u64;
+        let approx_bits = 8 * self.layout.approx_bytes_on_approx_lines as u64;
+        let stats = hw.stats_mut();
+        stats.record_storage_quanta(
+            MemKind::Dram,
+            false,
+            EnergyQuanta::from_bits_quanta(precise_bits, held_ticks),
+        );
+        stats.record_storage_quanta(
+            MemKind::Dram,
+            true,
+            EnergyQuanta::from_bits_quanta(approx_bits, held_ticks),
+        );
     }
 }
 
@@ -323,8 +335,8 @@ mod tests {
         let after_first = hw.stats();
         arr.retire(&mut hw);
         assert_eq!(after_first, hw.stats(), "retire must be idempotent");
-        assert!(after_first.dram_approx_byte_seconds > 0.0);
-        assert!(after_first.dram_precise_byte_seconds > 0.0); // header line
+        assert!(after_first.dram_approx_quanta > EnergyQuanta::ZERO);
+        assert!(after_first.dram_precise_quanta > EnergyQuanta::ZERO); // header line
         let frac = after_first.approx_storage_fraction(MemKind::Dram);
         assert!(frac > 0.95, "8000-byte array should be almost all approximate");
     }
@@ -470,18 +482,28 @@ impl DramRecord {
         self.last_access[i] = hw.op_ticks();
     }
 
-    /// Accounts the record's storage byte-seconds once.
+    /// Accounts the record's storage quanta once (exact integer charge,
+    /// like [`DramArray::retire`]).
     pub fn retire(&mut self, hw: &mut Hardware) {
         if self.retired {
             return;
         }
         self.retired = true;
-        let held = (hw.op_ticks() - self.alloc_tick) as f64 * hw.config().seconds_per_op;
-        let precise =
-            (self.layout.precise_bytes + self.layout.approx_bytes_on_precise_lines) as f64;
-        let approx = self.layout.approx_bytes_on_approx_lines as f64;
-        hw.stats_mut().record_storage(MemKind::Dram, false, precise, held);
-        hw.stats_mut().record_storage(MemKind::Dram, true, approx, held);
+        let held_ticks = hw.op_ticks() - self.alloc_tick;
+        let precise_bits =
+            8 * (self.layout.precise_bytes + self.layout.approx_bytes_on_precise_lines) as u64;
+        let approx_bits = 8 * self.layout.approx_bytes_on_approx_lines as u64;
+        let stats = hw.stats_mut();
+        stats.record_storage_quanta(
+            MemKind::Dram,
+            false,
+            EnergyQuanta::from_bits_quanta(precise_bits, held_ticks),
+        );
+        stats.record_storage_quanta(
+            MemKind::Dram,
+            true,
+            EnergyQuanta::from_bits_quanta(approx_bits, held_ticks),
+        );
     }
 }
 
@@ -558,8 +580,8 @@ mod record_tests {
         }
         rec.retire(&mut hw);
         let s = hw.stats();
-        assert!(s.dram_approx_byte_seconds > 0.0);
-        assert!(s.dram_precise_byte_seconds > 0.0);
+        assert!(s.dram_approx_quanta > EnergyQuanta::ZERO);
+        assert!(s.dram_precise_quanta > EnergyQuanta::ZERO);
         rec.retire(&mut hw); // idempotent
         assert_eq!(s, hw.stats());
     }

@@ -15,11 +15,20 @@
 //! Approximate SRAM saves `sram_power_saved` of its share, approximate DRAM
 //! saves `dram_power_saved`.
 //!
+//! Accounting is exact: [`energy_quanta`] computes scaled and baseline
+//! energy per component as integers ([`EnergyQuanta`]), using basis-point
+//! savings that represent every Table 2 fraction exactly. The normalized
+//! figures of the paper ([`EnergyBreakdown`]) are a *projection* — one f64
+//! division per component at the very end — so the numbers in Figure 4 are
+//! unchanged to within a final-rounding ulp, while totals and budgets can
+//! be summed and compared with no order dependence at all.
+//!
 //! The model deliberately omits the overheads of switching between precise
 //! and approximate hardware, as the paper's does; results are therefore
 //! optimistic in the same way.
 
 use crate::config::ApproxParams;
+use crate::quanta::{ratio, savings_basis_points, EnergyQuanta, SAVINGS_SCALE};
 use crate::stats::Stats;
 
 /// Energy units per integer instruction.
@@ -39,6 +48,13 @@ pub const DRAM_SYSTEM_FRACTION: f64 = 0.45;
 
 /// Mobile-setting split: DRAM is only 25% of power (section 5.4 note).
 pub const DRAM_MOBILE_FRACTION: f64 = 0.25;
+
+/// Integer twin of [`INT_OP_UNITS`], used by the exact accounting path.
+pub const INT_OP_UNITS_Q: u128 = 37;
+/// Integer twin of [`FP_OP_UNITS`].
+pub const FP_OP_UNITS_Q: u128 = 40;
+/// Integer twin of [`FETCH_DECODE_UNITS`].
+pub const FETCH_DECODE_UNITS_Q: u128 = 22;
 
 /// Normalized energy of one simulated run, total and by component.
 ///
@@ -61,6 +77,152 @@ impl EnergyBreakdown {
     pub fn savings(&self) -> f64 {
         1.0 - self.total
     }
+}
+
+/// Exact integer energy of one run, per component, scaled and baseline.
+///
+/// Instruction fields are basis-point energy units (paper units ×
+/// [`SAVINGS_SCALE`]); storage fields are basis-point bit·op-ticks (storage
+/// quanta × `SAVINGS_SCALE`). `scaled ≤ baseline` holds per component by
+/// construction. Totals are plain sums, so merging breakdowns from any
+/// number of trials in any order yields bit-identical results, and a budget
+/// expressed in quanta can be debited exactly.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub struct EnergyQuantaBreakdown {
+    /// Scaled instruction energy (approximation savings applied).
+    pub instructions: EnergyQuanta,
+    /// Baseline instruction energy (as if fully precise).
+    pub baseline_instructions: EnergyQuanta,
+    /// Scaled SRAM storage energy.
+    pub sram: EnergyQuanta,
+    /// Baseline SRAM storage energy.
+    pub baseline_sram: EnergyQuanta,
+    /// Scaled DRAM storage energy.
+    pub dram: EnergyQuanta,
+    /// Baseline DRAM storage energy.
+    pub baseline_dram: EnergyQuanta,
+    /// Scaled whole-run energy: `instructions + sram + dram`.
+    pub total: EnergyQuanta,
+    /// Baseline whole-run energy.
+    pub baseline_total: EnergyQuanta,
+}
+
+impl EnergyQuantaBreakdown {
+    /// The all-zero breakdown (an empty run).
+    pub const ZERO: EnergyQuantaBreakdown = EnergyQuantaBreakdown {
+        instructions: EnergyQuanta::ZERO,
+        baseline_instructions: EnergyQuanta::ZERO,
+        sram: EnergyQuanta::ZERO,
+        baseline_sram: EnergyQuanta::ZERO,
+        dram: EnergyQuanta::ZERO,
+        baseline_dram: EnergyQuanta::ZERO,
+        total: EnergyQuanta::ZERO,
+        baseline_total: EnergyQuanta::ZERO,
+    };
+
+    /// Field-wise exact merge; associative and commutative.
+    pub fn merge(&mut self, other: &EnergyQuantaBreakdown) {
+        self.instructions += other.instructions;
+        self.baseline_instructions += other.baseline_instructions;
+        self.sram += other.sram;
+        self.baseline_sram += other.baseline_sram;
+        self.dram += other.dram;
+        self.baseline_dram += other.baseline_dram;
+        self.total += other.total;
+        self.baseline_total += other.baseline_total;
+    }
+
+    /// Projects the exact quanta to the paper's normalized figures using
+    /// the server-like system split.
+    pub fn normalized(&self) -> EnergyBreakdown {
+        self.normalized_with_split(DRAM_SYSTEM_FRACTION)
+    }
+
+    /// Projects the exact quanta to normalized figures with an explicit
+    /// DRAM share of system power.
+    ///
+    /// Each component is one f64 division of exact integers (1.0 for an
+    /// empty pool, whose zero test is exact); the component weights are the
+    /// paper's power-split fractions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dram_fraction` is not in `[0, 1]`.
+    pub fn normalized_with_split(&self, dram_fraction: f64) -> EnergyBreakdown {
+        assert!((0.0..=1.0).contains(&dram_fraction), "dram_fraction {dram_fraction} out of range");
+        let cpu_fraction = 1.0 - dram_fraction;
+        let project = |scaled: EnergyQuanta, baseline: EnergyQuanta| {
+            if baseline.is_zero() {
+                1.0
+            } else {
+                ratio(scaled, baseline)
+            }
+        };
+        let instructions = project(self.instructions, self.baseline_instructions);
+        let sram = project(self.sram, self.baseline_sram);
+        let dram = project(self.dram, self.baseline_dram);
+        let cpu = LOGIC_CPU_FRACTION * instructions + SRAM_CPU_FRACTION * sram;
+        let total = cpu_fraction * cpu + dram_fraction * dram;
+        EnergyBreakdown { instructions, sram, dram, total }
+    }
+}
+
+/// Computes the exact integer energy of a run described by `stats` on
+/// hardware with parameters `params`.
+///
+/// Instruction energy scales the non-fetch/decode component of approximate
+/// instructions by the per-strategy savings in basis points; storage energy
+/// scales each pool's approximate quanta likewise. Every multiply is an
+/// expanded integer multiply — no intermediate floats — so the result is a
+/// deterministic function of the counters alone.
+pub fn energy_quanta(stats: &Stats, params: &ApproxParams) -> EnergyQuantaBreakdown {
+    let alu_bp = savings_basis_points(params.alu_energy_saved);
+    let fp_bp = savings_basis_points(params.fp_energy_saved);
+    let sram_bp = savings_basis_points(params.sram_power_saved);
+    let dram_bp = savings_basis_points(params.dram_power_saved);
+
+    let int_exec = INT_OP_UNITS_Q - FETCH_DECODE_UNITS_Q;
+    let fp_exec = FP_OP_UNITS_Q - FETCH_DECODE_UNITS_Q;
+
+    let baseline_instructions = EnergyQuanta::new(
+        u128::from(stats.total_ops(crate::stats::OpKind::Int)) * INT_OP_UNITS_Q * SAVINGS_SCALE
+            + u128::from(stats.total_ops(crate::stats::OpKind::Fp)) * FP_OP_UNITS_Q * SAVINGS_SCALE,
+    );
+    let saved_instructions = EnergyQuanta::new(
+        u128::from(stats.int_approx_ops) * int_exec * alu_bp
+            + u128::from(stats.fp_approx_ops) * fp_exec * fp_bp,
+    );
+    let instructions = baseline_instructions - saved_instructions;
+
+    let (sram, baseline_sram) =
+        scaled_storage_quanta(stats.sram_precise_quanta, stats.sram_approx_quanta, sram_bp);
+    let (dram, baseline_dram) =
+        scaled_storage_quanta(stats.dram_precise_quanta, stats.dram_approx_quanta, dram_bp);
+
+    EnergyQuantaBreakdown {
+        instructions,
+        baseline_instructions,
+        sram,
+        baseline_sram,
+        dram,
+        baseline_dram,
+        total: instructions + sram + dram,
+        baseline_total: baseline_instructions + baseline_sram + baseline_dram,
+    }
+}
+
+/// Exact (scaled, baseline) energy of a storage pool where the approximate
+/// share saves `saved_bp` basis points of its power.
+fn scaled_storage_quanta(
+    precise: EnergyQuanta,
+    approx: EnergyQuanta,
+    saved_bp: u128,
+) -> (EnergyQuanta, EnergyQuanta) {
+    let baseline = EnergyQuanta::new((precise.get() + approx.get()) * SAVINGS_SCALE);
+    let scaled = EnergyQuanta::new(
+        precise.get() * SAVINGS_SCALE + approx.get() * (SAVINGS_SCALE - saved_bp),
+    );
+    (scaled, baseline)
 }
 
 /// Computes the normalized energy of a run described by `stats` when executed
@@ -87,6 +249,9 @@ pub fn normalized_energy(stats: &Stats, params: &ApproxParams) -> EnergyBreakdow
 /// Like [`normalized_energy`] but with an explicit DRAM share of system
 /// power, e.g. [`DRAM_MOBILE_FRACTION`] for the smartphone setting.
 ///
+/// This is a thin wrapper: the exact quanta are computed first and the
+/// normalized figures are projected from them at the end.
+///
 /// # Panics
 ///
 /// Panics if `dram_fraction` is not in `[0, 1]`.
@@ -95,47 +260,7 @@ pub fn normalized_energy_with_split(
     params: &ApproxParams,
     dram_fraction: f64,
 ) -> EnergyBreakdown {
-    assert!((0.0..=1.0).contains(&dram_fraction), "dram_fraction {dram_fraction} out of range");
-    let cpu_fraction = 1.0 - dram_fraction;
-
-    // Instruction execution: scale the non-fetch/decode component of
-    // approximate instructions by the per-strategy savings.
-    let int_exec = INT_OP_UNITS - FETCH_DECODE_UNITS;
-    let fp_exec = FP_OP_UNITS - FETCH_DECODE_UNITS;
-    let baseline_instr = (stats.int_precise_ops + stats.int_approx_ops) as f64 * INT_OP_UNITS
-        + (stats.fp_precise_ops + stats.fp_approx_ops) as f64 * FP_OP_UNITS;
-    let saved_instr = stats.int_approx_ops as f64 * int_exec * params.alu_energy_saved
-        + stats.fp_approx_ops as f64 * fp_exec * params.fp_energy_saved;
-    let instructions =
-        if baseline_instr == 0.0 { 1.0 } else { (baseline_instr - saved_instr) / baseline_instr };
-
-    // SRAM: approximate byte-seconds run at reduced supply power.
-    let sram = scaled_storage(
-        stats.sram_precise_byte_seconds,
-        stats.sram_approx_byte_seconds,
-        params.sram_power_saved,
-    );
-
-    // DRAM: approximate byte-seconds run at reduced refresh power.
-    let dram = scaled_storage(
-        stats.dram_precise_byte_seconds,
-        stats.dram_approx_byte_seconds,
-        params.dram_power_saved,
-    );
-
-    let cpu = LOGIC_CPU_FRACTION * instructions + SRAM_CPU_FRACTION * sram;
-    let total = cpu_fraction * cpu + dram_fraction * dram;
-    EnergyBreakdown { instructions, sram, dram, total }
-}
-
-/// Relative energy of a storage pool where the approximate share `a` (in
-/// byte-seconds, against precise share `p`) saves fraction `saved`.
-fn scaled_storage(p: f64, a: f64, saved: f64) -> f64 {
-    if p + a == 0.0 {
-        1.0
-    } else {
-        (p + a * (1.0 - saved)) / (p + a)
-    }
+    energy_quanta(stats, params).normalized_with_split(dram_fraction)
 }
 
 #[cfg(test)]
@@ -174,9 +299,22 @@ mod tests {
     }
 
     #[test]
+    fn precise_run_quanta_equal_baseline_exactly() {
+        let q = energy_quanta(&fully_precise_stats(), &ApproxParams::AGGRESSIVE);
+        assert_eq!(q.instructions, q.baseline_instructions);
+        assert_eq!(q.sram, q.baseline_sram);
+        assert_eq!(q.dram, q.baseline_dram);
+        assert_eq!(q.total, q.baseline_total);
+    }
+
+    #[test]
     fn empty_run_has_unit_energy() {
         let e = normalized_energy(&Stats::new(), &ApproxParams::MEDIUM);
         assert!((e.total - 1.0).abs() < 1e-12);
+        assert_eq!(
+            energy_quanta(&Stats::new(), &ApproxParams::MEDIUM),
+            EnergyQuantaBreakdown::ZERO
+        );
     }
 
     #[test]
@@ -205,7 +343,8 @@ mod tests {
 
     #[test]
     fn fetch_decode_floor_limits_instruction_savings() {
-        // Even with 100% execution savings, 22/37 of integer energy remains.
+        // Even with 100% execution savings, 22/37 of integer energy remains
+        // — and on quanta the floor is exact: 22/37 of the baseline.
         let mut s = Stats::new();
         for _ in 0..100 {
             s.record_op(OpKind::Int, true);
@@ -214,6 +353,9 @@ mod tests {
         params.alu_energy_saved = 1.0;
         let e = normalized_energy(&s, &params);
         assert!((e.instructions - FETCH_DECODE_UNITS / INT_OP_UNITS).abs() < 1e-12);
+        let q = energy_quanta(&s, &params);
+        assert_eq!(q.instructions, EnergyQuanta::new(100 * 22 * SAVINGS_SCALE));
+        assert_eq!(q.baseline_instructions, EnergyQuanta::new(100 * 37 * SAVINGS_SCALE));
     }
 
     #[test]
@@ -249,6 +391,38 @@ mod tests {
     fn component_fractions_sum_to_one() {
         assert!((SRAM_CPU_FRACTION + LOGIC_CPU_FRACTION - 1.0).abs() < 1e-12);
         assert!((CPU_SYSTEM_FRACTION + DRAM_SYSTEM_FRACTION - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn integer_unit_constants_match_their_float_twins() {
+        assert_eq!(INT_OP_UNITS_Q as f64, INT_OP_UNITS);
+        assert_eq!(FP_OP_UNITS_Q as f64, FP_OP_UNITS);
+        assert_eq!(FETCH_DECODE_UNITS_Q as f64, FETCH_DECODE_UNITS);
+    }
+
+    #[test]
+    fn quanta_merge_matches_merged_stats() {
+        // Computing energy from merged stats equals merging per-part
+        // energy: both are pure integer sums, so the identity is exact.
+        let a = fully_approx_stats();
+        let b = fully_precise_stats();
+        let p = ApproxParams::MEDIUM;
+        let mut merged_stats = a;
+        merged_stats.merge(&b);
+        let mut merged_energy = energy_quanta(&a, &p);
+        merged_energy.merge(&energy_quanta(&b, &p));
+        assert_eq!(energy_quanta(&merged_stats, &p), merged_energy);
+    }
+
+    #[test]
+    fn empty_storage_pool_projects_to_unit_energy() {
+        // Exact zero guard: an untouched pool is baseline (1.0), not NaN.
+        let mut s = Stats::new();
+        s.record_op(OpKind::Int, true);
+        let e = normalized_energy(&s, &ApproxParams::AGGRESSIVE);
+        assert_eq!(e.sram, 1.0);
+        assert_eq!(e.dram, 1.0);
+        assert!(e.instructions < 1.0);
     }
 
     #[test]

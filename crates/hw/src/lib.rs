@@ -49,6 +49,7 @@ pub mod energy;
 pub mod fault;
 pub mod fpu;
 pub mod layout;
+pub mod quanta;
 pub mod sram;
 pub mod stats;
 pub mod telemetry;
@@ -56,6 +57,7 @@ pub mod trace;
 
 pub use config::{ApproxParams, ErrorMode, HwConfig, Level, StrategyMask};
 pub use dram::DramArray;
+pub use quanta::EnergyQuanta;
 pub use stats::{MemKind, OpKind, Stats};
 pub use telemetry::FaultCounters;
 
@@ -73,9 +75,6 @@ use trace::{FaultEvent, FaultKind, TraceBuffer};
 #[derive(Debug, Clone, Copy)]
 struct HotConfig {
     seconds_per_op: f64,
-    /// Byte-seconds contributed by one bit-access quantum of SRAM
-    /// residency: `seconds_per_op / 8`.
-    sram_byte_quantum: f64,
     /// Effective DRAM decay rate: zero when the strategy is masked off.
     dram_rate: f64,
     error_mode: ErrorMode,
@@ -91,7 +90,6 @@ impl HotConfig {
     fn new(cfg: &HwConfig) -> Self {
         HotConfig {
             seconds_per_op: cfg.seconds_per_op,
-            sram_byte_quantum: cfg.seconds_per_op / 8.0,
             dram_rate: if cfg.mask.dram { cfg.params.dram_flip_per_second } else { 0.0 },
             error_mode: cfg.error_mode,
             f32_trunc_mask: if cfg.mask.fp_width {
@@ -286,14 +284,14 @@ impl Hardware {
 
     /// Accumulated statistics so far.
     ///
-    /// Returned by value: the hot path accumulates SRAM residency as
-    /// integer bit-quanta, and this fold converts them to byte-seconds
-    /// lazily at read time.
+    /// Returned by value: the hot path accumulates SRAM residency as a pair
+    /// of plain `u64` bit counters, and this fold widens them into the
+    /// `u128` quanta pools lazily at read time — a pure integer fold, so
+    /// reading statistics is exact and side-effect-free.
     pub fn stats(&self) -> Stats {
         let mut s = self.stats;
-        s.sram_precise_byte_seconds +=
-            self.pending_sram_bits[0] as f64 * self.hot.sram_byte_quantum;
-        s.sram_approx_byte_seconds += self.pending_sram_bits[1] as f64 * self.hot.sram_byte_quantum;
+        s.sram_precise_quanta += EnergyQuanta::new(u128::from(self.pending_sram_bits[0]));
+        s.sram_approx_quanta += EnergyQuanta::new(u128::from(self.pending_sram_bits[1]));
         s
     }
 
@@ -305,11 +303,10 @@ impl Hardware {
         &mut self.stats
     }
 
-    /// Folds the pending SRAM bit-quanta into the f64 byte-second fields.
+    /// Folds the pending SRAM bit counters into the integer quanta pools.
     fn flush_pending_storage(&mut self) {
-        let q = self.hot.sram_byte_quantum;
-        self.stats.sram_precise_byte_seconds += self.pending_sram_bits[0] as f64 * q;
-        self.stats.sram_approx_byte_seconds += self.pending_sram_bits[1] as f64 * q;
+        self.stats.sram_precise_quanta += EnergyQuanta::new(u128::from(self.pending_sram_bits[0]));
+        self.stats.sram_approx_quanta += EnergyQuanta::new(u128::from(self.pending_sram_bits[1]));
         self.pending_sram_bits = [0; 2];
     }
 

@@ -2,12 +2,22 @@
 //!
 //! The paper's simulator "records memory-footprint and arithmetic-operation
 //! statistics while simultaneously injecting transient faults" (section 5.2).
-//! Storage is measured in **byte-seconds** — bytes held multiplied by the
-//! simulated time they were held — split by memory kind (SRAM for stack and
-//! register data, DRAM for heap data) and by precision. Operations are dynamic
-//! counts split by unit (integer vs floating point) and precision.
+//! Storage residency is accounted in exact integer **quanta** — bit·op-ticks:
+//! bits held multiplied by the op-ticks they were held (see
+//! [`crate::quanta`]) — split by memory kind (SRAM for stack and register
+//! data, DRAM for heap data) and by precision. Operations are dynamic counts
+//! split by unit (integer vs floating point) and precision.
+//!
+//! Because every field is an integer, [`Stats::merge`] is associative and
+//! commutative: merging per-thread or per-trial statistics in any order
+//! yields bit-identical totals. The paper's byte-second figures are
+//! projections (`quanta × seconds_per_op / 8`) computed only at display
+//! time; the fractions that feed Figure 3 are scale-invariant ratios of
+//! quanta.
 
 use std::fmt;
+
+use crate::quanta::{ratio, EnergyQuanta};
 
 /// Memory kind, following the paper's stack-is-SRAM / heap-is-DRAM split.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -28,7 +38,10 @@ pub enum OpKind {
 }
 
 /// Aggregated counters for one simulation run.
-#[derive(Debug, Clone, Copy, Default, PartialEq)]
+///
+/// All fields are integers, so `Stats` is `Eq`/`Hash` and merging is exact:
+/// no accumulation order can perturb a total.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
 pub struct Stats {
     /// Approximate integer operations executed.
     pub int_approx_ops: u64,
@@ -38,14 +51,14 @@ pub struct Stats {
     pub fp_approx_ops: u64,
     /// Precise floating-point operations executed.
     pub fp_precise_ops: u64,
-    /// Byte-seconds of approximate SRAM storage.
-    pub sram_approx_byte_seconds: f64,
-    /// Byte-seconds of precise SRAM storage.
-    pub sram_precise_byte_seconds: f64,
-    /// Byte-seconds of approximate DRAM storage.
-    pub dram_approx_byte_seconds: f64,
-    /// Byte-seconds of precise DRAM storage.
-    pub dram_precise_byte_seconds: f64,
+    /// Storage quanta (bit·op-ticks) of approximate SRAM residency.
+    pub sram_approx_quanta: EnergyQuanta,
+    /// Storage quanta (bit·op-ticks) of precise SRAM residency.
+    pub sram_precise_quanta: EnergyQuanta,
+    /// Storage quanta (bit·op-ticks) of approximate DRAM residency.
+    pub dram_approx_quanta: EnergyQuanta,
+    /// Storage quanta (bit·op-ticks) of precise DRAM residency.
+    pub dram_precise_quanta: EnergyQuanta,
     /// Count of faults actually injected, by any strategy.
     pub faults_injected: u64,
 }
@@ -66,16 +79,42 @@ impl Stats {
         }
     }
 
-    /// Records `bytes` of storage held for `seconds` simulated seconds.
-    pub fn record_storage(&mut self, kind: MemKind, approx: bool, bytes: f64, seconds: f64) {
-        debug_assert!(bytes >= 0.0 && seconds >= 0.0);
-        let bs = bytes * seconds;
+    /// Records exact storage residency quanta (bit·op-ticks). This is the
+    /// accounting path the hardware uses: by construction its inputs are
+    /// non-negative integers, so no range check is needed and no float ever
+    /// enters the total.
+    pub fn record_storage_quanta(&mut self, kind: MemKind, approx: bool, quanta: EnergyQuanta) {
         match (kind, approx) {
-            (MemKind::Sram, true) => self.sram_approx_byte_seconds += bs,
-            (MemKind::Sram, false) => self.sram_precise_byte_seconds += bs,
-            (MemKind::Dram, true) => self.dram_approx_byte_seconds += bs,
-            (MemKind::Dram, false) => self.dram_precise_byte_seconds += bs,
+            (MemKind::Sram, true) => self.sram_approx_quanta += quanta,
+            (MemKind::Sram, false) => self.sram_precise_quanta += quanta,
+            (MemKind::Dram, true) => self.dram_approx_quanta += quanta,
+            (MemKind::Dram, false) => self.dram_precise_quanta += quanta,
         }
+    }
+
+    /// Records `bytes` of storage held for `seconds` simulated seconds.
+    ///
+    /// Legacy float shim for callers that measure in byte-seconds (the
+    /// in-binary baseline replica in `hwbench`, hand-built test fixtures):
+    /// the product is converted to bit·op-tick quanta at the default time
+    /// scale ([`crate::config::HwConfig::DEFAULT_SECONDS_PER_OP`]), rounding to
+    /// nearest. The simulator itself charges quanta directly via
+    /// [`Stats::record_storage_quanta`] and never pays this conversion.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either argument is negative or NaN. (This was a
+    /// `debug_assert!` once; in release builds a negative argument would
+    /// have silently corrupted the totals.)
+    pub fn record_storage(&mut self, kind: MemKind, approx: bool, bytes: f64, seconds: f64) {
+        assert!(
+            bytes >= 0.0 && seconds >= 0.0,
+            "negative storage record: {bytes} bytes for {seconds} s"
+        );
+        let ticks = seconds / crate::config::HwConfig::DEFAULT_SECONDS_PER_OP;
+        // Saturating f64→u128 cast: in-range by the assert above.
+        let quanta = EnergyQuanta::new(((bytes * 8.0) * ticks).round() as u128);
+        self.record_storage_quanta(kind, approx, quanta);
     }
 
     /// Records one injected fault.
@@ -105,17 +144,28 @@ impl Stats {
         }
     }
 
-    /// Fraction of byte-seconds in `kind` memory that stored approximate data
-    /// (a Figure 3 bar). Returns 0 when the memory was unused.
+    /// Total storage quanta (approximate + precise) in `kind` memory.
+    pub fn storage_quanta(&self, kind: MemKind) -> EnergyQuanta {
+        match kind {
+            MemKind::Sram => self.sram_approx_quanta + self.sram_precise_quanta,
+            MemKind::Dram => self.dram_approx_quanta + self.dram_precise_quanta,
+        }
+    }
+
+    /// Fraction of storage quanta in `kind` memory that held approximate
+    /// data (a Figure 3 bar). Returns 0 when the memory was unused — the
+    /// zero test is exact on integer quanta, unlike the float guard it
+    /// replaces, which denormal sums could dodge.
     pub fn approx_storage_fraction(&self, kind: MemKind) -> f64 {
         let (a, p) = match kind {
-            MemKind::Sram => (self.sram_approx_byte_seconds, self.sram_precise_byte_seconds),
-            MemKind::Dram => (self.dram_approx_byte_seconds, self.dram_precise_byte_seconds),
+            MemKind::Sram => (self.sram_approx_quanta, self.sram_precise_quanta),
+            MemKind::Dram => (self.dram_approx_quanta, self.dram_precise_quanta),
         };
-        if a + p == 0.0 {
+        let total = a + p;
+        if total.is_zero() {
             0.0
         } else {
-            a / (a + p)
+            ratio(a, total)
         }
     }
 
@@ -131,16 +181,18 @@ impl Stats {
         }
     }
 
-    /// Merges another counter set into this one.
+    /// Merges another counter set into this one. Pure integer addition:
+    /// associative and commutative, so any merge tree over the same leaves
+    /// produces bit-identical totals.
     pub fn merge(&mut self, other: &Stats) {
         self.int_approx_ops += other.int_approx_ops;
         self.int_precise_ops += other.int_precise_ops;
         self.fp_approx_ops += other.fp_approx_ops;
         self.fp_precise_ops += other.fp_precise_ops;
-        self.sram_approx_byte_seconds += other.sram_approx_byte_seconds;
-        self.sram_precise_byte_seconds += other.sram_precise_byte_seconds;
-        self.dram_approx_byte_seconds += other.dram_approx_byte_seconds;
-        self.dram_precise_byte_seconds += other.dram_precise_byte_seconds;
+        self.sram_approx_quanta += other.sram_approx_quanta;
+        self.sram_precise_quanta += other.sram_precise_quanta;
+        self.dram_approx_quanta += other.dram_approx_quanta;
+        self.dram_precise_quanta += other.dram_precise_quanta;
         self.faults_injected += other.faults_injected;
     }
 }
@@ -158,11 +210,11 @@ impl fmt::Display for Stats {
         )?;
         write!(
             f,
-            "storage (byte-s): sram {:.3e}+{:.3e}a, dram {:.3e}+{:.3e}a",
-            self.sram_precise_byte_seconds,
-            self.sram_approx_byte_seconds,
-            self.dram_precise_byte_seconds,
-            self.dram_approx_byte_seconds
+            "storage (bit-ticks): sram {}+{}a, dram {}+{}a",
+            self.sram_precise_quanta,
+            self.sram_approx_quanta,
+            self.dram_precise_quanta,
+            self.dram_approx_quanta
         )
     }
 }
@@ -197,6 +249,17 @@ mod tests {
     }
 
     #[test]
+    fn empty_pool_fraction_is_exactly_zero_per_kind() {
+        // The zero guard is exact on quanta: an untouched pool reports 0.0
+        // even when the *other* memory kind carries residency.
+        let mut s = Stats::new();
+        s.record_storage_quanta(MemKind::Dram, true, EnergyQuanta::new(1));
+        assert_eq!(s.approx_storage_fraction(MemKind::Sram), 0.0);
+        assert_eq!(s.approx_storage_fraction(MemKind::Dram), 1.0);
+        assert_eq!(s.storage_quanta(MemKind::Sram), EnergyQuanta::ZERO);
+    }
+
+    #[test]
     fn storage_accounting() {
         let mut s = Stats::new();
         s.record_storage(MemKind::Dram, true, 100.0, 2.0);
@@ -207,17 +270,70 @@ mod tests {
     }
 
     #[test]
+    fn storage_quanta_accounting_is_exact() {
+        let mut s = Stats::new();
+        s.record_storage_quanta(MemKind::Sram, true, EnergyQuanta::from_bits_quanta(64, 1));
+        s.record_storage_quanta(MemKind::Sram, true, EnergyQuanta::from_bits_quanta(64, 1));
+        s.record_storage_quanta(MemKind::Sram, false, EnergyQuanta::from_bits_quanta(64, 1));
+        assert_eq!(s.sram_approx_quanta, EnergyQuanta::new(128));
+        assert_eq!(s.sram_precise_quanta, EnergyQuanta::new(64));
+        assert!((s.approx_storage_fraction(MemKind::Sram) - 2.0 / 3.0).abs() < 1e-15);
+    }
+
+    #[test]
+    #[should_panic(expected = "negative storage record")]
+    fn negative_bytes_are_rejected_in_release_builds_too() {
+        // Regression: this was a debug_assert!, so a release build would
+        // have silently corrupted the totals.
+        let mut s = Stats::new();
+        s.record_storage(MemKind::Dram, true, -1.0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "negative storage record")]
+    fn nan_seconds_are_rejected() {
+        let mut s = Stats::new();
+        s.record_storage(MemKind::Sram, false, 1.0, f64::NAN);
+    }
+
+    #[test]
     fn merge_sums_everything() {
         let mut a = Stats::new();
         a.record_op(OpKind::Int, true);
         a.record_fault();
         let mut b = Stats::new();
         b.record_op(OpKind::Int, true);
-        b.record_storage(MemKind::Sram, false, 4.0, 1.0);
+        b.record_storage_quanta(MemKind::Sram, false, EnergyQuanta::new(32));
         a.merge(&b);
         assert_eq!(a.int_approx_ops, 2);
         assert_eq!(a.faults_injected, 1);
-        assert_eq!(a.sram_precise_byte_seconds, 4.0);
+        assert_eq!(a.sram_precise_quanta, EnergyQuanta::new(32));
+    }
+
+    #[test]
+    fn merge_order_cannot_change_totals() {
+        // Associativity/commutativity in miniature; the proptest suites
+        // exercise this with shuffled orders at campaign scale.
+        let mut parts = Vec::new();
+        for i in 0..5u64 {
+            let mut s = Stats::new();
+            s.int_approx_ops = i;
+            s.record_storage_quanta(
+                MemKind::Dram,
+                true,
+                EnergyQuanta::from_bits_quanta(u64::MAX, i),
+            );
+            parts.push(s);
+        }
+        let mut forward = Stats::new();
+        for p in &parts {
+            forward.merge(p);
+        }
+        let mut backward = Stats::new();
+        for p in parts.iter().rev() {
+            backward.merge(p);
+        }
+        assert_eq!(forward, backward);
     }
 
     #[test]

@@ -162,6 +162,6 @@ fn stack_resident_apps_use_no_approximate_dram() {
     for name in ["MonteCarlo", "jMonkeyEngine"] {
         let app = apps.iter().find(|a| a.meta.name == name).expect("registered");
         let s = harness::reference(app).stats;
-        assert_eq!(s.dram_approx_byte_seconds, 0.0, "{name} should keep data on the stack");
+        assert!(s.dram_approx_quanta.is_zero(), "{name} should keep data on the stack");
     }
 }
