@@ -9,7 +9,8 @@
 use crate::meta::AppMeta;
 use crate::qos::{Output, QosMetric};
 use crate::workload;
-use enerj_core::{endorse, Approx, ApproxVec, Precise};
+use enerj_core::batch::{scalar, zip, BatchOp};
+use enerj_core::{endorse, Approx, ApproxBuf, ApproxVec, Precise};
 
 /// This module's own source text, measured for Table 3.
 pub const SOURCE: &str = include_str!("lu.rs");
@@ -63,20 +64,23 @@ fn factorize(a: &mut ApproxVec<f64>) {
                 a.set(pivot_row * N + c, tmp);
             }
         }
-        // Eliminate below the pivot; address arithmetic is precise
-        // integer work and counted.
+        // Eliminate below the pivot. The trailing-row update is one
+        // batched axpy per row: `row[c] -= factor * pivot_row[c]`, with
+        // the same per-element operations as the scalar loop. The factor
+        // address arithmetic stays precise integer work and is counted.
         let pivot = a.get(k * N + k);
+        let width = N - 1 - k;
         for r in k + 1..N {
             let row = Precise::new(r as i64) * N as i64;
             let factor = a.get((row + k as i64).get() as usize) / pivot;
             a.set((row + k as i64).get() as usize, factor);
-            for c in k + 1..N {
-                let idx = (row + c as i64).get() as usize;
-                let cur = a.get(idx);
-                let scaled =
-                    factor * a.get((Precise::new((k * N) as i64) + c as i64).get() as usize);
-                a.set(idx, cur - scaled);
+            if width == 0 {
+                continue;
             }
+            let rrow = ApproxBuf::load(a, r * N + k + 1, width);
+            let krow = ApproxBuf::load(a, k * N + k + 1, width);
+            let scaled = scalar(BatchOp::Mul, &krow, factor);
+            zip(BatchOp::Sub, &rrow, &scaled).store(a, r * N + k + 1);
         }
     }
 }

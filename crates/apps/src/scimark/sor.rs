@@ -7,7 +7,8 @@
 use crate::meta::AppMeta;
 use crate::qos::{Output, QosMetric};
 use crate::workload;
-use enerj_core::{Approx, ApproxVec, Precise};
+use enerj_core::batch::{zip, BatchOp};
+use enerj_core::{Approx, ApproxBuf, ApproxVec};
 
 /// This module's own source text, measured for Table 3.
 pub const SOURCE: &str = include_str!("sor.rs");
@@ -45,23 +46,31 @@ pub fn check(output: &Output) -> Result<(), String> {
 
 /// Gauss–Seidel-style in-place sweeps with the standard SciMark update:
 /// `g[i][j] = ω/4 (up + down + left + right) + (1-ω) g[i][j]`.
+///
+/// The vertical neighbour sum and the row loads/stores run on the batched
+/// whole-slice API; the west-to-east combine stays scalar because each
+/// cell reads its freshly updated left neighbour. The per-element addition
+/// order — `((up + down) + left) + right` — is exactly the scalar loop's.
 fn relax(grid: &mut ApproxVec<f64>, sweeps: usize) {
-    let om4 = OMEGA * 0.25;
-    let keep = 1.0 - OMEGA;
+    let om4 = Approx::new(OMEGA * 0.25);
+    let keep = Approx::new(1.0 - OMEGA);
     for _ in 0..sweeps {
         for r in 1..N - 1 {
+            let up = ApproxBuf::load(grid, (r - 1) * N + 1, N - 2);
+            let down = ApproxBuf::load(grid, (r + 1) * N + 1, N - 2);
+            let vert = zip(BatchOp::Add, &up, &down);
+            // The whole old row, boundaries included: `left` at column 1
+            // and `right`/`center` everywhere come from here.
+            let row_old = ApproxBuf::load(grid, r * N, N);
+            let mut new_row = Vec::with_capacity(N - 2);
+            let mut left = row_old.get(0);
             for c in 1..N - 1 {
-                // Address arithmetic is precise integer work and counted.
-                let idx = Precise::new(r as i64) * N as i64 + c as i64;
-                let i = idx.get() as usize;
-                let up = grid.get((idx - N as i64).get() as usize);
-                let down = grid.get((idx + N as i64).get() as usize);
-                let left = grid.get((idx - 1).get() as usize);
-                let right = grid.get((idx + 1).get() as usize);
-                let center = grid.get(i);
-                let neighbours: Approx<f64> = up + down + left + right;
-                grid.set(i, neighbours * om4 + center * keep);
+                let neighbours = vert.get(c - 1) + left + row_old.get(c + 1);
+                let val = neighbours * om4 + row_old.get(c) * keep;
+                new_row.push(val);
+                left = val;
             }
+            ApproxBuf::from_fn(N - 2, |k| new_row[k]).store(grid, r * N + 1);
         }
     }
 }

@@ -84,6 +84,42 @@ fn parallel_campaign_is_bit_identical_to_the_serial_loop() {
     }
 }
 
+/// The SciMark kernels now run their inner loops on the batched
+/// whole-slice API (see DESIGN.md "Batched kernels"); a campaign over them
+/// must stay a deterministic function of `(config, seed, program)` — the
+/// same trial-by-trial bits at every thread count and with fault telemetry
+/// on or off, energy quanta included.
+#[test]
+fn batched_app_campaigns_are_bit_identical_across_threads_and_telemetry() {
+    use enerj_apps::trials::{run_campaign_with, CampaignOptions};
+    let mut specs = Vec::new();
+    for name in ["FFT", "SOR", "LU"] {
+        specs.extend(level_specs(&app(name), &[Level::Mild, Level::Aggressive], 2));
+    }
+    let baseline = run_campaign(&specs, 1);
+    for threads in [1, 2, 4, 8] {
+        for log_events in [false, true] {
+            let report = run_campaign_with(
+                &specs,
+                &CampaignOptions { threads, log_events, progress: false },
+            );
+            assert_eq!(report.trials.len(), baseline.trials.len());
+            for (t, b) in report.trials.iter().zip(&baseline.trials) {
+                let what = format!(
+                    "{}/{} trial {} at {threads} threads, telemetry {log_events}",
+                    t.app, t.label, t.index
+                );
+                assert_eq!(t.error.to_bits(), b.error.to_bits(), "{what}: error");
+                assert_eq!(t.stats, b.stats, "{what}: stats");
+                assert_eq!(t.energy_quanta, b.energy_quanta, "{what}: quanta");
+                assert_eq!(t.fault_counts, b.fault_counts, "{what}: fault counts");
+            }
+            assert_eq!(report.merged_stats, baseline.merged_stats);
+            assert_eq!(report.energy_quanta_totals(), baseline.energy_quanta_totals());
+        }
+    }
+}
+
 #[test]
 fn level_campaign_matches_per_level_serial_means() {
     let apps = [app("SOR"), app("MonteCarlo")];

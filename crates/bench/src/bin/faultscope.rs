@@ -160,10 +160,10 @@ fn from_report(text: &str, label: Option<&str>) -> Result<Breakdown, String> {
         let entry = breakdown.entry(app.to_owned()).or_default();
         for (i, kind) in FaultKind::ALL.iter().enumerate() {
             if let Some(kc) = counts.get(&kind.to_string()) {
-                let inj = kc.get("injections").and_then(Json::as_f64).unwrap_or(0.0);
-                let b = kc.get("bits_flipped").and_then(Json::as_f64).unwrap_or(0.0);
-                entry[i].0 += inj as u64;
-                entry[i].1 += b as u64;
+                let inj = kc.get("injections").and_then(Json::as_u128).unwrap_or(0);
+                let b = kc.get("bits_flipped").and_then(Json::as_u128).unwrap_or(0);
+                entry[i].0 += u64::try_from(inj).unwrap_or(u64::MAX);
+                entry[i].1 += u64::try_from(b).unwrap_or(u64::MAX);
             }
         }
     }
@@ -173,6 +173,85 @@ fn from_report(text: &str, label: Option<&str>) -> Result<Breakdown, String> {
 /// The stable failure-cause categories `enerj-campaign/3`+ reports use as
 /// `failure_causes` prefixes (see `enerj_apps::recovery::FailureCause`).
 const CAUSE_CATEGORIES: [&str; 4] = ["panic", "op-budget", "check", "qos"];
+
+/// Per app × label: `[trials, recovered, degraded, per-category counts...]`.
+type CauseRows = BTreeMap<(String, String), [u64; 3 + CAUSE_CATEGORIES.len()]>;
+
+/// Accumulates the recovery view from a parsed `/3`+ report.
+///
+/// Outcomes come from the authoritative recorded fields, not inference:
+/// `recovered_at_level` marks a trial recovered, and a trial is *degraded*
+/// exactly when it failed (non-empty `failure_causes`) and no rung's
+/// output was accepted (`recovered_at_level` null). The attempt ledger is
+/// cross-checked — every failed attempt records one cause, so a recovered
+/// trial must carry `attempts - 1` causes and a degraded one exactly
+/// `attempts` — and any mismatch is a validation error rather than a
+/// silently misclassified row. Overhead quanta are summed as exact
+/// integers ([`Json::as_u128`]), never through f64.
+fn causes_rows(
+    report: &Json,
+    label: Option<&str>,
+) -> Result<(CauseRows, BTreeMap<(String, String), u128>), String> {
+    let trials = report.get("trials").and_then(Json::as_array).ok_or("report: missing `trials`")?;
+    let mut rows = CauseRows::new();
+    // (app, label) -> summed retry overhead quanta (absent in /3 reports).
+    let mut overhead_quanta: BTreeMap<(String, String), u128> = BTreeMap::new();
+    for (i, trial) in trials.iter().enumerate() {
+        let app = trial.get("app").and_then(Json::as_str).ok_or("trial: missing `app`")?;
+        let trial_label =
+            trial.get("label").and_then(Json::as_str).ok_or("trial: missing `label`")?;
+        if let Some(want) = label {
+            if trial_label != want {
+                continue;
+            }
+        }
+        let causes = trial
+            .get("failure_causes")
+            .and_then(Json::as_array)
+            .ok_or("trial: missing `failure_causes`")?;
+        let attempts = trial
+            .get("attempts")
+            .and_then(Json::as_u128)
+            .ok_or_else(|| format!("trial {i}: `attempts` must be a non-negative integer"))?;
+        let recovered = trial.get("recovered_at_level").and_then(Json::as_str).is_some();
+        let degraded = !recovered && !causes.is_empty();
+        // Each failed attempt records exactly one cause: recovered trials
+        // spent their last attempt on the accepted output, degraded ones
+        // failed every attempt.
+        let expect = causes.len() as u128 + u128::from(recovered);
+        if (recovered || degraded) && expect != attempts {
+            return Err(format!(
+                "trial {i} ({app}/{trial_label}): {} failure causes and \
+                 recovered_at_level {} are inconsistent with {attempts} attempts",
+                causes.len(),
+                if recovered { "set" } else { "null" },
+            ));
+        }
+        let entry = rows.entry((app.to_owned(), trial_label.to_owned())).or_default();
+        entry[0] += 1;
+        entry[1] += u64::from(recovered);
+        entry[2] += u64::from(degraded);
+        for cause in causes {
+            let cause = cause.as_str().unwrap_or("");
+            for (j, cat) in CAUSE_CATEGORIES.iter().enumerate() {
+                if cause.starts_with(&format!("{cat}:")) {
+                    entry[3 + j] += 1;
+                }
+            }
+        }
+        let q = match trial.get("recovery_energy_overhead_quanta") {
+            None => 0, // `/3` reports predate the exact-quanta ledger.
+            Some(v) => v.as_u128().ok_or_else(|| {
+                format!(
+                    "trial {i}: `recovery_energy_overhead_quanta` must be a \
+                     non-negative integer ({v:?})"
+                )
+            })?,
+        };
+        *overhead_quanta.entry((app.to_owned(), trial_label.to_owned())).or_default() += q;
+    }
+    Ok((rows, overhead_quanta))
+}
 
 /// Prints the recovery view: per app × label, the trial count, recovery
 /// outcomes, the failure-cause mix, and the exact retry energy overhead
@@ -186,45 +265,7 @@ fn print_causes(text: &str, label: Option<&str>) -> Result<(), String> {
              binary to produce an enerj-campaign/4 report"
         ));
     }
-    let trials = report.get("trials").and_then(Json::as_array).ok_or("report: missing `trials`")?;
-    // (app, label) -> [trials, recovered, degraded, per-category counts...].
-    let mut rows: BTreeMap<(String, String), [u64; 3 + CAUSE_CATEGORIES.len()]> = BTreeMap::new();
-    // (app, label) -> summed retry overhead quanta (absent in /3 reports).
-    let mut overhead_quanta: BTreeMap<(String, String), u128> = BTreeMap::new();
-    for trial in trials {
-        let app = trial.get("app").and_then(Json::as_str).ok_or("trial: missing `app`")?;
-        let trial_label =
-            trial.get("label").and_then(Json::as_str).ok_or("trial: missing `label`")?;
-        if let Some(want) = label {
-            if trial_label != want {
-                continue;
-            }
-        }
-        let entry = rows.entry((app.to_owned(), trial_label.to_owned())).or_default();
-        entry[0] += 1;
-        if trial.get("recovered_at_level").and_then(Json::as_str).is_some() {
-            entry[1] += 1;
-        }
-        let causes = trial
-            .get("failure_causes")
-            .and_then(Json::as_array)
-            .ok_or("trial: missing `failure_causes`")?;
-        // Unrecovered: final attempt also failed (causes cover every attempt).
-        let attempts = trial.get("attempts").and_then(Json::as_f64).unwrap_or(1.0);
-        if !causes.is_empty() && causes.len() as f64 >= attempts {
-            entry[2] += 1;
-        }
-        for cause in causes {
-            let cause = cause.as_str().unwrap_or("");
-            for (i, cat) in CAUSE_CATEGORIES.iter().enumerate() {
-                if cause.starts_with(&format!("{cat}:")) {
-                    entry[3 + i] += 1;
-                }
-            }
-        }
-        let q = trial.get("recovery_energy_overhead_quanta").and_then(Json::as_f64).unwrap_or(0.0);
-        *overhead_quanta.entry((app.to_owned(), trial_label.to_owned())).or_default() += q as u128;
-    }
+    let (rows, overhead_quanta) = causes_rows(&report, label)?;
     if rows.is_empty() {
         println!(
             "no trials{}",
@@ -256,6 +297,85 @@ fn print_causes(text: &str, label: Option<&str>) -> Result<(), String> {
     Ok(())
 }
 
+#[cfg(test)]
+mod tests {
+    use super::{causes_rows, Json};
+
+    /// A minimal `/4` trial list exercising every recovery outcome: a
+    /// clean first-try pass, a trial recovered at a rung, and a degraded
+    /// trial whose final attempt also failed.
+    fn golden_report() -> Json {
+        Json::parse(
+            r#"{"schema":"enerj-campaign/4","trials":[
+              {"app":"FFT","label":"Mild","attempts":1,"recovered_at_level":null,
+               "failure_causes":[],"recovery_energy_overhead_quanta":0},
+              {"app":"FFT","label":"Mild","attempts":2,"recovered_at_level":"Precise",
+               "failure_causes":["qos: error 0.5 > threshold 0.1"],
+               "recovery_energy_overhead_quanta":9007199254740993},
+              {"app":"FFT","label":"Mild","attempts":2,"recovered_at_level":null,
+               "failure_causes":["panic: index out of bounds","check: non-finite"],
+               "recovery_energy_overhead_quanta":1}
+            ]}"#,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn outcomes_come_from_recorded_fields_not_cause_counts() {
+        let (rows, overhead) = causes_rows(&golden_report(), None).unwrap();
+        let key = ("FFT".to_owned(), "Mild".to_owned());
+        let counts = rows[&key];
+        assert_eq!(counts[0], 3, "trials");
+        assert_eq!(counts[1], 1, "recovered: only the trial with recovered_at_level set");
+        assert_eq!(counts[2], 1, "degraded: failed causes with recovered_at_level null");
+        // Category mix: one panic, one check, one qos.
+        assert_eq!(&counts[3..], &[1, 0, 1, 1]);
+        // Overhead sums exactly, beyond f64 precision (2^53 + 1 survives).
+        assert_eq!(overhead[&key], 9_007_199_254_740_993 + 1);
+    }
+
+    #[test]
+    fn inconsistent_attempt_ledger_is_a_validation_error() {
+        // A recovered trial must carry attempts - 1 causes; two causes in
+        // two attempts means the final attempt failed, which contradicts
+        // recovered_at_level being set.
+        let bad = Json::parse(
+            r#"{"schema":"enerj-campaign/4","trials":[
+              {"app":"FFT","label":"Mild","attempts":2,"recovered_at_level":"Precise",
+               "failure_causes":["qos: a","qos: b"],
+               "recovery_energy_overhead_quanta":0}
+            ]}"#,
+        )
+        .unwrap();
+        let err = causes_rows(&bad, None).unwrap_err();
+        assert!(err.contains("inconsistent with 2 attempts"), "{err}");
+        // The converse: a degraded trial (no recovery) claiming more
+        // attempts than it has causes lost an attempt's record somewhere.
+        let bad = Json::parse(
+            r#"{"schema":"enerj-campaign/4","trials":[
+              {"app":"FFT","label":"Mild","attempts":3,"recovered_at_level":null,
+               "failure_causes":["qos: a","qos: b"],
+               "recovery_energy_overhead_quanta":0}
+            ]}"#,
+        )
+        .unwrap();
+        assert!(causes_rows(&bad, None).unwrap_err().contains("inconsistent"));
+    }
+
+    #[test]
+    fn fractional_overhead_quanta_are_rejected() {
+        let bad = Json::parse(
+            r#"{"schema":"enerj-campaign/4","trials":[
+              {"app":"FFT","label":"Mild","attempts":1,"recovered_at_level":null,
+               "failure_causes":[],"recovery_energy_overhead_quanta":1.5}
+            ]}"#,
+        )
+        .unwrap();
+        let err = causes_rows(&bad, None).unwrap_err();
+        assert!(err.contains("non-negative integer"), "{err}");
+    }
+}
+
 fn from_ndjson(text: &str, label: Option<&str>) -> Result<Breakdown, String> {
     let mut breakdown = Breakdown::new();
     for (lineno, line) in text.lines().enumerate() {
@@ -278,10 +398,10 @@ fn from_ndjson(text: &str, label: Option<&str>) -> Result<Breakdown, String> {
             .ok_or_else(|| format!("line {}: missing `unit`", lineno + 1))?;
         let kind = FaultKind::from_name(unit)
             .ok_or_else(|| format!("line {}: unknown unit `{unit}`", lineno + 1))?;
-        let b = event.get("bits_flipped").and_then(Json::as_f64).unwrap_or(0.0);
+        let b = event.get("bits_flipped").and_then(Json::as_u128).unwrap_or(0);
         let entry = breakdown.entry(app.to_owned()).or_default();
         entry[kind.index()].0 += 1;
-        entry[kind.index()].1 += b as u64;
+        entry[kind.index()].1 += u64::try_from(b).unwrap_or(u64::MAX);
     }
     Ok(breakdown)
 }

@@ -5,9 +5,11 @@
 //! faithful in-binary replica of the pre-amortization per-access hot path:
 //! one geometric-skip `flip_bits` draw (or `gen_bool`) plus f64
 //! byte-second accounting per access. Four microkernels (sram/dram/alu/fpu)
-//! run at each Table 2 level, plus a fig5-shaped macro loop over the real
+//! run at each Table 2 level, plus a second grid comparing the scalar
+//! amortized entry points against the whole-slice batched API (DESIGN.md
+//! "Batched kernels"), plus a fig5-shaped macro loop over the real
 //! applications; results land in `results/BENCH_hwperf.json` (schema
-//! `enerj-hwperf/1`).
+//! `enerj-hwperf/2`).
 //!
 //! ```text
 //! hwbench [--quick] [--json]
@@ -16,7 +18,9 @@
 //! `--quick` shrinks the op counts ~10x for the CI perf-smoke job; the
 //! committed capture uses the full counts. Wall-clock throughput depends on
 //! the host, so the JSON records both samplers from the *same* process and
-//! build — the speedup column is the meaningful number.
+//! build — the speedup column is the meaningful number. Throughput
+//! denominators are clamped away from zero so a fast `--quick` run can
+//! never serialize `inf`/`NaN` into the report.
 
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -184,6 +188,22 @@ impl KernelRow {
     }
 }
 
+/// One batched-API row: the same unit driven one op at a time versus
+/// through the whole-slice entry points, both on the amortized substrate.
+struct BatchedRow {
+    kernel: &'static str,
+    level: Level,
+    ops: u64,
+    scalar_ops_per_sec: f64,
+    batched_ops_per_sec: f64,
+}
+
+impl BatchedRow {
+    fn speedup(&self) -> f64 {
+        self.batched_ops_per_sec / self.scalar_ops_per_sec
+    }
+}
+
 /// One macro row: whole-application throughput on the current substrate.
 struct MacroRow {
     app: String,
@@ -194,6 +214,16 @@ struct MacroRow {
 
 const SEED: u64 = 0x4877_BE9C; // "hwbe(nch)"
 const DRAM_LEN: usize = 1024;
+/// Slice length for the batched microkernels: long enough to amortize the
+/// per-slice countdown resolution, short enough to stay cache-resident.
+const BATCH: usize = 4096;
+
+/// Ops/sec with the denominator clamped away from zero: a sub-nanosecond
+/// wall reading (possible under `--quick` on a fast host) must not
+/// serialize `inf` or `NaN` into the report.
+fn rate(ops: u64, wall: f64) -> f64 {
+    ops as f64 / wall.max(1e-9)
+}
 
 fn time<F: FnMut() -> u64>(mut f: F) -> (u64, f64) {
     let start = Instant::now();
@@ -232,8 +262,8 @@ fn sram_kernel(level: Level, accesses: u64) -> KernelRow {
         kernel: "sram",
         level,
         ops: accesses,
-        baseline_ops_per_sec: accesses as f64 / base_wall,
-        amortized_ops_per_sec: accesses as f64 / amort_wall,
+        baseline_ops_per_sec: rate(accesses, base_wall),
+        amortized_ops_per_sec: rate(accesses, amort_wall),
     }
 }
 
@@ -268,8 +298,8 @@ fn dram_kernel(level: Level, accesses: u64) -> KernelRow {
         kernel: "dram",
         level,
         ops: accesses,
-        baseline_ops_per_sec: accesses as f64 / base_wall,
-        amortized_ops_per_sec: accesses as f64 / amort_wall,
+        baseline_ops_per_sec: rate(accesses, base_wall),
+        amortized_ops_per_sec: rate(accesses, amort_wall),
     }
 }
 
@@ -297,8 +327,8 @@ fn alu_kernel(level: Level, ops: u64) -> KernelRow {
         kernel: "alu",
         level,
         ops,
-        baseline_ops_per_sec: ops as f64 / base_wall,
-        amortized_ops_per_sec: ops as f64 / amort_wall,
+        baseline_ops_per_sec: rate(ops, base_wall),
+        amortized_ops_per_sec: rate(ops, amort_wall),
     }
 }
 
@@ -331,8 +361,164 @@ fn fpu_kernel(level: Level, ops: u64) -> KernelRow {
         kernel: "fpu",
         level,
         ops,
-        baseline_ops_per_sec: ops as f64 / base_wall,
-        amortized_ops_per_sec: ops as f64 / amort_wall,
+        baseline_ops_per_sec: rate(ops, base_wall),
+        amortized_ops_per_sec: rate(ops, amort_wall),
+    }
+}
+
+/// Batched SRAM: whole-slice read/write passes versus the same accesses
+/// one word at a time, both on the amortized substrate.
+fn sram_batched(level: Level, accesses: u64) -> BatchedRow {
+    let cfg = HwConfig::for_level(level);
+    let rounds = accesses / (2 * BATCH as u64);
+    let ops = rounds * 2 * BATCH as u64;
+    let mut hw = Hardware::new(cfg, SEED);
+    let (_, scalar_wall) = time(|| {
+        let mut buf: Vec<u64> = (0..BATCH as u64).collect();
+        for _ in 0..rounds {
+            for x in &mut buf {
+                *x = hw.sram_read(*x, 32, true);
+            }
+            for x in &mut buf {
+                *x = hw.sram_write(x.wrapping_add(1), 32, true);
+            }
+        }
+        buf[0]
+    });
+    let mut hw = Hardware::new(cfg, SEED);
+    let (_, batched_wall) = time(|| {
+        let mut buf: Vec<u64> = (0..BATCH as u64).collect();
+        for _ in 0..rounds {
+            hw.sram_read_slice(&mut buf, 32, true);
+            for x in &mut buf {
+                *x = x.wrapping_add(1);
+            }
+            hw.sram_write_slice(&mut buf, 32, true);
+        }
+        buf[0]
+    });
+    BatchedRow {
+        kernel: "sram",
+        level,
+        ops,
+        scalar_ops_per_sec: rate(ops, scalar_wall),
+        batched_ops_per_sec: rate(ops, batched_wall),
+    }
+}
+
+/// Batched DRAM: whole-array slice reads versus per-element reads over the
+/// same decaying array.
+fn dram_batched(level: Level, accesses: u64) -> BatchedRow {
+    let cfg = HwConfig::for_level(level);
+    let rounds = accesses / DRAM_LEN as u64;
+    let ops = rounds * DRAM_LEN as u64;
+    let mut hw = Hardware::new(cfg, SEED);
+    let (_, scalar_wall) = time(|| {
+        let mut arr = DramArray::new(&mut hw, DRAM_LEN, 32, true);
+        let mut sink = 0u64;
+        for _ in 0..rounds {
+            for j in 0..DRAM_LEN {
+                sink = sink.wrapping_add(arr.read(&mut hw, j));
+            }
+        }
+        arr.retire(&mut hw);
+        sink
+    });
+    let mut hw = Hardware::new(cfg, SEED);
+    let (_, batched_wall) = time(|| {
+        let mut arr = DramArray::new(&mut hw, DRAM_LEN, 32, true);
+        let mut out = vec![0u64; DRAM_LEN];
+        let mut sink = 0u64;
+        for _ in 0..rounds {
+            arr.read_slice(&mut hw, 0, &mut out);
+            sink = sink.wrapping_add(out[0]);
+        }
+        arr.retire(&mut hw);
+        sink
+    });
+    BatchedRow {
+        kernel: "dram",
+        level,
+        ops,
+        scalar_ops_per_sec: rate(ops, scalar_wall),
+        batched_ops_per_sec: rate(ops, batched_wall),
+    }
+}
+
+/// Batched ALU: whole-slice 64-bit result phases versus one op at a time.
+fn alu_batched(level: Level, total_ops: u64) -> BatchedRow {
+    let cfg = HwConfig::for_level(level);
+    let rounds = total_ops / BATCH as u64;
+    let ops = rounds * BATCH as u64;
+    let mut hw = Hardware::new(cfg, SEED);
+    let (_, scalar_wall) = time(|| {
+        let mut buf: Vec<u64> = (0..BATCH as u64).collect();
+        for _ in 0..rounds {
+            for x in &mut buf {
+                *x = hw.approx_int_result(x.wrapping_mul(3).wrapping_add(1), 64);
+            }
+        }
+        buf[0]
+    });
+    let mut hw = Hardware::new(cfg, SEED);
+    let (_, batched_wall) = time(|| {
+        let mut buf: Vec<u64> = (0..BATCH as u64).collect();
+        for _ in 0..rounds {
+            for x in &mut buf {
+                *x = x.wrapping_mul(3).wrapping_add(1);
+            }
+            hw.approx_int_result_slice(&mut buf, 64);
+        }
+        buf[0]
+    });
+    assert_eq!(hw.stats().int_approx_ops, ops);
+    BatchedRow {
+        kernel: "alu",
+        level,
+        ops,
+        scalar_ops_per_sec: rate(ops, scalar_wall),
+        batched_ops_per_sec: rate(ops, batched_wall),
+    }
+}
+
+/// Batched FPU: whole-slice operand truncation plus `f64` result phases
+/// versus one op at a time. Unlike [`fpu_kernel`], no overflow guard:
+/// multiplying by `1 + 1e-7` for at most `rounds` passes keeps every value
+/// near 1.0 by construction, and a rare timing fault producing inf/NaN
+/// costs neither arm anything (non-finite arithmetic runs at full speed).
+fn fpu_batched(level: Level, total_ops: u64) -> BatchedRow {
+    let cfg = HwConfig::for_level(level);
+    let rounds = total_ops / BATCH as u64;
+    let ops = rounds * BATCH as u64;
+    let seed: Vec<f64> = (0..BATCH).map(|i| 1.000_1 + i as f64 * 1e-7).collect();
+    let mut hw = Hardware::new(cfg, SEED);
+    let (_, scalar_wall) = time(|| {
+        let mut buf = seed.clone();
+        for _ in 0..rounds {
+            for x in &mut buf {
+                *x = hw.approx_f64_result(hw.approx_f64_operand(*x) * 1.000_000_1);
+            }
+        }
+        buf[0].to_bits()
+    });
+    let mut hw = Hardware::new(cfg, SEED);
+    let (_, batched_wall) = time(|| {
+        let mut buf = seed.clone();
+        for _ in 0..rounds {
+            hw.approx_f64_operand_slice(&mut buf);
+            for x in &mut buf {
+                *x *= 1.000_000_1;
+            }
+            hw.approx_f64_result_slice(&mut buf);
+        }
+        buf[0].to_bits()
+    });
+    BatchedRow {
+        kernel: "fpu",
+        level,
+        ops,
+        scalar_ops_per_sec: rate(ops, scalar_wall),
+        batched_ops_per_sec: rate(ops, batched_wall),
     }
 }
 
@@ -353,16 +539,21 @@ fn macro_rows(quick: bool) -> Vec<MacroRow> {
                 app: app.meta.name.to_owned(),
                 level,
                 ops,
-                ops_per_sec: ops as f64 / wall,
+                ops_per_sec: rate(ops, wall),
             });
         }
     }
     rows
 }
 
-fn to_json(quick: bool, kernels: &[KernelRow], macros: &[MacroRow]) -> String {
+fn to_json(
+    quick: bool,
+    kernels: &[KernelRow],
+    batched: &[BatchedRow],
+    macros: &[MacroRow],
+) -> String {
     let mut out = String::from("{\n");
-    let _ = writeln!(out, "  \"schema\": \"enerj-hwperf/1\",");
+    let _ = writeln!(out, "  \"schema\": \"enerj-hwperf/2\",");
     let _ = writeln!(out, "  \"quick\": {quick},");
     out.push_str("  \"kernels\": [\n");
     for (i, r) in kernels.iter().enumerate() {
@@ -379,6 +570,22 @@ fn to_json(quick: bool, kernels: &[KernelRow], macros: &[MacroRow]) -> String {
             r.speedup()
         );
         out.push_str(if i + 1 < kernels.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ],\n  \"batched\": [\n");
+    for (i, r) in batched.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    {{\"kernel\": \"{}\", \"level\": \"{}\", \"ops\": {}, \
+             \"scalar_ops_per_sec\": {:.1}, \"batched_ops_per_sec\": {:.1}, \
+             \"speedup\": {:.3}}}",
+            r.kernel,
+            r.level,
+            r.ops,
+            r.scalar_ops_per_sec,
+            r.batched_ops_per_sec,
+            r.speedup()
+        );
+        out.push_str(if i + 1 < batched.len() { ",\n" } else { "\n" });
     }
     out.push_str("  ],\n  \"macro\": [\n");
     for (i, r) in macros.iter().enumerate() {
@@ -406,10 +613,18 @@ fn main() {
         kernels.push(alu_kernel(level, micro_ops));
         kernels.push(fpu_kernel(level, micro_ops));
     }
+    let mut batched = Vec::new();
+    for level in Level::ALL {
+        eprintln!("hwbench: {level} batched microkernels ({micro_ops} ops each)...");
+        batched.push(sram_batched(level, micro_ops));
+        batched.push(dram_batched(level, micro_ops));
+        batched.push(alu_batched(level, micro_ops));
+        batched.push(fpu_batched(level, micro_ops));
+    }
     eprintln!("hwbench: fig5-shaped macro loop...");
     let macros = macro_rows(quick);
 
-    let json = to_json(quick, &kernels, &macros);
+    let json = to_json(quick, &kernels, &batched, &macros);
     if opts.json {
         print!("{json}");
     } else {
@@ -427,6 +642,20 @@ fn main() {
             .collect();
         println!("Hardware-substrate throughput (ops/sec; before = per-access sampler)");
         println!("{}", render_table(&["kernel", "level", "before", "after", "speedup"], &rows));
+        let rows: Vec<Vec<String>> = batched
+            .iter()
+            .map(|r| {
+                vec![
+                    r.kernel.to_owned(),
+                    r.level.to_string(),
+                    format!("{:.2}M", r.scalar_ops_per_sec / 1e6),
+                    format!("{:.2}M", r.batched_ops_per_sec / 1e6),
+                    format!("{:.2}x", r.speedup()),
+                ]
+            })
+            .collect();
+        println!("Batched whole-slice API vs one-op-at-a-time (same substrate)");
+        println!("{}", render_table(&["kernel", "level", "scalar", "batched", "speedup"], &rows));
         let rows: Vec<Vec<String>> = macros
             .iter()
             .map(|r| {

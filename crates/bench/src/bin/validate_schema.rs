@@ -9,13 +9,14 @@
 //!
 //! Validates each `--report` against `enerj-campaign/4`, each `--fault-log`
 //! against the NDJSON fault-event schema, and each `--hwperf` against the
-//! `enerj-hwperf/1` throughput-report schema. `--quanta-compare` checks
-//! that two campaign reports carry *byte-identical* integer energy totals
-//! (`energy_quanta` and `recovery_energy_overhead_quanta`), comparing the
-//! raw JSON text so values above 2^53 cannot be blurred by f64 parsing —
-//! the CI quanta-smoke job runs the same campaign at two thread counts and
-//! requires the totals to match exactly. Exit code 0 when everything
-//! conforms, 1 on the first violation.
+//! `enerj-hwperf/2` throughput-report schema. `--quanta-compare` checks
+//! that two campaign reports carry *identical* integer energy totals
+//! (`energy_quanta` and `recovery_energy_overhead_quanta`), compared as
+//! parsed 128-bit integers ([`Json::Int`] keeps literals lossless), so
+//! values above 2^53 cannot be blurred by f64 parsing — the CI quanta-smoke
+//! job runs the same campaign at two thread counts and requires the totals
+//! to match exactly. Exit code 0 when everything conforms, 1 on the first
+//! violation.
 
 use std::process::ExitCode;
 
@@ -33,30 +34,51 @@ fn main() -> ExitCode {
     }
 }
 
-/// Extracts the raw text of the top-level `"key":<value>` pair from a
-/// campaign report, where `<value>` is an integer or a `{...}` object of
-/// integers. Textual extraction keeps >2^53 quanta byte-exact.
-fn raw_field(text: &str, key: &str) -> Result<String, String> {
-    let needle = format!("\"{key}\":");
-    let start = text.find(&needle).ok_or_else(|| format!("missing `{key}`"))?;
-    let rest = &text[start + needle.len()..];
-    let end = if rest.starts_with('{') {
-        rest.find('}').map(|i| i + 1).ok_or_else(|| format!("unterminated `{key}` object"))?
-    } else {
-        rest.find([',', '}']).ok_or_else(|| format!("unterminated `{key}` value"))?
-    };
-    Ok(rest[..end].to_owned())
+/// Compares the top-level field `key` of two parsed reports for exact
+/// integer equality: the field must be an integer or an object whose
+/// values are integers (the `energy_quanta` breakdown), and every integer
+/// is compared at full 128-bit precision.
+fn compare_exact_field(a: &Json, b: &Json, key: &str) -> Result<(), String> {
+    let va = a.get(key).ok_or_else(|| format!("first report: missing `{key}`"))?;
+    let vb = b.get(key).ok_or_else(|| format!("second report: missing `{key}`"))?;
+    match (va, vb) {
+        (Json::Obj(_), Json::Obj(_)) => {
+            let fa = va.as_object().expect("matched object");
+            let fb = vb.as_object().expect("matched object");
+            let keys_a: Vec<&str> = fa.iter().map(|(k, _)| k.as_str()).collect();
+            let keys_b: Vec<&str> = fb.iter().map(|(k, _)| k.as_str()).collect();
+            if keys_a != keys_b {
+                return Err(format!("`{key}` field sets differ: {keys_a:?} vs {keys_b:?}"));
+            }
+            for (k, inner_a) in fa {
+                let inner_b = vb.get(k).expect("key sets match");
+                compare_exact_int(inner_a, inner_b, &format!("{key}.{k}"))?;
+            }
+            Ok(())
+        }
+        _ => compare_exact_int(va, vb, key),
+    }
+}
+
+/// Exact comparison of two integer leaves. Non-integers (fractions,
+/// exponents, or values outside i128) are a validation error, not a lossy
+/// fallback: quanta that can't be parsed exactly can't be compared.
+fn compare_exact_int(a: &Json, b: &Json, what: &str) -> Result<(), String> {
+    let xa = a.as_i128().ok_or_else(|| format!("`{what}` is not an exact integer: {a:?}"))?;
+    let xb = b.as_i128().ok_or_else(|| format!("`{what}` is not an exact integer: {b:?}"))?;
+    if xa != xb {
+        return Err(format!("`{what}` differs: {xa} vs {xb}"));
+    }
+    Ok(())
 }
 
 fn compare_quanta(path_a: &str, path_b: &str) -> Result<(), String> {
-    let a = std::fs::read_to_string(path_a).map_err(|e| format!("{path_a}: {e}"))?;
-    let b = std::fs::read_to_string(path_b).map_err(|e| format!("{path_b}: {e}"))?;
+    let text_a = std::fs::read_to_string(path_a).map_err(|e| format!("{path_a}: {e}"))?;
+    let text_b = std::fs::read_to_string(path_b).map_err(|e| format!("{path_b}: {e}"))?;
+    let a = Json::parse(text_a.trim()).map_err(|e| format!("{path_a}: {e}"))?;
+    let b = Json::parse(text_b.trim()).map_err(|e| format!("{path_b}: {e}"))?;
     for key in ["energy_quanta", "recovery_energy_overhead_quanta"] {
-        let va = raw_field(&a, key).map_err(|e| format!("{path_a}: {e}"))?;
-        let vb = raw_field(&b, key).map_err(|e| format!("{path_b}: {e}"))?;
-        if va != vb {
-            return Err(format!("`{key}` differs between {path_a} and {path_b}:\n  {va}\n  {vb}"));
-        }
+        compare_exact_field(&a, &b, key).map_err(|e| format!("{path_a} vs {path_b}: {e}"))?;
     }
     Ok(())
 }
@@ -88,14 +110,14 @@ fn run(args: &[String]) -> Result<(), String> {
                 let parsed = Json::parse(text.trim()).map_err(|e| format!("{path}: {e}"))?;
                 let kernels =
                     validate_hwperf_report(&parsed).map_err(|e| format!("{path}: {e}"))?;
-                println!("{path}: OK (enerj-hwperf/1, {kernels} kernel rows)");
+                println!("{path}: OK (enerj-hwperf/2, {kernels} kernel rows)");
                 checked += 1;
             }
             "--quanta-compare" => {
                 let a = it.next().ok_or("--quanta-compare needs two paths")?;
                 let b = it.next().ok_or("--quanta-compare needs two paths")?;
                 compare_quanta(a, b)?;
-                println!("{a} == {b}: OK (energy quanta byte-identical)");
+                println!("{a} == {b}: OK (energy quanta exactly equal)");
                 checked += 1;
             }
             other => {
@@ -108,27 +130,47 @@ fn run(args: &[String]) -> Result<(), String> {
         }
     }
     if checked == 0 {
-        return Err("nothing to validate; pass --report and/or --fault-log".to_owned());
+        return Err(
+            "nothing to validate; pass --report, --fault-log, --hwperf and/or --quanta-compare"
+                .to_owned(),
+        );
     }
     Ok(())
 }
 
 #[cfg(test)]
 mod tests {
-    use super::raw_field;
+    use super::{compare_exact_field, Json};
 
     #[test]
-    fn raw_field_extracts_integers_and_objects_textually() {
-        let text = r#"{"schema":"enerj-campaign/4","recovery_energy_overhead_quanta":340282366920938463463374607431768211455,"energy_quanta":{"total":12,"baseline_total":34},"trials":[]}"#;
-        // Wider than u64: only textual extraction keeps it exact.
-        assert_eq!(
-            raw_field(text, "recovery_energy_overhead_quanta").unwrap(),
-            "340282366920938463463374607431768211455"
-        );
-        assert_eq!(
-            raw_field(text, "energy_quanta").unwrap(),
-            r#"{"total":12,"baseline_total":34}"#
-        );
-        assert!(raw_field(text, "absent").is_err());
+    fn quanta_comparison_is_exact_beyond_f64_precision() {
+        // 2^53 and 2^53 + 1 are the classic f64 collision: a parser that
+        // rounds through f64 would call these reports identical.
+        let a = Json::parse(
+            r#"{"energy_quanta":{"total":9007199254740992,"baseline_total":9007199254740992},
+                "recovery_energy_overhead_quanta":0}"#,
+        )
+        .unwrap();
+        let b = Json::parse(
+            r#"{"energy_quanta":{"total":9007199254740993,"baseline_total":9007199254740992},
+                "recovery_energy_overhead_quanta":0}"#,
+        )
+        .unwrap();
+        let err = compare_exact_field(&a, &b, "energy_quanta").unwrap_err();
+        assert!(err.contains("9007199254740992 vs 9007199254740993"), "{err}");
+        assert!(compare_exact_field(&a, &a, "energy_quanta").is_ok());
+        assert!(compare_exact_field(&a, &b, "recovery_energy_overhead_quanta").is_ok());
+    }
+
+    #[test]
+    fn non_integer_quanta_are_an_error_not_a_fallback() {
+        let a = Json::parse(r#"{"q":1.5}"#).unwrap();
+        let b = Json::parse(r#"{"q":1.5}"#).unwrap();
+        let err = compare_exact_field(&a, &b, "q").unwrap_err();
+        assert!(err.contains("not an exact integer"), "{err}");
+        // Differing field sets in the breakdown object are drift, too.
+        let a = Json::parse(r#"{"q":{"total":1}}"#).unwrap();
+        let b = Json::parse(r#"{"q":{"grand_total":1}}"#).unwrap();
+        assert!(compare_exact_field(&a, &b, "q").unwrap_err().contains("field sets"));
     }
 }

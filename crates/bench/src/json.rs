@@ -13,7 +13,14 @@ pub enum Json {
     Null,
     /// `true` / `false`.
     Bool(bool),
-    /// Any number (parsed as `f64`).
+    /// An integer literal (no fraction, no exponent) that fits in `i128`.
+    ///
+    /// Kept exact so 128-bit energy-quanta counters survive parsing:
+    /// `f64` can only represent integers up to 2^53 exactly, and a
+    /// campaign's quanta overflow that.
+    Int(i128),
+    /// Any other number: fractions, exponents, and integers out of `i128`
+    /// range (parsed as `f64`).
     Num(f64),
     /// A string.
     Str(String),
@@ -45,10 +52,32 @@ impl Json {
         }
     }
 
-    /// The numeric value, when this is a number.
+    /// The numeric value, when this is a number. Integers coerce (with
+    /// the usual `f64` rounding above 2^53); use [`Json::as_i128`] /
+    /// [`Json::as_u128`] where exactness matters.
+    #[allow(clippy::cast_precision_loss)]
     pub fn as_f64(&self) -> Option<f64> {
         match self {
             Json::Num(x) => Some(*x),
+            Json::Int(x) => Some(*x as f64),
+            _ => None,
+        }
+    }
+
+    /// The exact integer value, when this is an integer literal.
+    pub fn as_i128(&self) -> Option<i128> {
+        match self {
+            Json::Int(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// The exact non-negative integer value, when this is an integer
+    /// literal that fits. The accessor for energy-quanta fields.
+    #[allow(clippy::cast_sign_loss)]
+    pub fn as_u128(&self) -> Option<u128> {
+        match self {
+            Json::Int(x) if *x >= 0 => Some(*x as u128),
             _ => None,
         }
     }
@@ -233,6 +262,7 @@ impl Parser<'_> {
 
     fn number(&mut self) -> Result<Json, String> {
         let start = self.pos;
+        let mut exact = true;
         if self.peek() == Some(b'-') {
             self.pos += 1;
         }
@@ -240,12 +270,14 @@ impl Parser<'_> {
             self.pos += 1;
         }
         if self.peek() == Some(b'.') {
+            exact = false;
             self.pos += 1;
             while self.peek().is_some_and(|b| b.is_ascii_digit()) {
                 self.pos += 1;
             }
         }
         if matches!(self.peek(), Some(b'e') | Some(b'E')) {
+            exact = false;
             self.pos += 1;
             if matches!(self.peek(), Some(b'+') | Some(b'-')) {
                 self.pos += 1;
@@ -255,6 +287,14 @@ impl Parser<'_> {
             }
         }
         let text = std::str::from_utf8(&self.bytes[start..self.pos]).map_err(|e| e.to_string())?;
+        if exact {
+            // Integer literal: keep it lossless when it fits in i128 (the
+            // emitters' u128 quanta stay well inside that range); only an
+            // astronomically large literal falls back to f64.
+            if let Ok(x) = text.parse::<i128>() {
+                return Ok(Json::Int(x));
+            }
+        }
         text.parse::<f64>().map(Json::Num).map_err(|_| format!("bad number `{text}`"))
     }
 }
@@ -268,8 +308,34 @@ mod tests {
         assert_eq!(Json::parse("null").unwrap(), Json::Null);
         assert_eq!(Json::parse("true").unwrap(), Json::Bool(true));
         assert_eq!(Json::parse("-2.5e2").unwrap(), Json::Num(-250.0));
+        assert_eq!(Json::parse("42").unwrap(), Json::Int(42));
+        assert_eq!(Json::parse("-7").unwrap(), Json::Int(-7));
         assert_eq!(Json::parse("\"a\\nb\"").unwrap(), Json::Str("a\nb".to_owned()));
         assert_eq!(Json::parse("\"\\u0041\"").unwrap(), Json::Str("A".to_owned()));
+    }
+
+    #[test]
+    fn integers_beyond_f64_precision_stay_exact() {
+        // 2^53 and 2^53 + 1 collapse to the same f64; the parser must
+        // keep them distinct, or `--quanta-compare` could pass on reports
+        // whose quanta actually differ.
+        let a = Json::parse("9007199254740992").unwrap();
+        let b = Json::parse("9007199254740993").unwrap();
+        assert_ne!(a, b);
+        assert_eq!(a.as_u128(), Some(9_007_199_254_740_992));
+        assert_eq!(b.as_u128(), Some(9_007_199_254_740_993));
+        assert_eq!(b.as_i128(), Some(9_007_199_254_740_993));
+        // The f64 view of both rounds to the same value — the documented
+        // lossy coercion.
+        assert_eq!(a.as_f64(), b.as_f64());
+        // Negative integers have no u128 reading.
+        assert_eq!(Json::parse("-3").unwrap().as_u128(), None);
+        // Fractions and exponents are not integers.
+        assert_eq!(Json::parse("2.0").unwrap().as_u128(), None);
+        assert_eq!(Json::parse("2e0").unwrap().as_u128(), None);
+        // An integer too large even for i128 falls back to f64.
+        let huge = "340282366920938463463374607431768211455"; // u128::MAX
+        assert!(matches!(Json::parse(huge).unwrap(), Json::Num(_)));
     }
 
     #[test]

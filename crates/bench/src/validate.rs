@@ -67,17 +67,16 @@ fn require_number(obj: &Json, key: &str, what: &str) -> Result<f64, String> {
         .ok_or_else(|| format!("{what}: missing or non-numeric `{key}`"))
 }
 
-/// Checks that `obj[key]` is a non-negative integer energy-quanta count.
+/// Checks that `obj[key]` is a non-negative integer energy-quanta count
+/// and returns it exactly.
 ///
-/// The parser stores numbers as f64, which is lossy above 2^53; this check
-/// gates sign and integrality only — byte-exact quanta comparisons are done
-/// on the raw JSON text (`validate_schema --quanta-compare`).
-fn require_quanta(obj: &Json, key: &str, what: &str) -> Result<(), String> {
-    let v = require_number(obj, key, what)?;
-    if v < 0.0 || v.fract() != 0.0 {
-        return Err(format!("{what}: `{key}` must be a non-negative integer ({v})"));
-    }
-    Ok(())
+/// The parser keeps integer literals lossless ([`Json::Int`]), so this is
+/// an exact 128-bit check — quanta above 2^53, where f64 rounds, are
+/// compared faithfully. A fractional, negative, or absurdly large value is
+/// emitter drift.
+fn require_quanta(obj: &Json, key: &str, what: &str) -> Result<u128, String> {
+    let v = obj.get(key).ok_or_else(|| format!("{what}: missing `{key}`"))?;
+    v.as_u128().ok_or_else(|| format!("{what}: `{key}` must be a non-negative integer ({v:?})"))
 }
 
 /// Checks the four per-(memory × precision) quanta pools of a stats object.
@@ -89,7 +88,8 @@ fn validate_stats_quanta(stats: &Json, what: &str) -> Result<(), String> {
 }
 
 /// Checks an `energy_quanta` breakdown: all eight fields present,
-/// non-negative integers, with scaled never exceeding its baseline.
+/// non-negative integers, with scaled never exceeding its baseline. The
+/// comparison is exact 128-bit integer arithmetic.
 fn validate_energy_quanta(quanta: &Json, what: &str) -> Result<(), String> {
     for key in ENERGY_QUANTA_KEYS {
         require_quanta(quanta, key, what)?;
@@ -100,8 +100,8 @@ fn validate_energy_quanta(quanta: &Json, what: &str) -> Result<(), String> {
         ("dram", "baseline_dram"),
         ("total", "baseline_total"),
     ] {
-        let s = require_number(quanta, scaled, what)?;
-        let b = require_number(quanta, baseline, what)?;
+        let s = require_quanta(quanta, scaled, what)?;
+        let b = require_quanta(quanta, baseline, what)?;
         if s > b {
             return Err(format!("{what}: `{scaled}` {s} exceeds `{baseline}` {b}"));
         }
@@ -126,10 +126,7 @@ fn validate_counters(counters: &Json, what: &str) -> Result<(), String> {
         let name = kind.to_string();
         let entry = counters.get(&name).ok_or_else(|| format!("{what}: missing kind `{name}`"))?;
         for key in ["injections", "bits_flipped"] {
-            let v = require_number(entry, key, &format!("{what}.{name}"))?;
-            if v < 0.0 || v.fract() != 0.0 {
-                return Err(format!("{what}.{name}.{key}: not a non-negative integer ({v})"));
-            }
+            require_quanta(entry, key, &format!("{what}.{name}"))?;
         }
     }
     Ok(())
@@ -198,14 +195,19 @@ pub fn validate_campaign_report(report: &Json) -> Result<usize, String> {
     Ok(trials.len())
 }
 
-/// Keys every `enerj-hwperf/1` kernel row must carry.
+/// Keys every `enerj-hwperf/2` kernel row must carry.
 const HWPERF_KERNEL_KEYS: [&str; 6] =
     ["kernel", "level", "ops", "baseline_ops_per_sec", "amortized_ops_per_sec", "speedup"];
 
-/// Keys every `enerj-hwperf/1` macro row must carry.
+/// Keys every `enerj-hwperf/2` batched row must carry (scalar vs
+/// whole-slice entry points on the same substrate).
+const HWPERF_BATCHED_KEYS: [&str; 6] =
+    ["kernel", "level", "ops", "scalar_ops_per_sec", "batched_ops_per_sec", "speedup"];
+
+/// Keys every `enerj-hwperf/2` macro row must carry.
 const HWPERF_MACRO_KEYS: [&str; 4] = ["app", "level", "ops", "ops_per_sec"];
 
-/// The microkernel names an `enerj-hwperf/1` report may contain.
+/// The microkernel names an `enerj-hwperf/2` report may contain.
 const HWPERF_KERNELS: [&str; 4] = ["sram", "dram", "alu", "fpu"];
 
 fn require_positive(obj: &Json, key: &str, what: &str) -> Result<f64, String> {
@@ -227,16 +229,53 @@ fn require_level(obj: &Json, what: &str) -> Result<(), String> {
     Ok(())
 }
 
-/// Validates a parsed `enerj-hwperf/1` throughput report (the `hwbench`
+/// Validates one speedup grid row: named keys present, every
+/// throughput/speedup figure finite and positive, and the recorded speedup
+/// consistent with the two rates it summarizes.
+fn validate_speedup_row(
+    row: &Json,
+    what: &str,
+    keys: &[&str],
+    numerator: &str,
+    denominator: &str,
+) -> Result<(), String> {
+    for key in keys {
+        if row.get(key).is_none() {
+            return Err(format!("{what}: missing `{key}`"));
+        }
+    }
+    let kernel = row
+        .get("kernel")
+        .and_then(Json::as_str)
+        .ok_or_else(|| format!("{what}: `kernel` must be a string"))?;
+    if !HWPERF_KERNELS.contains(&kernel) {
+        return Err(format!("{what}: unknown kernel `{kernel}`"));
+    }
+    require_level(row, what)?;
+    require_positive(row, "ops", what)?;
+    let base = require_positive(row, denominator, what)?;
+    let num = require_positive(row, numerator, what)?;
+    let speedup = require_positive(row, "speedup", what)?;
+    let implied = num / base;
+    if (speedup - implied).abs() > 0.01 * implied.max(speedup) {
+        return Err(format!(
+            "{what}: speedup {speedup} inconsistent with {num}/{base} = {implied:.3}"
+        ));
+    }
+    Ok(())
+}
+
+/// Validates a parsed `enerj-hwperf/2` throughput report (the `hwbench`
 /// binary's output). Checks schema, key presence, and that every
 /// throughput/speedup figure is finite and positive — it does *not* gate on
 /// absolute speed, so the CI perf-smoke job catches emitter drift without
-/// flaking on slow runners. Returns the kernel-row count.
+/// flaking on slow runners. Returns the kernel-row count (amortized plus
+/// batched grids).
 pub fn validate_hwperf_report(report: &Json) -> Result<usize, String> {
     let schema =
         report.get("schema").and_then(Json::as_str).ok_or("report: missing `schema` string")?;
-    if schema != "enerj-hwperf/1" {
-        return Err(format!("report: schema `{schema}`, expected `enerj-hwperf/1`"));
+    if schema != "enerj-hwperf/2" {
+        return Err(format!("report: schema `{schema}`, expected `enerj-hwperf/2`"));
     }
     if report.get("quick").is_none() {
         return Err("report: missing top-level `quick`".to_owned());
@@ -250,29 +289,30 @@ pub fn validate_hwperf_report(report: &Json) -> Result<usize, String> {
     }
     for (i, row) in kernels.iter().enumerate() {
         let what = format!("kernels[{i}]");
-        for key in HWPERF_KERNEL_KEYS {
-            if row.get(key).is_none() {
-                return Err(format!("{what}: missing `{key}`"));
-            }
-        }
-        let kernel = row
-            .get("kernel")
-            .and_then(Json::as_str)
-            .ok_or_else(|| format!("{what}: `kernel` must be a string"))?;
-        if !HWPERF_KERNELS.contains(&kernel) {
-            return Err(format!("{what}: unknown kernel `{kernel}`"));
-        }
-        require_level(row, &what)?;
-        require_positive(row, "ops", &what)?;
-        let base = require_positive(row, "baseline_ops_per_sec", &what)?;
-        let amort = require_positive(row, "amortized_ops_per_sec", &what)?;
-        let speedup = require_positive(row, "speedup", &what)?;
-        let implied = amort / base;
-        if (speedup - implied).abs() > 0.01 * implied.max(speedup) {
-            return Err(format!(
-                "{what}: speedup {speedup} inconsistent with {amort}/{base} = {implied:.3}"
-            ));
-        }
+        validate_speedup_row(
+            row,
+            &what,
+            &HWPERF_KERNEL_KEYS,
+            "amortized_ops_per_sec",
+            "baseline_ops_per_sec",
+        )?;
+    }
+    let batched = report
+        .get("batched")
+        .and_then(Json::as_array)
+        .ok_or("report: `batched` must be an array")?;
+    if batched.is_empty() {
+        return Err("report: `batched` is empty".to_owned());
+    }
+    for (i, row) in batched.iter().enumerate() {
+        let what = format!("batched[{i}]");
+        validate_speedup_row(
+            row,
+            &what,
+            &HWPERF_BATCHED_KEYS,
+            "batched_ops_per_sec",
+            "scalar_ops_per_sec",
+        )?;
     }
     let macros =
         report.get("macro").and_then(Json::as_array).ok_or("report: `macro` must be an array")?;
@@ -290,7 +330,7 @@ pub fn validate_hwperf_report(report: &Json) -> Result<usize, String> {
         require_positive(row, "ops", &what)?;
         require_positive(row, "ops_per_sec", &what)?;
     }
-    Ok(kernels.len())
+    Ok(kernels.len() + batched.len())
 }
 
 /// Validates one NDJSON fault-log line (already parsed).
@@ -447,12 +487,17 @@ mod tests {
     }
 
     const HWPERF_OK: &str = r#"{
-        "schema": "enerj-hwperf/1",
+        "schema": "enerj-hwperf/2",
         "quick": true,
         "kernels": [
             {"kernel": "sram", "level": "Mild", "ops": 400000,
              "baseline_ops_per_sec": 50000000.0,
              "amortized_ops_per_sec": 1500000000.0, "speedup": 30.0}
+        ],
+        "batched": [
+            {"kernel": "alu", "level": "Mild", "ops": 397312,
+             "scalar_ops_per_sec": 100000000.0,
+             "batched_ops_per_sec": 600000000.0, "speedup": 6.0}
         ],
         "macro": [
             {"app": "FFT", "level": "Aggressive", "ops": 24576,
@@ -463,12 +508,12 @@ mod tests {
     #[test]
     fn hwperf_report_validates() {
         let v = Json::parse(HWPERF_OK).unwrap();
-        assert_eq!(validate_hwperf_report(&v), Ok(1));
+        assert_eq!(validate_hwperf_report(&v), Ok(2));
     }
 
     #[test]
     fn hwperf_rejects_drifted_reports() {
-        let wrong_schema = HWPERF_OK.replace("enerj-hwperf/1", "enerj-hwperf/0");
+        let wrong_schema = HWPERF_OK.replace("enerj-hwperf/2", "enerj-hwperf/1");
         let v = Json::parse(&wrong_schema).unwrap();
         assert!(validate_hwperf_report(&v).unwrap_err().contains("schema"));
 
@@ -476,7 +521,7 @@ mod tests {
         let v = Json::parse(&no_kernels).unwrap();
         assert!(validate_hwperf_report(&v).unwrap_err().contains("kernel"));
 
-        let bad_level = HWPERF_OK.replace("\"Mild\"", "\"Extreme\"");
+        let bad_level = HWPERF_OK.replacen("\"Mild\"", "\"Extreme\"", 1);
         let v = Json::parse(&bad_level).unwrap();
         assert!(validate_hwperf_report(&v).unwrap_err().contains("unknown level"));
 
@@ -486,6 +531,26 @@ mod tests {
         assert!(validate_hwperf_report(&v).unwrap_err().contains("positive"));
 
         let wrong_speedup = HWPERF_OK.replace("\"speedup\": 30.0", "\"speedup\": 2.0");
+        let v = Json::parse(&wrong_speedup).unwrap();
+        assert!(validate_hwperf_report(&v).unwrap_err().contains("inconsistent"));
+    }
+
+    #[test]
+    fn hwperf_rejects_bad_batched_rows() {
+        // `/2` reports must carry the batched grid at all.
+        let missing = HWPERF_OK.replace("\"batched\"", "\"sliced\"");
+        let v = Json::parse(&missing).unwrap();
+        assert!(validate_hwperf_report(&v).unwrap_err().contains("batched"));
+
+        // A serialized `inf` (the unclamped `--quick` denominator bug)
+        // parses as a malformed number and must be rejected, as must a
+        // literal non-finite-looking huge value drifting in.
+        let inf_rate = HWPERF_OK
+            .replace("\"batched_ops_per_sec\": 600000000.0", "\"batched_ops_per_sec\": -1.0");
+        let v = Json::parse(&inf_rate).unwrap();
+        assert!(validate_hwperf_report(&v).unwrap_err().contains("positive"));
+
+        let wrong_speedup = HWPERF_OK.replace("\"speedup\": 6.0", "\"speedup\": 60.0");
         let v = Json::parse(&wrong_speedup).unwrap();
         assert!(validate_hwperf_report(&v).unwrap_err().contains("inconsistent"));
     }

@@ -1,0 +1,411 @@
+//! Batched approximate operations: whole-slice arithmetic over
+//! [`ApproxVec`] data.
+//!
+//! The scalar embedding pays a full tour of the simulated hardware for
+//! every element: a DRAM read per operand, two SRAM register reads, operand
+//! conditioning, one functional-unit result phase and a DRAM write-back.
+//! For the SciMark inner loops those per-element calls dominate wall-clock
+//! time. This module regroups the tour *stream-wise*: an [`ApproxBuf`]
+//! stages a run of elements in the register file, and [`zip`] / [`scalar`]
+//! run each hardware phase over the whole slice using the batched entry
+//! points of [`enerj_hw::batch`].
+//!
+//! ## Equivalence to the scalar loop
+//!
+//! A batched operation performs exactly the same per-element hardware
+//! accesses as the scalar loop it replaces — the same number of clock
+//! ticks, operation counts, SRAM bit-quanta and DRAM accesses, on the same
+//! fault streams, consuming the same RNG draws. Regrouping only changes the
+//! *order* in which the shared streams meet the data, so when a fault fires
+//! it may land on a different element than in the scalar interleaving:
+//! outcomes are equivalent in distribution (pinned by the 5-sigma tests in
+//! this module), while the energy quanta are bit-identical.
+
+use crate::approx::Approx;
+use crate::prim::{ApproxArith, ApproxPrim};
+use crate::runtime::with_hw;
+use crate::vecs::ApproxVec;
+use enerj_hw::Hardware;
+
+/// Stack-buffer size for T <-> u64 bit conversion: one conversion chunk
+/// stays in cache while the batched hw entry points stride over it.
+const CHUNK: usize = 128;
+
+/// Moves a slice through approximate SRAM (read or write direction) by
+/// converting fixed-size chunks to raw bit patterns. The fault streams see
+/// exactly the trials a scalar `sram_read`/`sram_write` loop would produce.
+fn sram_slice<T: ApproxPrim>(hw: &mut Hardware, xs: &mut [T], write: bool) {
+    let mut buf = [0u64; CHUNK];
+    for chunk in xs.chunks_mut(CHUNK) {
+        let bits = &mut buf[..chunk.len()];
+        for (b, x) in bits.iter_mut().zip(chunk.iter()) {
+            *b = x.to_bits64();
+        }
+        if write {
+            hw.sram_write_slice(bits, T::WIDTH, true);
+        } else {
+            hw.sram_read_slice(bits, T::WIDTH, true);
+        }
+        for (x, b) in chunk.iter_mut().zip(bits.iter()) {
+            *x = T::from_bits64(*b);
+        }
+    }
+}
+
+/// A primitive that supports whole-slice approximate execution.
+///
+/// Mirrors the scalar hooks of [`ApproxPrim`] (`condition_operand`,
+/// `unit_result`) at slice granularity. Floating-point types dispatch to
+/// the native f32/f64 slice entry points; integers convert through a
+/// fixed-size bit buffer.
+pub trait BatchPrim: ApproxPrim {
+    /// Applies operand conditioning over a slice (mantissa truncation for
+    /// floats; identity for integers).
+    fn condition_slice(hw: &Hardware, xs: &mut [Self]) {
+        let _ = (hw, xs);
+    }
+
+    /// Routes a slice of raw results through the approximate functional
+    /// unit: counts every operation, advances the clock once, and resolves
+    /// timing-error sites by index.
+    fn result_slice(hw: &mut Hardware, xs: &mut [Self]);
+}
+
+macro_rules! impl_batch_int {
+    ($($t:ty),* $(,)?) => {$(
+        impl BatchPrim for $t {
+            fn result_slice(hw: &mut Hardware, xs: &mut [Self]) {
+                let mut buf = [0u64; CHUNK];
+                for chunk in xs.chunks_mut(CHUNK) {
+                    let bits = &mut buf[..chunk.len()];
+                    for (b, x) in bits.iter_mut().zip(chunk.iter()) {
+                        *b = x.to_bits64();
+                    }
+                    hw.approx_int_result_slice(bits, <$t as ApproxPrim>::WIDTH);
+                    for (x, b) in chunk.iter_mut().zip(bits.iter()) {
+                        *x = <$t>::from_bits64(*b);
+                    }
+                }
+            }
+        }
+    )*};
+}
+
+impl_batch_int!(i8, i16, i32, i64, u8, u16, u32, u64);
+
+impl BatchPrim for f32 {
+    fn condition_slice(hw: &Hardware, xs: &mut [Self]) {
+        hw.approx_f32_operand_slice(xs);
+    }
+
+    fn result_slice(hw: &mut Hardware, xs: &mut [Self]) {
+        hw.approx_f32_result_slice(xs);
+    }
+}
+
+impl BatchPrim for f64 {
+    fn condition_slice(hw: &Hardware, xs: &mut [Self]) {
+        hw.approx_f64_operand_slice(xs);
+    }
+
+    fn result_slice(hw: &mut Hardware, xs: &mut [Self]) {
+        hw.approx_f64_result_slice(xs);
+    }
+}
+
+/// The element-wise operations a batched functional unit implements.
+///
+/// The non-trapping semantics of [`ApproxArith`] apply: integer arithmetic
+/// wraps and division by zero yields 0 (NaN for floats).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchOp {
+    /// Element-wise addition.
+    Add,
+    /// Element-wise subtraction.
+    Sub,
+    /// Element-wise multiplication.
+    Mul,
+    /// Element-wise division.
+    Div,
+}
+
+impl BatchOp {
+    /// Applies the operation to one element pair.
+    fn apply<T: ApproxArith>(self, a: T, b: T) -> T {
+        match self {
+            BatchOp::Add => T::approx_add(a, b),
+            BatchOp::Sub => T::approx_sub(a, b),
+            BatchOp::Mul => T::approx_mul(a, b),
+            BatchOp::Div => T::approx_div(a, b),
+        }
+    }
+}
+
+/// A register-resident run of approximate values.
+///
+/// Staging values in an `ApproxBuf` is free, exactly like holding
+/// `Approx<T>` temporaries in scalar code: energy is charged when the data
+/// moves through a hardware structure ([`ApproxBuf::load`] /
+/// [`ApproxBuf::store`] for DRAM, [`zip`] / [`scalar`] for the register
+/// file and functional units).
+#[derive(Debug, Clone)]
+pub struct ApproxBuf<T: ApproxPrim> {
+    vals: Vec<T>,
+}
+
+impl<T: ApproxPrim> ApproxBuf<T> {
+    /// Loads `len` elements of `v` starting at `start` into registers.
+    ///
+    /// One bulk DRAM read: the same per-element decay exposure, clock ticks
+    /// and storage accounting as a `v.get(i)` loop.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start + len` exceeds `v.len()`.
+    pub fn load(v: &mut ApproxVec<T>, start: usize, len: usize) -> Self {
+        let mut bits = vec![0u64; len];
+        v.read_bits_slice(start, &mut bits);
+        ApproxBuf { vals: bits.into_iter().map(T::from_bits64).collect() }
+    }
+
+    /// Stores the buffer back to `v` starting at `start`, refreshing the
+    /// elements' decay clocks. The bulk counterpart of a `v.set(i, x)`
+    /// loop.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start + self.len()` exceeds `v.len()`.
+    pub fn store(&self, v: &mut ApproxVec<T>, start: usize) {
+        let mut bits = vec![0u64; self.vals.len()];
+        for (b, x) in bits.iter_mut().zip(&self.vals) {
+            *b = x.to_bits64();
+        }
+        v.write_bits_slice(start, &bits);
+    }
+
+    /// Builds a buffer by evaluating `f` at every index (a register move:
+    /// no simulated energy).
+    pub fn from_fn(len: usize, mut f: impl FnMut(usize) -> Approx<T>) -> Self {
+        ApproxBuf { vals: (0..len).map(|i| f(i).raw()).collect() }
+    }
+
+    /// Number of staged elements.
+    pub fn len(&self) -> usize {
+        self.vals.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.vals.is_empty()
+    }
+
+    /// The element at `i`, as a register move.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.len()`.
+    pub fn get(&self, i: usize) -> Approx<T> {
+        Approx::from_raw(self.vals[i])
+    }
+
+    /// Replaces the element at `i`, as a register move.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.len()`.
+    pub fn set(&mut self, i: usize, value: Approx<T>) {
+        self.vals[i] = value.raw();
+    }
+
+    /// Endorses the whole buffer (section 2.2, in bulk): one final batched
+    /// SRAM read, equivalent to calling [`crate::endorse`] per element.
+    pub fn endorse_to_vec(mut self) -> Vec<T> {
+        with_hw(|hw| {
+            if let Some(hw) = hw {
+                sram_slice(hw, &mut self.vals, false);
+            }
+        });
+        self.vals
+    }
+}
+
+/// Element-wise `a op b` over two equal-length buffers.
+///
+/// Replicates the scalar [`Approx`] operator composition phase-by-phase,
+/// each phase batched: SRAM-read and condition `a`, SRAM-read and condition
+/// `b`, compute, then run the result phase. Without an installed
+/// [`Runtime`](crate::Runtime) the computation is exact.
+///
+/// # Panics
+///
+/// Panics if the buffers differ in length.
+pub fn zip<T: BatchPrim + ApproxArith>(
+    op: BatchOp,
+    a: &ApproxBuf<T>,
+    b: &ApproxBuf<T>,
+) -> ApproxBuf<T> {
+    assert_eq!(a.len(), b.len(), "zip requires equal lengths");
+    with_hw(|hw| match hw {
+        Some(hw) => {
+            let mut av = a.vals.clone();
+            sram_slice(hw, &mut av, false);
+            T::condition_slice(hw, &mut av);
+            let mut bv = b.vals.clone();
+            sram_slice(hw, &mut bv, false);
+            T::condition_slice(hw, &mut bv);
+            for (x, y) in av.iter_mut().zip(&bv) {
+                *x = op.apply(*x, *y);
+            }
+            T::result_slice(hw, &mut av);
+            ApproxBuf { vals: av }
+        }
+        None => {
+            ApproxBuf { vals: a.vals.iter().zip(&b.vals).map(|(&x, &y)| op.apply(x, y)).collect() }
+        }
+    })
+}
+
+/// Element-wise `a op s` with a broadcast right-hand operand.
+///
+/// Each element still pays the scalar loop's second register read of `s`,
+/// so operation counts and energy match `for i { a.get(i) op s }` exactly.
+pub fn scalar<T: BatchPrim + ApproxArith>(
+    op: BatchOp,
+    a: &ApproxBuf<T>,
+    s: Approx<T>,
+) -> ApproxBuf<T> {
+    let b = ApproxBuf { vals: vec![s.raw(); a.len()] };
+    zip(op, a, &b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runtime::Runtime;
+    use crate::{endorse, Approx, ApproxVec};
+    use enerj_hw::config::{HwConfig, Level, StrategyMask};
+
+    fn exact_rt() -> Runtime {
+        let cfg = HwConfig::for_level(Level::Aggressive).with_mask(StrategyMask::NONE);
+        Runtime::with_config(cfg, 0)
+    }
+
+    #[test]
+    fn zip_matches_scalar_loop_exactly_when_masked() {
+        let run_batched = exact_rt();
+        let batched = run_batched.run(|| {
+            let mut v = ApproxVec::from_slice(&[1.5f64, -2.0, 3.25, 0.0, 7.5]);
+            let mut w = ApproxVec::from_slice(&[0.5f64, 4.0, -1.25, 9.0, 0.5]);
+            let a = ApproxBuf::load(&mut v, 0, 5);
+            let b = ApproxBuf::load(&mut w, 0, 5);
+            let sum = zip(BatchOp::Add, &a, &b);
+            sum.store(&mut v, 0);
+            v.endorse_to_vec()
+        });
+        let run_scalar = exact_rt();
+        let scalar_out = run_scalar.run(|| {
+            let mut v = ApproxVec::from_slice(&[1.5f64, -2.0, 3.25, 0.0, 7.5]);
+            let mut w = ApproxVec::from_slice(&[0.5f64, 4.0, -1.25, 9.0, 0.5]);
+            for i in 0..5 {
+                let s = v.get(i) + w.get(i);
+                v.set(i, s);
+            }
+            v.endorse_to_vec()
+        });
+        assert_eq!(batched, scalar_out);
+        assert_eq!(run_batched.stats(), run_scalar.stats());
+        assert_eq!(run_batched.energy_quanta(), run_scalar.energy_quanta());
+    }
+
+    #[test]
+    fn every_op_computes_its_arithmetic() {
+        let rt = exact_rt();
+        rt.run(|| {
+            let a = ApproxBuf::from_fn(4, |i| Approx::from_raw(12.0f64 + i as f64));
+            let b = ApproxBuf::from_fn(4, |_| Approx::from_raw(4.0f64));
+            assert_eq!(zip(BatchOp::Add, &a, &b).endorse_to_vec()[0], 16.0);
+            assert_eq!(zip(BatchOp::Sub, &a, &b).endorse_to_vec()[1], 9.0);
+            assert_eq!(zip(BatchOp::Mul, &a, &b).endorse_to_vec()[2], 56.0);
+            assert_eq!(zip(BatchOp::Div, &a, &b).endorse_to_vec()[3], 3.75);
+        });
+    }
+
+    #[test]
+    fn integer_zip_wraps_and_never_traps() {
+        let rt = exact_rt();
+        rt.run(|| {
+            let a = ApproxBuf::from_fn(3, |_| Approx::from_raw(i32::MAX));
+            let b = ApproxBuf::from_fn(3, |i| Approx::from_raw(i as i32));
+            let sum = zip(BatchOp::Add, &a, &b);
+            assert_eq!(sum.get(1).endorse(), i32::MIN);
+            let div = zip(BatchOp::Div, &a, &b);
+            assert_eq!(div.get(0).endorse(), 0, "x / 0 must be 0");
+        });
+    }
+
+    #[test]
+    fn scalar_broadcast_counts_like_the_scalar_loop() {
+        let run_batched = exact_rt();
+        let batched = run_batched.run(|| {
+            let a = ApproxBuf::from_fn(10, |i| Approx::from_raw(i as f64));
+            scalar(BatchOp::Mul, &a, Approx::from_raw(2.5)).endorse_to_vec()
+        });
+        let run_scalar = exact_rt();
+        let scalar_out = run_scalar.run(|| {
+            let s = Approx::from_raw(2.5f64);
+            (0..10).map(|i| endorse(Approx::from_raw(i as f64) * s)).collect::<Vec<_>>()
+        });
+        assert_eq!(batched, scalar_out);
+        assert_eq!(run_batched.stats(), run_scalar.stats());
+    }
+
+    #[test]
+    fn without_runtime_zip_is_precise() {
+        let a = ApproxBuf::from_fn(6, |i| Approx::from_raw(i as f32));
+        let b = ApproxBuf::from_fn(6, |i| Approx::from_raw(1.0f32 + i as f32));
+        let out = zip(BatchOp::Add, &a, &b);
+        for i in 0..6 {
+            assert_eq!(out.get(i).endorse(), 2.0 * i as f32 + 1.0);
+        }
+    }
+
+    #[test]
+    fn f32_conditioning_truncates_mantissas_like_scalar() {
+        let cfg = HwConfig::for_level(Level::Aggressive)
+            .with_mask(StrategyMask::NONE.with_fp_width(true));
+        let rt = Runtime::with_config(cfg, 0);
+        rt.run(|| {
+            let a = ApproxBuf::from_fn(4, |_| Approx::from_raw(1.001f64));
+            let b = ApproxBuf::from_fn(4, |_| Approx::from_raw(1.0f64));
+            let out = zip(BatchOp::Mul, &a, &b);
+            // With 8 mantissa bits the .001 is lost, as in the scalar test.
+            assert_eq!(out.get(0).endorse(), 1.0);
+        });
+    }
+
+    #[test]
+    fn aggressive_zip_faults_at_the_scalar_rate() {
+        // 5-sigma band on the timing-error count through the batched
+        // result phase (p = 1e-2 per op at Aggressive on the fp unit).
+        let cfg = HwConfig::for_level(Level::Aggressive)
+            .with_mask(StrategyMask::NONE.with_fu_timing(true));
+        let rt = Runtime::with_config(cfg, 99);
+        let n = 40_000usize;
+        rt.run(|| {
+            let a = ApproxBuf::from_fn(n, |i| Approx::from_raw(i as f64));
+            let b = ApproxBuf::from_fn(n, |_| Approx::from_raw(1.0f64));
+            let _ = zip(BatchOp::Add, &a, &b);
+        });
+        let faults =
+            rt.fault_counters().count(enerj_hw::trace::FaultKind::FpTiming).injections as f64;
+        let p = 1e-2;
+        let expected = n as f64 * p;
+        let sigma = (n as f64 * p * (1.0 - p)).sqrt();
+        assert!(
+            (faults - expected).abs() < 5.0 * sigma,
+            "batched faults {faults} vs {expected} +/- {}",
+            5.0 * sigma
+        );
+        assert_eq!(rt.stats().fp_approx_ops, n as u64);
+    }
+}

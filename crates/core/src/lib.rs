@@ -44,6 +44,7 @@
 #![warn(missing_docs)]
 
 mod approx;
+pub mod batch;
 pub mod check;
 pub mod context;
 mod math;
@@ -54,6 +55,7 @@ mod runtime;
 mod vecs;
 
 pub use approx::{endorse, Approx};
+pub use batch::{ApproxBuf, BatchOp, BatchPrim};
 pub use check::{endorse_checked, finite, in_range, not_nan, predicate, EndorseError, Guard};
 pub use context::{endorse_ctx, ApproxMode, Ctx, Mode, PreciseMode};
 pub use precise::Precise;

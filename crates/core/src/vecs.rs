@@ -136,6 +136,19 @@ impl<T: ApproxPrim> ApproxVec<T> {
     pub fn endorse_to_vec(&mut self) -> Vec<T> {
         (0..self.len()).map(|i| crate::approx::endorse(self.get(i))).collect()
     }
+
+    /// Bulk DRAM read for the batched path: fills `out` with the raw bit
+    /// patterns of `out.len()` elements starting at `start`. Decay and
+    /// accounting are identical to an element-by-element read loop.
+    pub(crate) fn read_bits_slice(&mut self, start: usize, out: &mut [u64]) {
+        self.dram.read_slice(&mut self.hw.borrow_mut(), start, out);
+    }
+
+    /// Bulk DRAM write for the batched path, mirroring
+    /// [`ApproxVec::read_bits_slice`].
+    pub(crate) fn write_bits_slice(&mut self, start: usize, vals: &[u64]) {
+        self.dram.write_slice(&mut self.hw.borrow_mut(), start, vals);
+    }
 }
 
 impl<T: ApproxPrim> Drop for ApproxVec<T> {

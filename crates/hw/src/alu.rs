@@ -60,10 +60,12 @@ impl Hardware {
 
     /// Fault payload of an integer timing error. Out of line so the
     /// (overwhelmingly common) fault-free iteration carries none of the
-    /// error-mode machinery in its hot loop.
+    /// error-mode machinery in its hot loop. Shared with the batched entry
+    /// point ([`Hardware::approx_int_result_slice`]), which pre-stages
+    /// `last_int` so the `LastValue` mode sees the in-batch predecessor.
     #[cold]
     #[inline(never)]
-    fn int_timing_fault(&mut self, raw: u64, width: u32) -> u64 {
+    pub(crate) fn int_timing_fault(&mut self, raw: u64, width: u32) -> u64 {
         let out = match self.hot.error_mode {
             ErrorMode::SingleBitFlip => fault::flip_one_bit(raw, width, &mut self.rng),
             ErrorMode::LastValue => self.last_int & fault::low_mask(width),

@@ -197,6 +197,55 @@ impl DramArray {
         self.last_access[i] = hw.op_ticks();
     }
 
+    /// Batched [`DramArray::read`]: reads `out.len()` consecutive elements
+    /// starting at `start` into `out`, applying refresh decay per element.
+    ///
+    /// The clock advances by the batch length in one addition, but each
+    /// element's refresh point is reconstructed by index (element `j` reads
+    /// at tick `base + j + 1`), so decay exposure, the hazard countdown walk
+    /// and the RNG stream are bit-identical to a scalar `read` loop. The
+    /// amortization is in the borrow, bounds and accounting overhead, not in
+    /// the fault model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start + out.len()` exceeds the array length.
+    pub fn read_slice(&mut self, hw: &mut Hardware, start: usize, out: &mut [u64]) {
+        let base = hw.op_ticks();
+        hw.tick_batch(out.len() as u64);
+        for (j, o) in out.iter_mut().enumerate() {
+            let i = start + j;
+            let now = base + j as u64 + 1;
+            let stored = self.words[i];
+            let v = if self.approx && i >= self.first_approx_elem {
+                hw.dram_decay(stored, self.elem_width, now - self.last_access[i])
+            } else {
+                stored
+            };
+            self.words[i] = v;
+            self.last_access[i] = now;
+            *o = v;
+        }
+    }
+
+    /// Batched [`DramArray::write`]: stores `vals` into consecutive elements
+    /// starting at `start`, refreshing their decay clocks. Bit-identical to
+    /// a scalar `write` loop (element `j` refreshes at tick `base + j + 1`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start + vals.len()` exceeds the array length.
+    pub fn write_slice(&mut self, hw: &mut Hardware, start: usize, vals: &[u64]) {
+        let base = hw.op_ticks();
+        hw.tick_batch(vals.len() as u64);
+        let mask = fault::low_mask(self.elem_width);
+        for (j, &v) in vals.iter().enumerate() {
+            let i = start + j;
+            self.words[i] = v & mask;
+            self.last_access[i] = base + j as u64 + 1;
+        }
+    }
+
     /// Accounts this array's storage quanta and marks it retired.
     ///
     /// Idempotent: a second call does nothing. Higher layers call this from

@@ -171,6 +171,62 @@ impl GeomCountdown {
         self.remaining = i - w;
         out
     }
+
+    /// Batch fast path for bit-pattern streams: consumes up to `accesses`
+    /// whole accesses of `width` bits each and returns how many pass before
+    /// the countdown lands inside one, or `None` when all of them pass.
+    ///
+    /// After `Some(k)`, the countdown has consumed exactly `k` accesses and
+    /// sits inside access `k` (its `remaining` is below `width`): the caller
+    /// must run [`GeomCountdown::flip_bits`] on that access next, then may
+    /// call this again with the accesses left after it. Walking a slice this
+    /// way performs the *identical* state-machine steps (and RNG draws) as a
+    /// per-access `pass`/`flip_bits` loop, so batched and scalar streams are
+    /// bit-for-bit the same — see the batched equivalence tests.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is zero or greater than 64 (a zero-width access
+    /// consumes no trials, so the loop below could never terminate).
+    #[inline]
+    pub fn pass_accesses(&mut self, accesses: u64, width: u32) -> Option<u64> {
+        assert!((1..=64).contains(&width), "bit width {width} out of range");
+        let w = u64::from(width);
+        // `accesses * width` can exceed u64 only when `remaining` already
+        // covers it (remaining is itself a u64), so compare in u128.
+        let total = u128::from(accesses) * u128::from(w);
+        if u128::from(self.remaining) >= total {
+            self.remaining -= total as u64;
+            return None;
+        }
+        let k = self.remaining / w;
+        self.remaining -= k * w;
+        Some(k)
+    }
+
+    /// Batch fast path for per-operation streams: consumes up to `trials`
+    /// operations and returns the zero-based index of the first one that
+    /// fires, or `None` when none does.
+    ///
+    /// On a fire the gap to the next fault is redrawn (exactly as
+    /// [`GeomCountdown::fire`] does), so the caller applies the error payload
+    /// at that index and calls this again with the operations left after it.
+    /// The RNG draw sequence matches a scalar `fire` loop exactly.
+    #[inline]
+    pub fn next_fire<R: Rng + ?Sized>(&mut self, trials: u64, rng: &mut R) -> Option<u64> {
+        if self.remaining >= trials {
+            self.remaining -= trials;
+            return None;
+        }
+        let idx = self.remaining;
+        if self.p <= 0.0 {
+            // Only reachable after 2^64 trials drained a never-fires stream.
+            self.remaining = u64::MAX;
+            return None;
+        }
+        self.remaining = if self.p >= 1.0 { 0 } else { skip(rng, self.denom) };
+        Some(idx)
+    }
 }
 
 /// Converts a per-bit flip probability into exponential hazard `-ln(1-p)`:
@@ -556,5 +612,88 @@ mod tests {
     fn flip_one_bit_rejects_zero_width() {
         let mut r = rng();
         let _ = flip_one_bit(0, 0, &mut r);
+    }
+
+    /// `pass_accesses` + `flip_bits` over a slice must replay the identical
+    /// countdown states and RNG draws as a per-access `pass` + `flip_bits`
+    /// loop.
+    #[test]
+    fn pass_accesses_is_bit_identical_to_scalar_pass_loop() {
+        for &(p, n) in &[(0.0, 1000u64), (1e-3, 50_000), (0.3, 2_000), (1.0, 100)] {
+            for &width in &[1u32, 8, 32, 64] {
+                let mut r_s = StdRng::seed_from_u64(0xBA7C);
+                let mut cd_s = GeomCountdown::new(p, &mut r_s);
+                let mut scalar = vec![0u64; n as usize];
+                for word in scalar.iter_mut() {
+                    if !cd_s.pass(width) {
+                        *word = cd_s.flip_bits(*word, width, &mut r_s);
+                    }
+                }
+
+                let mut r_b = StdRng::seed_from_u64(0xBA7C);
+                let mut cd_b = GeomCountdown::new(p, &mut r_b);
+                let mut batched = vec![0u64; n as usize];
+                let mut idx = 0u64;
+                while idx < n {
+                    match cd_b.pass_accesses(n - idx, width) {
+                        None => break,
+                        Some(k) => {
+                            idx += k;
+                            let w = &mut batched[idx as usize];
+                            *w = cd_b.flip_bits(*w, width, &mut r_b);
+                            idx += 1;
+                        }
+                    }
+                }
+
+                assert_eq!(scalar, batched, "p={p} width={width}");
+                assert_eq!(cd_s.remaining, cd_b.remaining, "p={p} width={width}");
+                assert_eq!(r_s.gen::<u64>(), r_b.gen::<u64>(), "p={p} width={width}");
+            }
+        }
+    }
+
+    /// `next_fire` over a batch must fire at the same indices, with the same
+    /// RNG draws, as a scalar `fire` loop.
+    #[test]
+    fn next_fire_is_bit_identical_to_scalar_fire_loop() {
+        for &(p, n) in &[(0.0, 1000u64), (1e-3, 50_000), (0.3, 2_000), (1.0, 100)] {
+            let mut r_s = StdRng::seed_from_u64(0xF14E);
+            let mut cd_s = GeomCountdown::new(p, &mut r_s);
+            let scalar: Vec<u64> = (0..n).filter(|_| cd_s.fire(&mut r_s)).collect();
+
+            let mut r_b = StdRng::seed_from_u64(0xF14E);
+            let mut cd_b = GeomCountdown::new(p, &mut r_b);
+            let mut batched = Vec::new();
+            let mut idx = 0u64;
+            while idx < n {
+                match cd_b.next_fire(n - idx, &mut r_b) {
+                    None => break,
+                    Some(k) => {
+                        idx += k;
+                        batched.push(idx);
+                        idx += 1;
+                    }
+                }
+            }
+
+            assert_eq!(scalar, batched, "p={p}");
+            assert_eq!(cd_s.remaining, cd_b.remaining, "p={p}");
+            assert_eq!(r_s.gen::<u64>(), r_b.gen::<u64>(), "p={p}");
+        }
+    }
+
+    #[test]
+    fn pass_accesses_handles_huge_batches_without_overflow() {
+        let mut r = rng();
+        // `accesses * width` overflows u64; the u128 compare must stay exact.
+        let mut cd = GeomCountdown::new(0.5, &mut r);
+        assert!(cd.pass_accesses(u64::MAX, 64).is_some());
+        // A p = 0 stream drains exactly like 2^64 scalar `pass` trials
+        // would; its `flip_bits` then resets without flipping anything.
+        let mut cd0 = GeomCountdown::new(0.0, &mut r);
+        let landed = cd0.pass_accesses(u64::MAX, 64).expect("u64::MAX trials drain the stream");
+        assert_eq!(landed, u64::MAX / 64);
+        assert_eq!(cd0.flip_bits(0xABCD, 64, &mut r), 0xABCD);
     }
 }

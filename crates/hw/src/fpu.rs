@@ -110,10 +110,12 @@ impl Hardware {
     }
 
     /// Fault payload of a floating-point timing error; out of line to keep
-    /// the fault-free result phase free of the error-mode machinery.
+    /// the fault-free result phase free of the error-mode machinery. Shared
+    /// with the batched entry points, which pre-stage `last_fp` so the
+    /// `LastValue` mode sees the in-batch predecessor.
     #[cold]
     #[inline(never)]
-    fn fp_timing_fault(&mut self, raw: u64, width: u32) -> u64 {
+    pub(crate) fn fp_timing_fault(&mut self, raw: u64, width: u32) -> u64 {
         let out = match self.hot.error_mode {
             ErrorMode::SingleBitFlip => fault::flip_one_bit(raw, width, &mut self.rng),
             ErrorMode::LastValue => self.last_fp & fault::low_mask(width),

@@ -21,6 +21,7 @@
 //! * [`layout`] — cache-line-granularity layout of approximate data (§4.1).
 //! * [`alu`], [`fpu`] — imprecise functional units (§4.2).
 //! * [`sram`], [`dram`] — approximate storage (§4.2, §5.3).
+//! * [`batch`] — whole-slice entry points on the units above.
 //! * [`energy`] — the CPU/memory-system energy model (§5.4, Figure 4).
 //!
 //! # Examples
@@ -42,6 +43,7 @@
 #![warn(missing_docs)]
 
 pub mod alu;
+pub mod batch;
 pub mod clock;
 pub mod config;
 pub mod dram;

@@ -42,10 +42,11 @@ impl Hardware {
     }
 
     /// Fault payload of a read upset; out of line so the fault-free access
-    /// carries none of the bit-walking machinery.
+    /// carries none of the bit-walking machinery. Shared with the batched
+    /// entry point ([`Hardware::sram_read_slice`]).
     #[cold]
     #[inline(never)]
-    fn sram_read_fault(&mut self, bits: u64, width: u32) -> u64 {
+    pub(crate) fn sram_read_fault(&mut self, bits: u64, width: u32) -> u64 {
         let out = self.sched.sram_read.flip_bits(bits, width, &mut self.rng);
         if out != bits {
             self.note_fault(
@@ -76,10 +77,11 @@ impl Hardware {
     }
 
     /// Fault payload of a write failure; out of line like
-    /// [`Hardware::sram_read_fault`].
+    /// [`Hardware::sram_read_fault`]. Shared with the batched entry point
+    /// ([`Hardware::sram_write_slice`]).
     #[cold]
     #[inline(never)]
-    fn sram_write_fault(&mut self, bits: u64, width: u32) -> u64 {
+    pub(crate) fn sram_write_fault(&mut self, bits: u64, width: u32) -> u64 {
         let out = self.sched.sram_write.flip_bits(bits, width, &mut self.rng);
         if out != bits {
             self.note_fault(

@@ -71,11 +71,17 @@ impl Stats {
 
     /// Records one executed operation.
     pub fn record_op(&mut self, kind: OpKind, approx: bool) {
+        self.record_ops(kind, approx, 1);
+    }
+
+    /// Records `n` executed operations at once (the batched entry points
+    /// account a whole slice with one addition).
+    pub fn record_ops(&mut self, kind: OpKind, approx: bool, n: u64) {
         match (kind, approx) {
-            (OpKind::Int, true) => self.int_approx_ops += 1,
-            (OpKind::Int, false) => self.int_precise_ops += 1,
-            (OpKind::Fp, true) => self.fp_approx_ops += 1,
-            (OpKind::Fp, false) => self.fp_precise_ops += 1,
+            (OpKind::Int, true) => self.int_approx_ops += n,
+            (OpKind::Int, false) => self.int_precise_ops += n,
+            (OpKind::Fp, true) => self.fp_approx_ops += n,
+            (OpKind::Fp, false) => self.fp_precise_ops += n,
         }
     }
 
