@@ -259,7 +259,7 @@ mod tests {
         let rt = exact_rt();
         rt.run(|| {
             let cases = crate::workload::triangle_cases(100);
-            for c in &cases {
+            for c in cases.iter() {
                 let approx = ray_hits_triangle(
                     Vector3::<ApproxMode>::new(c[0], c[1], c[2]),
                     Vector3::new(c[3], c[4], c[5]),

@@ -158,16 +158,61 @@ pub mod harness {
         measure_with_telemetry(app, cfg, seed, false)
     }
 
+    /// Reusable per-worker measurement state: the workload scratch cache
+    /// ([`workload::Scratch`](crate::workload::Scratch)) that lets apps
+    /// reuse generated input buffers across trials instead of allocating
+    /// fresh ones every run. A campaign worker owns one `Workspace` for its
+    /// whole lifetime and threads it through [`measure_in`]; caching is a
+    /// pure wall-clock optimization and never changes a measurement (input
+    /// generation is deterministic and unsimulated).
+    #[derive(Debug, Default)]
+    pub struct Workspace {
+        scratch: crate::workload::Scratch,
+    }
+
+    impl Workspace {
+        /// An empty workspace; buffers populate lazily on first use.
+        pub fn new() -> Self {
+            Workspace::default()
+        }
+
+        /// Makes this workspace's scratch cache active on the current
+        /// thread until the guard drops. Used by the measurement entry
+        /// points; exposed so the recovery runner can keep one installation
+        /// alive across a whole retry ladder.
+        pub fn activate(&mut self) -> crate::workload::ActiveScratch<'_> {
+            crate::workload::install(&mut self.scratch)
+        }
+    }
+
     /// [`measure_with`], optionally collecting the structured fault log.
     ///
     /// Neither the always-on counters nor the log touch the fault PRNG, so
     /// output, statistics and energy are bit-identical either way.
+    ///
+    /// Allocates a throwaway [`Workspace`]; hot campaign loops should hold
+    /// one per worker and call [`measure_in`] instead.
     pub fn measure_with_telemetry(
         app: &App,
         cfg: HwConfig,
         seed: u64,
         log_events: bool,
     ) -> Measurement {
+        measure_in(app, cfg, seed, log_events, &mut Workspace::new())
+    }
+
+    /// [`measure_with_telemetry`] with an explicit per-worker [`Workspace`]:
+    /// the app's input buffers come from (and are returned to) `ws`'s
+    /// scratch cache. Bit-identical to the workspace-free path — caching
+    /// only skips regeneration of deterministic inputs.
+    pub fn measure_in(
+        app: &App,
+        cfg: HwConfig,
+        seed: u64,
+        log_events: bool,
+        ws: &mut Workspace,
+    ) -> Measurement {
+        let _scratch = ws.activate();
         let rt = Runtime::with_config(cfg, seed);
         if log_events {
             rt.enable_fault_log();
@@ -190,8 +235,11 @@ pub mod harness {
     /// `runs == 0` means "no fault-injection evidence", which scores a
     /// mean error of 0.0 rather than dividing by zero and producing NaN.
     ///
-    /// The runs go through the campaign runner ([`trials::run_campaign`])
-    /// with the machine's available parallelism; seeds
+    /// The runs go through the streaming campaign engine
+    /// ([`trials::run_campaign_streamed`]) with the machine's available
+    /// parallelism: specs are generated lazily per index, results are
+    /// discarded after aggregation ([`trials::NullSink`]), so memory stays
+    /// O(threads × chunk) no matter how many runs are requested. Seeds
     /// (`FAULT_SEED_BASE ^ i`) and summation order are those of the
     /// original serial loop, so the result is bit-identical regardless of
     /// thread count, and a run that panics under fault injection scores
@@ -201,18 +249,20 @@ pub mod harness {
             return 0.0;
         }
         let reference = Arc::new(reference.clone());
-        let specs: Vec<trials::TrialSpec> = (0..runs)
-            .map(|i| {
-                trials::TrialSpec::scored(
-                    app,
-                    level.to_string(),
-                    HwConfig::for_level(level),
-                    FAULT_SEED_BASE ^ i,
-                    Arc::clone(&reference),
-                )
-            })
-            .collect();
-        trials::run_campaign(&specs, trials::default_threads()).mean_error()
+        let cfg = HwConfig::for_level(level);
+        let source = trials::SpecFn::new(runs as usize, |i| {
+            trials::TrialSpec::scored(
+                app,
+                level.to_string(),
+                cfg,
+                FAULT_SEED_BASE ^ i as u64,
+                Arc::clone(&reference),
+            )
+        });
+        let opts = trials::CampaignOptions::with_threads(trials::default_threads());
+        let summary = trials::run_campaign_streamed(&source, &opts, &mut trials::NullSink)
+            .expect("the null sink cannot fail");
+        summary.mean_error
     }
 
     /// Mean output error over `runs` fault-injection runs at `level`,

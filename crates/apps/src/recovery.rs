@@ -328,6 +328,32 @@ pub fn run_with_recovery(
     reference: Option<&Output>,
     log_events: bool,
 ) -> Recovered {
+    run_with_recovery_in(
+        app,
+        cfg,
+        seed,
+        policy,
+        reference,
+        log_events,
+        &mut crate::harness::Workspace::new(),
+    )
+}
+
+/// [`run_with_recovery`] with an explicit per-worker
+/// [`Workspace`](crate::harness::Workspace): every attempt of the ladder
+/// draws its input buffers from the same scratch cache, so a recovered
+/// trial regenerates nothing. Bit-identical to the workspace-free path.
+#[allow(clippy::too_many_arguments)]
+pub fn run_with_recovery_in(
+    app: &App,
+    cfg: HwConfig,
+    seed: u64,
+    policy: &Policy,
+    reference: Option<&Output>,
+    log_events: bool,
+    ws: &mut crate::harness::Workspace,
+) -> Recovered {
+    let _scratch = ws.activate();
     let mut acc = Recovered {
         output: None,
         error: 1.0,

@@ -113,7 +113,7 @@ mod tests {
         let rt = exact();
         let Output::Values(ours) = rt.run(run) else { panic!() };
         // Plain-float reference with identical pivoting logic.
-        let mut a = workload::lu_matrix(N);
+        let mut a = workload::lu_matrix(N).as_ref().clone();
         for k in 0..N {
             let mut pr = k;
             let mut best = a[k * N + k].abs();

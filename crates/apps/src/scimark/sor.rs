@@ -93,7 +93,7 @@ mod tests {
         let rt = exact();
         let Output::Values(ours) = rt.run(run) else { panic!() };
         // Plain-float reference.
-        let mut g = workload::sor_grid(N);
+        let mut g = workload::sor_grid(N).as_ref().clone();
         let om4 = OMEGA * 0.25;
         let keep = 1.0 - OMEGA;
         for _ in 0..ITERATIONS {

@@ -34,15 +34,16 @@ pub fn meta() -> AppMeta {
 /// Runs the benchmark under the ambient runtime; returns `y = A^REPS · x`
 /// normalized per product step.
 pub fn run() -> Output {
-    let (row_ptr, col_idx, vals, x0) = workload::sparse_system(N, NZ_PER_ROW);
+    let sys = workload::sparse_system(N, NZ_PER_ROW);
+    let (row_ptr, col_idx, vals, x0) = (&sys.0, &sys.1, &sys.2, &sys.3);
     // Index structure in precise DRAM.
     let mut rows: PreciseVec<i64> =
         PreciseVec::from_slice(&row_ptr.iter().map(|&v| v as i64).collect::<Vec<_>>());
     let mut cols: PreciseVec<i64> =
         PreciseVec::from_slice(&col_idx.iter().map(|&v| v as i64).collect::<Vec<_>>());
     // Numeric payload in approximate DRAM.
-    let mut a: ApproxVec<f64> = ApproxVec::from_slice(&vals);
-    let mut x: ApproxVec<f64> = ApproxVec::from_slice(&x0);
+    let mut a: ApproxVec<f64> = ApproxVec::from_slice(vals);
+    let mut x: ApproxVec<f64> = ApproxVec::from_slice(x0);
     let mut y: ApproxVec<f64> = ApproxVec::new(N);
 
     for _ in 0..REPS {
@@ -85,7 +86,9 @@ mod tests {
 
     /// Plain-float reference product.
     fn reference() -> Vec<f64> {
-        let (row_ptr, col_idx, vals, mut x) = workload::sparse_system(N, NZ_PER_ROW);
+        let sys = workload::sparse_system(N, NZ_PER_ROW);
+        let (row_ptr, col_idx, vals) = (&sys.0, &sys.1, &sys.2);
+        let mut x = sys.3.clone();
         for _ in 0..REPS {
             let mut y = vec![0.0f64; N];
             for r in 0..N {

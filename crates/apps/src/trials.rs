@@ -27,6 +27,29 @@
 //! recovery-enabled campaigns keep the bit-identical-at-any-thread-count
 //! guarantee.
 //!
+//! Campaigns run on a *streaming throughput engine* built for
+//! million-trial scale:
+//!
+//! * **Lazy specs.** A campaign's trials come from a [`SpecSource`] — an
+//!   indexed generator ([`SpecFn`]) or a plain slice — so protocol-level
+//!   campaigns ([`run_level_campaign`], the tuner) never materialize a
+//!   spec vector; spec memory is O(1) per worker.
+//! * **Chunked work stealing.** Workers claim contiguous blocks of trial
+//!   indices with one atomic op per chunk ([`CampaignOptions::chunk`],
+//!   default auto) instead of one per trial.
+//! * **Bounded-memory result streaming.** Completed [`TrialResult`]s pass
+//!   through a reorder buffer that drains them *in index order* to a
+//!   pluggable [`TrialSink`] — an in-memory vector for compatibility
+//!   ([`run_campaign`]), an NDJSON writer ([`NdjsonSink`]) or nothing at
+//!   all ([`NullSink`]) for campaign-scale runs — so peak result memory is
+//!   O(threads × chunk) instead of O(trials). Aggregates accumulate at the
+//!   drain point, in index order, which keeps every total bit-identical to
+//!   the serial loop; exact integer [`EnergyQuanta`] totals would be
+//!   order-independent anyway.
+//! * **Per-worker scratch reuse.** Each worker owns a
+//!   [`harness::Workspace`] threaded through the measurement, so apps stop
+//!   allocating fresh input buffers every trial.
+//!
 //! The resulting [`CampaignReport`] carries per-trial errors, merged
 //! [`Stats`], per-trial [`EnergyBreakdown`]s and exact
 //! [`EnergyQuantaBreakdown`]s, per-trial fault telemetry
@@ -35,11 +58,14 @@
 //! for the bench binaries' `results/BENCH_*.json` reports. The fault log
 //! exports as NDJSON via [`CampaignReport::write_fault_log`]. Campaigns run
 //! through [`CampaignOptions`] can also report live progress (trials done,
-//! panics, ETA) on stderr.
+//! panics, ETA) on stderr; progress updates are batched per chunk so the
+//! meter never contends in the trial hot path.
 
+use std::borrow::Cow;
+use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 use crate::harness::{self, FAULT_SEED_BASE};
@@ -289,37 +315,7 @@ impl CampaignReport {
             if i > 0 {
                 out.push(',');
             }
-            let causes: Vec<String> = t.failure_causes.iter().map(|c| json_string(c)).collect();
-            out.push_str(&format!(
-                "{{\"index\":{},\"app\":{},\"label\":{},\"seed\":{},\"error\":{},\
-                 \"wall_seconds\":{:.6},\"panic\":{},\"attempts\":{},\
-                 \"recovered_at_level\":{},\"failure_causes\":[{}],\
-                 \"recovery_energy_overhead\":{},\
-                 \"recovery_energy_overhead_quanta\":{},\"stats\":{},\
-                 \"energy\":{},\"energy_quanta\":{},\"fault_counts\":{}}}",
-                t.index,
-                json_string(t.app),
-                json_string(&t.label),
-                t.seed,
-                json_f64(t.error),
-                t.wall.as_secs_f64(),
-                match &t.panic {
-                    Some(msg) => json_string(msg),
-                    None => "null".to_owned(),
-                },
-                t.attempts,
-                match &t.recovered_at_level {
-                    Some(level) => json_string(level),
-                    None => "null".to_owned(),
-                },
-                causes.join(","),
-                json_f64(t.recovery_energy_overhead),
-                t.recovery_energy_overhead_quanta,
-                stats_json(&t.stats),
-                energy_json(&t.energy),
-                energy_quanta_json(&t.energy_quanta),
-                counters_json(&t.fault_counts),
-            ));
+            out.push_str(&trial_json(t));
         }
         out.push_str("]}");
         out
@@ -366,6 +362,43 @@ impl CampaignReport {
         }
         std::fs::write(path, self.fault_log_ndjson())
     }
+}
+
+/// One trial as a JSON object — the element type of the report's `trials`
+/// array and the line format of [`NdjsonSink`] (one object per line, so a
+/// streamed campaign's output is the report's trial array, un-bracketed).
+pub fn trial_json(t: &TrialResult) -> String {
+    let causes: Vec<String> = t.failure_causes.iter().map(|c| json_string(c)).collect();
+    format!(
+        "{{\"index\":{},\"app\":{},\"label\":{},\"seed\":{},\"error\":{},\
+         \"wall_seconds\":{:.6},\"panic\":{},\"attempts\":{},\
+         \"recovered_at_level\":{},\"failure_causes\":[{}],\
+         \"recovery_energy_overhead\":{},\
+         \"recovery_energy_overhead_quanta\":{},\"stats\":{},\
+         \"energy\":{},\"energy_quanta\":{},\"fault_counts\":{}}}",
+        t.index,
+        json_string(t.app),
+        json_string(&t.label),
+        t.seed,
+        json_f64(t.error),
+        t.wall.as_secs_f64(),
+        match &t.panic {
+            Some(msg) => json_string(msg),
+            None => "null".to_owned(),
+        },
+        t.attempts,
+        match &t.recovered_at_level {
+            Some(level) => json_string(level),
+            None => "null".to_owned(),
+        },
+        causes.join(","),
+        json_f64(t.recovery_energy_overhead),
+        t.recovery_energy_overhead_quanta,
+        stats_json(&t.stats),
+        energy_json(&t.energy),
+        energy_quanta_json(&t.energy_quanta),
+        counters_json(&t.fault_counts),
+    )
 }
 
 fn mean_in_order<'a>(trials: impl Iterator<Item = &'a TrialResult>) -> f64 {
@@ -479,7 +512,7 @@ pub fn default_threads() -> usize {
     std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
 }
 
-/// How to run a campaign: worker count plus telemetry switches.
+/// How to run a campaign: worker count, chunking, telemetry switches.
 #[derive(Debug, Clone, Default)]
 pub struct CampaignOptions {
     /// Worker threads (`0` means [`default_threads`]).
@@ -489,6 +522,11 @@ pub struct CampaignOptions {
     pub log_events: bool,
     /// Print live progress (trials done, panics, ETA) on stderr.
     pub progress: bool,
+    /// Trial indices a worker claims per work-stealing grab (`0` = auto:
+    /// sized so each worker claims ~8 chunks, clamped to `1..=64`). Purely
+    /// a throughput/memory knob — every trial is a pure function of its
+    /// spec, so chunking can never change outcomes or aggregates.
+    pub chunk: usize,
 }
 
 impl CampaignOptions {
@@ -498,8 +536,9 @@ impl CampaignOptions {
     }
 }
 
-/// Live progress meter shared across workers. Printing is throttled to
-/// ~20 updates per campaign and never touches trial state.
+/// Live progress meter shared across workers, updated once per *chunk* so
+/// the shared counters never contend in the per-trial hot path. Printing
+/// is throttled to ~20 updates per campaign and never touches trial state.
 struct Progress {
     enabled: bool,
     total: usize,
@@ -521,12 +560,19 @@ impl Progress {
         }
     }
 
-    fn tick(&self, panicked: bool) {
-        if panicked {
-            self.panics.fetch_add(1, Ordering::Relaxed);
+    /// Records a finished chunk of `done_now` trials, `panics_now` of which
+    /// panicked. With progress disabled this is a branch and nothing else.
+    fn tick_chunk(&self, done_now: usize, panics_now: usize) {
+        if !self.enabled || done_now == 0 {
+            return;
         }
-        let done = self.done.fetch_add(1, Ordering::Relaxed) + 1;
-        if !self.enabled || (!done.is_multiple_of(self.every) && done != self.total) {
+        if panics_now > 0 {
+            self.panics.fetch_add(panics_now, Ordering::Relaxed);
+        }
+        let done = self.done.fetch_add(done_now, Ordering::Relaxed) + done_now;
+        let before = done - done_now;
+        // Print when the chunk crossed a reporting boundary (or finished).
+        if done / self.every == before / self.every && done != self.total {
             return;
         }
         let elapsed = self.start.elapsed().as_secs_f64();
@@ -541,13 +587,19 @@ impl Progress {
 
 /// Runs one trial, catching panics from fault-corrupted executions.
 /// Recovery-enabled specs go through [`run_recovered_trial`] instead.
-fn run_trial(index: usize, spec: &TrialSpec, log_events: bool) -> TrialResult {
+/// `ws` is the worker's reusable scratch workspace.
+fn run_trial(
+    index: usize,
+    spec: &TrialSpec,
+    log_events: bool,
+    ws: &mut harness::Workspace,
+) -> TrialResult {
     if let Some(policy) = &spec.recovery {
-        return run_recovered_trial(index, spec, policy, log_events);
+        return run_recovered_trial(index, spec, policy, log_events, ws);
     }
     let start = Instant::now();
     let outcome = catch_unwind(AssertUnwindSafe(|| {
-        let m = harness::measure_with_telemetry(&spec.app, spec.cfg, spec.seed, log_events);
+        let m = harness::measure_in(&spec.app, spec.cfg, spec.seed, log_events, ws);
         let error = match &spec.reference {
             Some(reference) => output_error(spec.app.meta.metric, reference, &m.output),
             None => 0.0,
@@ -613,16 +665,18 @@ fn run_recovered_trial(
     spec: &TrialSpec,
     policy: &recovery::Policy,
     log_events: bool,
+    ws: &mut harness::Workspace,
 ) -> TrialResult {
     let start = Instant::now();
     let outcome = catch_unwind(AssertUnwindSafe(|| {
-        recovery::run_with_recovery(
+        recovery::run_with_recovery_in(
             &spec.app,
             spec.cfg,
             spec.seed,
             policy,
             spec.reference.as_deref(),
             log_events,
+            ws,
         )
     }));
     let wall = start.elapsed();
@@ -682,6 +736,323 @@ fn run_recovered_trial(
     }
 }
 
+/// An indexed source of trial specs: the campaign engine asks for the spec
+/// of each index on demand, so sources can generate lazily (O(1) spec
+/// memory) or borrow from a pre-built slice. `spec(i)` must be a pure
+/// function of `i` — workers call it from multiple threads in arbitrary
+/// order.
+pub trait SpecSource: Sync {
+    /// Number of trials in the campaign.
+    fn len(&self) -> usize;
+
+    /// The spec for trial `index` (`index < len()`). Borrowed for slice
+    /// sources, generated on the fly for lazy ones.
+    fn spec(&self, index: usize) -> Cow<'_, TrialSpec>;
+
+    /// Whether the campaign has no trials.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl SpecSource for [TrialSpec] {
+    fn len(&self) -> usize {
+        self.len()
+    }
+
+    fn spec(&self, index: usize) -> Cow<'_, TrialSpec> {
+        Cow::Borrowed(&self[index])
+    }
+}
+
+/// A lazy [`SpecSource`]: `len` trials whose specs are generated per index
+/// by a pure function. This is how protocol campaigns
+/// ([`run_level_campaign`], [`harness::mean_output_error_vs`](crate::harness::mean_output_error_vs),
+/// the tuner) avoid materializing million-entry spec vectors.
+pub struct SpecFn<F: Fn(usize) -> TrialSpec + Sync> {
+    len: usize,
+    generate: F,
+}
+
+impl<F: Fn(usize) -> TrialSpec + Sync> SpecFn<F> {
+    /// A source of `len` trials with specs from `generate`.
+    pub fn new(len: usize, generate: F) -> Self {
+        SpecFn { len, generate }
+    }
+}
+
+impl<F: Fn(usize) -> TrialSpec + Sync> SpecSource for SpecFn<F> {
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn spec(&self, index: usize) -> Cow<'_, TrialSpec> {
+        Cow::Owned((self.generate)(index))
+    }
+}
+
+/// Where completed trials go. The engine calls `accept` exactly once per
+/// trial, in strict index order, from whichever worker drained the reorder
+/// buffer (hence `Send`). A sink that errors does not abort the campaign —
+/// remaining trials still run and aggregate — but the error is returned
+/// from [`run_campaign_streamed`] and later trials are dropped instead of
+/// delivered.
+pub trait TrialSink: Send {
+    /// Consumes the next trial (indices arrive as 0, 1, 2, …).
+    fn accept(&mut self, trial: TrialResult) -> std::io::Result<()>;
+}
+
+/// Collects every trial in memory — the compatibility sink behind
+/// [`run_campaign`], O(trials) memory by design.
+#[derive(Debug, Default)]
+pub struct VecSink {
+    /// The collected trials, in index order.
+    pub trials: Vec<TrialResult>,
+}
+
+impl TrialSink for VecSink {
+    fn accept(&mut self, trial: TrialResult) -> std::io::Result<()> {
+        self.trials.push(trial);
+        Ok(())
+    }
+}
+
+/// Discards every trial (aggregates still accumulate in the summary) —
+/// for campaigns that only need totals, e.g. mean-error sweeps.
+#[derive(Debug, Default)]
+pub struct NullSink;
+
+impl TrialSink for NullSink {
+    fn accept(&mut self, _trial: TrialResult) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+/// Streams each trial as one JSON line ([`trial_json`]) — the
+/// campaign-scale sink: a million-trial run needs disk, not memory.
+#[derive(Debug)]
+pub struct NdjsonSink<W: std::io::Write + Send> {
+    out: W,
+}
+
+impl<W: std::io::Write + Send> NdjsonSink<W> {
+    /// Wraps a writer (buffer it — the engine writes one line per trial).
+    pub fn new(out: W) -> Self {
+        NdjsonSink { out }
+    }
+
+    /// Unwraps the writer (flush it before reading the stream back).
+    pub fn into_inner(self) -> W {
+        self.out
+    }
+}
+
+impl<W: std::io::Write + Send> TrialSink for NdjsonSink<W> {
+    fn accept(&mut self, trial: TrialResult) -> std::io::Result<()> {
+        self.out.write_all(trial_json(&trial).as_bytes())?;
+        self.out.write_all(b"\n")
+    }
+}
+
+/// A streamed campaign's aggregate outcome: everything a
+/// [`CampaignReport`] derives from its trial vector, accumulated at the
+/// reorder buffer's drain point in strict index order — bit-identical to
+/// post-hoc aggregation over an in-memory result vector, at O(1) memory.
+#[derive(Debug, Clone)]
+pub struct CampaignSummary {
+    /// Trials run.
+    pub trials: usize,
+    /// Mean output error, summed in trial-index order (0.0 when empty).
+    pub mean_error: f64,
+    /// Trials that panicked.
+    pub panics: usize,
+    /// Trials whose accepted output came from an escalation rung.
+    pub recovered: usize,
+    /// Statistics of all non-panicked trials, merged in trial order.
+    pub merged_stats: Stats,
+    /// Exact energy totals over every trial.
+    pub energy_quanta: EnergyQuantaBreakdown,
+    /// Per-kind fault counters merged over all trials.
+    pub fault_totals: FaultCounters,
+    /// Total energy charged to rejected recovery attempts, in exact quanta.
+    pub recovery_energy_overhead_quanta: EnergyQuanta,
+    /// Wall-clock time of the whole campaign.
+    pub wall: Duration,
+    /// Worker threads used.
+    pub threads: usize,
+    /// Chunk size used (after auto-resolution).
+    pub chunk: usize,
+    /// High-water mark of results parked in the reorder buffer (0 on the
+    /// serial path, which streams directly). Always ≤ `buffer_capacity`.
+    pub peak_buffered: usize,
+    /// The reorder buffer's capacity bound: `2 × threads × chunk`.
+    pub buffer_capacity: usize,
+}
+
+/// Running totals, folded at the drain point in index order.
+struct Totals {
+    error_sum: f64,
+    count: usize,
+    panics: usize,
+    recovered: usize,
+    merged_stats: Stats,
+    energy: EnergyQuantaBreakdown,
+    faults: FaultCounters,
+    overhead: EnergyQuanta,
+}
+
+impl Totals {
+    fn new() -> Self {
+        Totals {
+            error_sum: 0.0,
+            count: 0,
+            panics: 0,
+            recovered: 0,
+            merged_stats: Stats::new(),
+            energy: EnergyQuantaBreakdown::ZERO,
+            faults: FaultCounters::new(),
+            overhead: EnergyQuanta::ZERO,
+        }
+    }
+
+    /// Folds one trial in. Callers guarantee index order; the f64 error sum
+    /// is the only order-sensitive total (the quanta are associative).
+    fn accept(&mut self, t: &TrialResult) {
+        self.error_sum += t.error;
+        self.count += 1;
+        if t.panicked() {
+            self.panics += 1;
+        } else {
+            self.merged_stats.merge(&t.stats);
+        }
+        if t.recovered() {
+            self.recovered += 1;
+        }
+        self.energy.merge(&t.energy_quanta);
+        self.faults.merge(&t.fault_counts);
+        self.overhead += t.recovery_energy_overhead_quanta;
+    }
+
+    fn into_summary(
+        self,
+        wall: Duration,
+        threads: usize,
+        chunk: usize,
+        peak_buffered: usize,
+        buffer_capacity: usize,
+    ) -> CampaignSummary {
+        CampaignSummary {
+            trials: self.count,
+            mean_error: if self.count == 0 { 0.0 } else { self.error_sum / self.count as f64 },
+            panics: self.panics,
+            recovered: self.recovered,
+            merged_stats: self.merged_stats,
+            energy_quanta: self.energy,
+            fault_totals: self.faults,
+            recovery_energy_overhead_quanta: self.overhead,
+            wall,
+            threads,
+            chunk,
+            peak_buffered,
+            buffer_capacity,
+        }
+    }
+}
+
+/// The chunk size a campaign actually runs with: explicit when nonzero,
+/// otherwise sized so each worker claims ~8 chunks (decent balance without
+/// per-trial claiming), clamped to `1..=64`. Deterministic in (len,
+/// threads) — though chunking never affects outcomes anyway.
+fn resolve_chunk(requested: usize, len: usize, threads: usize) -> usize {
+    if requested != 0 {
+        requested
+    } else {
+        (len / (threads * 8).max(1)).clamp(1, 64)
+    }
+}
+
+/// The bounded reorder window between workers and the sink.
+///
+/// Workers insert completed trials at their index; whichever insert fills
+/// the gap at the drain cursor drains the ready prefix — folding totals and
+/// feeding the sink *in index order* — while holding the lock. An insert
+/// whose index is at least `capacity` ahead of the cursor blocks
+/// (backpressure), which is what bounds peak result memory to O(threads ×
+/// chunk).
+///
+/// Deadlock-free: the worker owning the cursor's chunk inserts its indices
+/// in order, so its next insert is never ahead of the cursor and therefore
+/// never blocks; every drain wakes all waiters.
+struct Reorder<'a> {
+    inner: Mutex<ReorderInner<'a>>,
+    space: Condvar,
+    capacity: usize,
+}
+
+struct ReorderInner<'a> {
+    /// Window slots for indices `next_drain ..`; `None` = still running.
+    window: VecDeque<Option<TrialResult>>,
+    /// Index the sink expects next.
+    next_drain: usize,
+    /// Occupied window slots, and the campaign-wide high-water mark.
+    buffered: usize,
+    peak: usize,
+    totals: Totals,
+    sink: &'a mut dyn TrialSink,
+    sink_error: Option<std::io::Error>,
+}
+
+impl Reorder<'_> {
+    fn new(sink: &mut dyn TrialSink, capacity: usize) -> Reorder<'_> {
+        Reorder {
+            inner: Mutex::new(ReorderInner {
+                window: VecDeque::new(),
+                next_drain: 0,
+                buffered: 0,
+                peak: 0,
+                totals: Totals::new(),
+                sink,
+                sink_error: None,
+            }),
+            space: Condvar::new(),
+            capacity,
+        }
+    }
+
+    fn push(&self, index: usize, result: TrialResult) {
+        let mut g = self.inner.lock().expect("unpoisoned reorder buffer");
+        while index >= g.next_drain + self.capacity {
+            g = self.space.wait(g).expect("unpoisoned reorder buffer");
+        }
+        let offset = index - g.next_drain;
+        if g.window.len() <= offset {
+            g.window.resize_with(offset + 1, || None);
+        }
+        debug_assert!(g.window[offset].is_none(), "trial {index} inserted twice");
+        g.window[offset] = Some(result);
+        g.buffered += 1;
+        if g.buffered > g.peak {
+            g.peak = g.buffered;
+        }
+        let mut drained = false;
+        while matches!(g.window.front(), Some(Some(_))) {
+            let t = g.window.pop_front().flatten().expect("front checked ready");
+            g.next_drain += 1;
+            g.buffered -= 1;
+            g.totals.accept(&t);
+            if g.sink_error.is_none() {
+                if let Err(e) = g.sink.accept(t) {
+                    g.sink_error = Some(e);
+                }
+            }
+            drained = true;
+        }
+        if drained {
+            self.space.notify_all();
+        }
+    }
+}
+
 /// Runs every spec, fanning trials across `threads` workers (`0` means
 /// [`default_threads`]). Results and all aggregates are bit-identical for
 /// any thread count.
@@ -691,60 +1062,122 @@ pub fn run_campaign(specs: &[TrialSpec], threads: usize) -> CampaignReport {
 
 /// [`run_campaign`] with explicit [`CampaignOptions`]. Telemetry switches
 /// never change trial outcomes: errors, statistics and energy are
-/// bit-identical for any option combination and thread count.
+/// bit-identical for any option combination, thread count and chunk size.
 pub fn run_campaign_with(specs: &[TrialSpec], opts: &CampaignOptions) -> CampaignReport {
+    run_campaign_from(specs, opts)
+}
+
+/// [`run_campaign_with`] over any [`SpecSource`], collecting every trial
+/// in memory. Campaigns too large to hold in memory should go through
+/// [`run_campaign_streamed`] with an [`NdjsonSink`] instead.
+pub fn run_campaign_from<S: SpecSource + ?Sized>(
+    source: &S,
+    opts: &CampaignOptions,
+) -> CampaignReport {
+    let mut sink = VecSink::default();
+    let summary =
+        run_campaign_streamed(source, opts, &mut sink).expect("the in-memory sink cannot fail");
+    CampaignReport {
+        trials: sink.trials,
+        merged_stats: summary.merged_stats,
+        wall: summary.wall,
+        threads: summary.threads,
+    }
+}
+
+/// The streaming campaign engine: runs every trial of `source`, drains
+/// completed results in index order to `sink`, and returns the aggregate
+/// [`CampaignSummary`].
+///
+/// Peak result memory is bounded by the reorder window (`2 × threads ×
+/// chunk` results), independent of campaign length. All outcomes and
+/// aggregates are bit-identical for any thread count, chunk size and sink —
+/// each trial is a pure function of its spec, and aggregation happens in
+/// index order at the drain point.
+///
+/// # Errors
+///
+/// Returns the first error the sink reported. The campaign still runs to
+/// completion (every trial executes and aggregates), but trials after the
+/// error are not delivered to the sink.
+pub fn run_campaign_streamed<S: SpecSource + ?Sized>(
+    source: &S,
+    opts: &CampaignOptions,
+    sink: &mut dyn TrialSink,
+) -> std::io::Result<CampaignSummary> {
     let start = Instant::now();
+    let len = source.len();
     let threads = if opts.threads == 0 { default_threads() } else { opts.threads };
-    let threads = threads.min(specs.len()).max(1);
-    let progress = Progress::new(specs.len(), opts.progress, start);
+    let threads = threads.min(len).max(1);
+    let chunk = resolve_chunk(opts.chunk, len, threads);
+    let capacity = threads.saturating_mul(chunk).saturating_mul(2).max(chunk + 1);
+    let progress = Progress::new(len, opts.progress, start);
     let log_events = opts.log_events;
 
-    let trials: Vec<TrialResult> = if threads <= 1 {
-        specs
-            .iter()
-            .enumerate()
-            .map(|(i, s)| {
-                let r = run_trial(i, s, log_events);
-                progress.tick(r.panicked());
-                r
-            })
-            .collect()
-    } else {
-        // One pre-claimed slot per trial: workers pull the next index from
-        // a shared counter, so results land at their spec's position no
-        // matter which worker ran them or in what order they finished.
-        let slots: Vec<Mutex<Option<TrialResult>>> =
-            specs.iter().map(|_| Mutex::new(None)).collect();
-        let next = AtomicUsize::new(0);
-        std::thread::scope(|scope| {
-            for _ in 0..threads {
-                scope.spawn(|| loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= specs.len() {
+    if threads <= 1 {
+        // Serial path: stream straight to the sink, no window needed.
+        let mut ws = harness::Workspace::new();
+        let mut totals = Totals::new();
+        let mut sink_error: Option<std::io::Error> = None;
+        let mut lo = 0usize;
+        while lo < len {
+            let hi = (lo + chunk).min(len);
+            let mut panics = 0usize;
+            for i in lo..hi {
+                let r = run_trial(i, &source.spec(i), log_events, &mut ws);
+                if r.panicked() {
+                    panics += 1;
+                }
+                totals.accept(&r);
+                if sink_error.is_none() {
+                    if let Err(e) = sink.accept(r) {
+                        sink_error = Some(e);
+                    }
+                }
+            }
+            progress.tick_chunk(hi - lo, panics);
+            lo = hi;
+        }
+        return match sink_error {
+            Some(e) => Err(e),
+            None => Ok(totals.into_summary(start.elapsed(), threads, chunk, 0, capacity)),
+        };
+    }
+
+    let reorder = Reorder::new(sink, capacity);
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| {
+                let mut ws = harness::Workspace::new();
+                loop {
+                    // One atomic op claims a whole chunk of indices.
+                    let lo = next.fetch_add(chunk, Ordering::Relaxed);
+                    if lo >= len {
                         break;
                     }
-                    let result = run_trial(i, &specs[i], log_events);
-                    progress.tick(result.panicked());
-                    *slots[i].lock().expect("unpoisoned slot") = Some(result);
-                });
-            }
-        });
-        slots
-            .into_iter()
-            .map(|slot| {
-                slot.into_inner().expect("unpoisoned slot").expect("every slot was claimed")
-            })
-            .collect()
-    };
-
-    // Aggregate serially, in trial-index order, for bit-exact determinism.
-    let mut merged_stats = Stats::new();
-    for t in &trials {
-        if !t.panicked() {
-            merged_stats.merge(&t.stats);
+                    let hi = (lo + chunk).min(len);
+                    let mut panics = 0usize;
+                    for i in lo..hi {
+                        let r = run_trial(i, &source.spec(i), log_events, &mut ws);
+                        if r.panicked() {
+                            panics += 1;
+                        }
+                        reorder.push(i, r);
+                    }
+                    progress.tick_chunk(hi - lo, panics);
+                }
+            });
+        }
+    });
+    let inner = reorder.inner.into_inner().expect("unpoisoned reorder buffer");
+    debug_assert_eq!(inner.next_drain, len, "every trial must have drained");
+    match inner.sink_error {
+        Some(e) => Err(e),
+        None => {
+            Ok(inner.totals.into_summary(start.elapsed(), threads, chunk, inner.peak, capacity))
         }
     }
-    CampaignReport { trials, merged_stats, wall: start.elapsed(), threads }
 }
 
 /// The Figure 5 protocol as one campaign: per app, a fault-free reference,
@@ -762,6 +1195,9 @@ pub fn run_level_campaign(
 
 /// [`run_level_campaign`] with explicit [`CampaignOptions`]; references are
 /// always collected without the fault log (they inject no faults).
+///
+/// Specs are generated lazily per index ([`SpecFn`]) in the canonical
+/// app → level → run order; only the per-app reference outputs are held.
 pub fn run_level_campaign_with(
     apps: &[App],
     levels: &[Level],
@@ -770,23 +1206,28 @@ pub fn run_level_campaign_with(
 ) -> CampaignReport {
     let ref_specs: Vec<TrialSpec> = apps.iter().map(TrialSpec::reference).collect();
     let references = run_campaign(&ref_specs, opts.threads);
-    let mut specs = Vec::with_capacity(apps.len() * levels.len() * runs as usize);
-    for (app, r) in apps.iter().zip(&references.trials) {
-        assert!(!r.panicked(), "{}: reference (fault-free) run panicked", app.meta.name);
-        let reference = Arc::new(r.output.clone().expect("reference trials keep their output"));
-        for level in levels {
-            for i in 0..runs {
-                specs.push(TrialSpec::scored(
-                    app,
-                    level.to_string(),
-                    HwConfig::for_level(*level),
-                    FAULT_SEED_BASE ^ i,
-                    Arc::clone(&reference),
-                ));
-            }
-        }
-    }
-    run_campaign_with(&specs, opts)
+    let refs: Vec<Arc<Output>> = apps
+        .iter()
+        .zip(&references.trials)
+        .map(|(app, r)| {
+            assert!(!r.panicked(), "{}: reference (fault-free) run panicked", app.meta.name);
+            Arc::new(r.output.clone().expect("reference trials keep their output"))
+        })
+        .collect();
+    let per_level = runs as usize;
+    let per_app = levels.len() * per_level;
+    let source = SpecFn::new(apps.len() * per_app, |i| {
+        let (a, rem) = (i / per_app, i % per_app);
+        let (l, r) = (rem / per_level, rem % per_level);
+        TrialSpec::scored(
+            &apps[a],
+            levels[l].to_string(),
+            HwConfig::for_level(levels[l]),
+            FAULT_SEED_BASE ^ r as u64,
+            Arc::clone(&refs[a]),
+        )
+    });
+    run_campaign_from(&source, opts)
 }
 
 #[cfg(test)]
@@ -955,7 +1396,7 @@ mod tests {
             assert_eq!(digest(&run_campaign(&specs, threads)), base, "{threads} threads");
         }
         // Telemetry must not perturb recovery outcomes either.
-        let opts = CampaignOptions { threads: 4, log_events: true, progress: false };
+        let opts = CampaignOptions { threads: 4, log_events: true, ..CampaignOptions::default() };
         assert_eq!(digest(&run_campaign_with(&specs, &opts)), base, "with fault log");
     }
 
@@ -1035,7 +1476,7 @@ mod tests {
                 )
             })
             .collect();
-        let opts = CampaignOptions { threads: 2, log_events: true, progress: false };
+        let opts = CampaignOptions { threads: 2, log_events: true, ..CampaignOptions::default() };
         let report = run_campaign_with(&specs, &opts);
         let totals = report.fault_totals();
         assert!(totals.total_injections() > 0, "aggressive MonteCarlo injects faults");

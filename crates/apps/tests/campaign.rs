@@ -101,7 +101,7 @@ fn batched_app_campaigns_are_bit_identical_across_threads_and_telemetry() {
         for log_events in [false, true] {
             let report = run_campaign_with(
                 &specs,
-                &CampaignOptions { threads, log_events, progress: false },
+                &CampaignOptions { threads, log_events, ..CampaignOptions::default() },
             );
             assert_eq!(report.trials.len(), baseline.trials.len());
             for (t, b) in report.trials.iter().zip(&baseline.trials) {

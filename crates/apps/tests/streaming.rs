@@ -1,0 +1,233 @@
+//! Integration tests for the streaming campaign engine: a lazily-sourced,
+//! sink-streamed campaign must be bit-identical to the in-memory runner —
+//! trial by trial and in every aggregate — for any thread count, chunk
+//! size, sink, and telemetry setting, recovery ladders included. The
+//! engine is a throughput optimization; it is allowed to change nothing
+//! else.
+
+use std::sync::Arc;
+
+use enerj_apps::harness::{self, FAULT_SEED_BASE};
+use enerj_apps::recovery::{chaos_config, Policy};
+use enerj_apps::trials::{
+    run_campaign_streamed, run_campaign_with, trial_json, CampaignOptions, CampaignReport,
+    CampaignSummary, NdjsonSink, SpecFn, TrialSpec, VecSink,
+};
+use enerj_apps::{all_apps, App};
+use enerj_hw::config::{HwConfig, Level};
+use enerj_hw::quanta::EnergyQuanta;
+use proptest::prelude::*;
+
+fn app(name: &str) -> App {
+    all_apps().into_iter().find(|a| a.meta.name == name).expect("registered")
+}
+
+/// A small mixed campaign: two apps, two fault levels, an odd trial count
+/// so no chunk size divides it evenly.
+fn mixed_specs() -> Vec<TrialSpec> {
+    let mut specs = Vec::new();
+    for name in ["FFT", "MonteCarlo"] {
+        let app = app(name);
+        let reference = Arc::new(harness::reference(&app).output);
+        for level in [Level::Mild, Level::Aggressive] {
+            for i in 0..3u64 {
+                specs.push(TrialSpec::scored(
+                    &app,
+                    level.to_string(),
+                    HwConfig::for_level(level),
+                    FAULT_SEED_BASE ^ i,
+                    Arc::clone(&reference),
+                ));
+            }
+        }
+    }
+    specs.truncate(11);
+    specs
+}
+
+/// Asserts the streamed run reproduced the in-memory report exactly:
+/// every per-trial bit and every aggregate.
+fn assert_matches_report(
+    report: &CampaignReport,
+    streamed: &[enerj_apps::trials::TrialResult],
+    summary: &CampaignSummary,
+    what: &str,
+) {
+    assert_eq!(streamed.len(), report.trials.len(), "{what}: trial count");
+    for (s, b) in streamed.iter().zip(&report.trials) {
+        let where_ = format!("{what}: trial {}", b.index);
+        assert_eq!(s.index, b.index, "{where_}: index");
+        assert_eq!(s.seed, b.seed, "{where_}: seed");
+        assert_eq!(s.label, b.label, "{where_}: label");
+        assert_eq!(s.error.to_bits(), b.error.to_bits(), "{where_}: error");
+        assert_eq!(s.stats, b.stats, "{where_}: stats");
+        assert_eq!(s.energy_quanta, b.energy_quanta, "{where_}: quanta");
+        assert_eq!(s.fault_counts, b.fault_counts, "{where_}: fault counts");
+        assert_eq!(s.panic, b.panic, "{where_}: panic");
+        assert_eq!(s.attempts, b.attempts, "{where_}: attempts");
+        assert_eq!(s.recovered_at_level, b.recovered_at_level, "{where_}: recovery rung");
+        assert_eq!(
+            s.recovery_energy_overhead_quanta, b.recovery_energy_overhead_quanta,
+            "{where_}: recovery overhead"
+        );
+    }
+    assert_eq!(summary.trials, report.trials.len(), "{what}: summary count");
+    assert_eq!(
+        summary.mean_error.to_bits(),
+        report.mean_error().to_bits(),
+        "{what}: summary mean error"
+    );
+    assert_eq!(summary.panics, report.panic_count(), "{what}: summary panics");
+    assert_eq!(summary.recovered, report.recovered_count(), "{what}: summary recovered");
+    assert_eq!(summary.merged_stats, report.merged_stats, "{what}: summary stats");
+    assert_eq!(summary.energy_quanta, report.energy_quanta_totals(), "{what}: summary quanta");
+    assert_eq!(summary.fault_totals, report.fault_totals(), "{what}: summary faults");
+    assert_eq!(
+        summary.recovery_energy_overhead_quanta,
+        report.recovery_energy_overhead(),
+        "{what}: summary overhead"
+    );
+    assert!(
+        summary.peak_buffered <= summary.buffer_capacity,
+        "{what}: window {}/{} leaked past its bound",
+        summary.peak_buffered,
+        summary.buffer_capacity
+    );
+}
+
+#[test]
+fn streamed_campaign_is_bit_identical_to_in_memory_runner() {
+    let specs = mixed_specs();
+    let baseline = run_campaign_with(&specs, &CampaignOptions::with_threads(1));
+    for threads in [1usize, 2, 4, 8] {
+        for chunk in [1usize, 16, 256] {
+            for log_events in [false, true] {
+                let source = SpecFn::new(specs.len(), |i| specs[i].clone());
+                let opts =
+                    CampaignOptions { threads, chunk, log_events, ..CampaignOptions::default() };
+                let mut sink = VecSink::default();
+                let summary = run_campaign_streamed(&source, &opts, &mut sink)
+                    .expect("the in-memory sink cannot fail");
+                let what = format!("{threads} threads, chunk {chunk}, telemetry {log_events}");
+                assert_matches_report(&baseline, &sink.trials, &summary, &what);
+            }
+        }
+    }
+}
+
+/// Recovery campaigns exercise the whole ladder inside a worker — retry
+/// seeds, escalation, overhead quanta — and must stream identically too.
+#[test]
+fn streamed_recovery_campaign_is_bit_identical() {
+    let app = app("MonteCarlo");
+    let reference = Arc::new(harness::reference(&app).output);
+    let policy = Policy { qos_threshold: Some(0.0), ..Policy::standard() };
+    let specs: Vec<TrialSpec> = (0..5u64)
+        .map(|i| {
+            TrialSpec::scored(
+                &app,
+                "chaos",
+                chaos_config(50.0),
+                FAULT_SEED_BASE ^ i,
+                Arc::clone(&reference),
+            )
+            .with_recovery(policy.clone())
+        })
+        .collect();
+    let baseline = run_campaign_with(&specs, &CampaignOptions::with_threads(1));
+    assert!(baseline.recovered_count() > 0, "threshold 0 under chaos must escalate");
+    for threads in [1usize, 4] {
+        for chunk in [1usize, 256] {
+            let source = SpecFn::new(specs.len(), |i| specs[i].clone());
+            let opts = CampaignOptions { threads, chunk, ..CampaignOptions::default() };
+            let mut sink = VecSink::default();
+            let summary = run_campaign_streamed(&source, &opts, &mut sink)
+                .expect("the in-memory sink cannot fail");
+            let what = format!("recovery at {threads} threads, chunk {chunk}");
+            assert_matches_report(&baseline, &sink.trials, &summary, &what);
+        }
+    }
+}
+
+/// Blanks the one field of a trial's JSON line that is not a function of
+/// its spec: the wall-clock measurement.
+fn mask_wall(line: &str) -> String {
+    let start = line.find("\"wall_seconds\":").expect("trial JSON carries wall_seconds");
+    let rest = &line[start..];
+    let end = start + rest.find(',').expect("wall_seconds is not the last field");
+    format!("{}\"wall_seconds\":W{}", &line[..start], &line[end..])
+}
+
+/// The NDJSON sink must receive exactly the serialization the in-memory
+/// report would produce for each trial, in index order.
+#[test]
+fn ndjson_sink_emits_trial_json_in_index_order() {
+    let specs = mixed_specs();
+    let baseline = run_campaign_with(&specs, &CampaignOptions::with_threads(1));
+    let source = SpecFn::new(specs.len(), |i| specs[i].clone());
+    let opts = CampaignOptions { threads: 4, chunk: 2, ..CampaignOptions::default() };
+    let mut sink = NdjsonSink::new(Vec::<u8>::new());
+    let summary =
+        run_campaign_streamed(&source, &opts, &mut sink).expect("Vec<u8> writes cannot fail");
+    let text = String::from_utf8(sink.into_inner()).expect("NDJSON is UTF-8");
+    let lines: Vec<&str> = text.lines().collect();
+    assert_eq!(lines.len(), baseline.trials.len());
+    assert_eq!(summary.trials, baseline.trials.len());
+    for (line, trial) in lines.iter().zip(&baseline.trials) {
+        assert_eq!(mask_wall(line), mask_wall(&trial_json(trial)), "trial {}", trial.index);
+    }
+}
+
+/// Splits `0..len` into the chunked claim order `workers` round-robin
+/// workers would produce, then folds each worker's subtotal first — the
+/// per-worker reduction shape — and finally merges worker subtotals in a
+/// seed-shuffled order.
+fn chunked_shuffled_sum(
+    values: &[u128],
+    chunk: usize,
+    workers: usize,
+    mut seed: u64,
+) -> EnergyQuanta {
+    let mut per_worker = vec![EnergyQuanta::ZERO; workers];
+    for (c, slice) in values.chunks(chunk).enumerate() {
+        for &v in slice {
+            per_worker[c % workers] += EnergyQuanta::new(v);
+        }
+    }
+    // Fisher–Yates on the worker subtotals with a tiny LCG: the merge
+    // order the condvar wakeups happen to produce is arbitrary.
+    for i in (1..per_worker.len()).rev() {
+        seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        let j = (seed >> 33) as usize % (i + 1);
+        per_worker.swap(i, j);
+    }
+    let mut total = EnergyQuanta::ZERO;
+    for sub in per_worker {
+        total += sub;
+    }
+    total
+}
+
+proptest! {
+    /// Energy quanta totals are order-independent by construction: any
+    /// per-worker chunked reduction, merged in any order, equals the
+    /// strict index-order fold the drain point performs. (This is the
+    /// property that lets the engine fold totals at the drain without
+    /// waiting for stragglers; the f64 error mean is order-sensitive and
+    /// is therefore *only* ever folded in index order.)
+    #[test]
+    fn shuffled_per_worker_quanta_reduction_matches_index_order(
+        raw in prop::collection::vec(any::<u64>(), 1..80),
+        chunk in 1usize..20,
+        workers in 1usize..9,
+        seed: u64,
+    ) {
+        let values: Vec<u128> = raw.iter().map(|&v| u128::from(v)).collect();
+        let mut index_order = EnergyQuanta::ZERO;
+        for &v in &values {
+            index_order += EnergyQuanta::new(v);
+        }
+        let shuffled = chunked_shuffled_sum(&values, chunk, workers, seed);
+        prop_assert_eq!(index_order, shuffled);
+    }
+}

@@ -47,11 +47,11 @@ fn telemetry_on_is_bit_identical_to_telemetry_off() {
     let specs = aggressive_specs(&["FFT", "MonteCarlo"], 3);
     let off = run_campaign_with(
         &specs,
-        &CampaignOptions { threads: 2, log_events: false, progress: false },
+        &CampaignOptions { threads: 2, log_events: false, ..CampaignOptions::default() },
     );
     let on = run_campaign_with(
         &specs,
-        &CampaignOptions { threads: 2, log_events: true, progress: false },
+        &CampaignOptions { threads: 2, log_events: true, ..CampaignOptions::default() },
     );
     assert_eq!(off.trials.len(), on.trials.len());
     for (a, b) in off.trials.iter().zip(&on.trials) {

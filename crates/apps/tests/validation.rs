@@ -21,8 +21,9 @@ fn fft_satisfies_parseval() {
         panic!("fft outputs values")
     };
     let n = enerj_apps::scimark::fft::N;
-    let (re, im) = workload::complex_signal(n);
-    let time_energy: f64 = re.iter().zip(&im).map(|(r, i)| r * r + i * i).sum();
+    let signal = workload::complex_signal(n);
+    let (re, im) = (&signal.0, &signal.1);
+    let time_energy: f64 = re.iter().zip(im.iter()).map(|(r, i)| r * r + i * i).sum();
     let freq_energy: f64 =
         (0..n).map(|k| spec[k] * spec[k] + spec[n + k] * spec[n + k]).sum::<f64>() / n as f64;
     assert!(

@@ -177,6 +177,9 @@ const CAUSE_CATEGORIES: [&str; 4] = ["panic", "op-budget", "check", "qos"];
 /// Per app × label: `[trials, recovered, degraded, per-category counts...]`.
 type CauseRows = BTreeMap<(String, String), [u64; 3 + CAUSE_CATEGORIES.len()]>;
 
+/// Per app × label: summed retry overhead quanta (absent in `/3` reports).
+type OverheadQuanta = BTreeMap<(String, String), u128>;
+
 /// Accumulates the recovery view from a parsed `/3`+ report.
 ///
 /// Outcomes come from the authoritative recorded fields, not inference:
@@ -188,14 +191,10 @@ type CauseRows = BTreeMap<(String, String), [u64; 3 + CAUSE_CATEGORIES.len()]>;
 /// `attempts` — and any mismatch is a validation error rather than a
 /// silently misclassified row. Overhead quanta are summed as exact
 /// integers ([`Json::as_u128`]), never through f64.
-fn causes_rows(
-    report: &Json,
-    label: Option<&str>,
-) -> Result<(CauseRows, BTreeMap<(String, String), u128>), String> {
+fn causes_rows(report: &Json, label: Option<&str>) -> Result<(CauseRows, OverheadQuanta), String> {
     let trials = report.get("trials").and_then(Json::as_array).ok_or("report: missing `trials`")?;
     let mut rows = CauseRows::new();
-    // (app, label) -> summed retry overhead quanta (absent in /3 reports).
-    let mut overhead_quanta: BTreeMap<(String, String), u128> = BTreeMap::new();
+    let mut overhead_quanta = OverheadQuanta::new();
     for (i, trial) in trials.iter().enumerate() {
         let app = trial.get("app").and_then(Json::as_str).ok_or("trial: missing `app`")?;
         let trial_label =
@@ -297,6 +296,36 @@ fn print_causes(text: &str, label: Option<&str>) -> Result<(), String> {
     Ok(())
 }
 
+fn from_ndjson(text: &str, label: Option<&str>) -> Result<Breakdown, String> {
+    let mut breakdown = Breakdown::new();
+    for (lineno, line) in text.lines().enumerate() {
+        if line.is_empty() {
+            continue;
+        }
+        let event = Json::parse(line).map_err(|e| format!("line {}: {e}", lineno + 1))?;
+        let app = event
+            .get("app")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("line {}: missing `app`", lineno + 1))?;
+        if let Some(want) = label {
+            if event.get("label").and_then(Json::as_str) != Some(want) {
+                continue;
+            }
+        }
+        let unit = event
+            .get("unit")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("line {}: missing `unit`", lineno + 1))?;
+        let kind = FaultKind::from_name(unit)
+            .ok_or_else(|| format!("line {}: unknown unit `{unit}`", lineno + 1))?;
+        let b = event.get("bits_flipped").and_then(Json::as_u128).unwrap_or(0);
+        let entry = breakdown.entry(app.to_owned()).or_default();
+        entry[kind.index()].0 += 1;
+        entry[kind.index()].1 += u64::try_from(b).unwrap_or(u64::MAX);
+    }
+    Ok(breakdown)
+}
+
 #[cfg(test)]
 mod tests {
     use super::{causes_rows, Json};
@@ -374,34 +403,4 @@ mod tests {
         let err = causes_rows(&bad, None).unwrap_err();
         assert!(err.contains("non-negative integer"), "{err}");
     }
-}
-
-fn from_ndjson(text: &str, label: Option<&str>) -> Result<Breakdown, String> {
-    let mut breakdown = Breakdown::new();
-    for (lineno, line) in text.lines().enumerate() {
-        if line.is_empty() {
-            continue;
-        }
-        let event = Json::parse(line).map_err(|e| format!("line {}: {e}", lineno + 1))?;
-        let app = event
-            .get("app")
-            .and_then(Json::as_str)
-            .ok_or_else(|| format!("line {}: missing `app`", lineno + 1))?;
-        if let Some(want) = label {
-            if event.get("label").and_then(Json::as_str) != Some(want) {
-                continue;
-            }
-        }
-        let unit = event
-            .get("unit")
-            .and_then(Json::as_str)
-            .ok_or_else(|| format!("line {}: missing `unit`", lineno + 1))?;
-        let kind = FaultKind::from_name(unit)
-            .ok_or_else(|| format!("line {}: unknown unit `{unit}`", lineno + 1))?;
-        let b = event.get("bits_flipped").and_then(Json::as_u128).unwrap_or(0);
-        let entry = breakdown.entry(app.to_owned()).or_default();
-        entry[kind.index()].0 += 1;
-        entry[kind.index()].1 += u64::try_from(b).unwrap_or(u64::MAX);
-    }
-    Ok(breakdown)
 }

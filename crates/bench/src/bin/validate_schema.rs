@@ -4,12 +4,16 @@
 //! ```text
 //! validate_schema [--report <BENCH_*.json>]... [--fault-log <log.ndjson>]...
 //!                 [--hwperf <BENCH_hwperf.json>]...
+//!                 [--campaignperf <BENCH_campaignperf.json>]...
 //!                 [--quanta-compare <a.json> <b.json>]...
 //! ```
 //!
 //! Validates each `--report` against `enerj-campaign/4`, each `--fault-log`
-//! against the NDJSON fault-event schema, and each `--hwperf` against the
-//! `enerj-hwperf/2` throughput-report schema. `--quanta-compare` checks
+//! against the NDJSON fault-event schema, each `--hwperf` against the
+//! `enerj-hwperf/2` throughput-report schema, and each `--campaignperf`
+//! against the `enerj-campaignperf/1` campaign-engine report schema
+//! (including the engine bit-identity verdict and the bounded reorder
+//! window). `--quanta-compare` checks
 //! that two campaign reports carry *identical* integer energy totals
 //! (`energy_quanta` and `recovery_energy_overhead_quanta`), compared as
 //! parsed 128-bit integers ([`Json::Int`] keeps literals lossless), so
@@ -21,7 +25,10 @@
 use std::process::ExitCode;
 
 use enerj_bench::json::Json;
-use enerj_bench::validate::{validate_campaign_report, validate_fault_log, validate_hwperf_report};
+use enerj_bench::validate::{
+    validate_campaign_report, validate_campaignperf_report, validate_fault_log,
+    validate_hwperf_report,
+};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -113,6 +120,15 @@ fn run(args: &[String]) -> Result<(), String> {
                 println!("{path}: OK (enerj-hwperf/2, {kernels} kernel rows)");
                 checked += 1;
             }
+            "--campaignperf" => {
+                let path = it.next().ok_or("--campaignperf needs a path")?;
+                let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+                let parsed = Json::parse(text.trim()).map_err(|e| format!("{path}: {e}"))?;
+                let rows =
+                    validate_campaignperf_report(&parsed).map_err(|e| format!("{path}: {e}"))?;
+                println!("{path}: OK (enerj-campaignperf/1, {rows} engine rows)");
+                checked += 1;
+            }
             "--quanta-compare" => {
                 let a = it.next().ok_or("--quanta-compare needs two paths")?;
                 let b = it.next().ok_or("--quanta-compare needs two paths")?;
@@ -124,16 +140,15 @@ fn run(args: &[String]) -> Result<(), String> {
                 return Err(format!(
                     "unknown argument `{other}`\nusage: validate_schema \
                      [--report <path>]... [--fault-log <path>]... [--hwperf <path>]... \
-                     [--quanta-compare <a> <b>]..."
+                     [--campaignperf <path>]... [--quanta-compare <a> <b>]..."
                 ))
             }
         }
     }
     if checked == 0 {
-        return Err(
-            "nothing to validate; pass --report, --fault-log, --hwperf and/or --quanta-compare"
-                .to_owned(),
-        );
+        return Err("nothing to validate; pass --report, --fault-log, --hwperf, \
+                    --campaignperf and/or --quanta-compare"
+            .to_owned());
     }
     Ok(())
 }

@@ -21,6 +21,9 @@ pub struct Options {
     pub fault_log: Option<String>,
     /// Print live campaign progress and per-unit fault totals on stderr.
     pub trace: bool,
+    /// Campaign chunk size (`0` = auto): trial indices a worker claims per
+    /// work-stealing grab. A throughput knob only — never changes results.
+    pub chunk: usize,
     /// Extra mode flags (e.g. `--error-modes` for the ablation binary,
     /// `--quick` for hwbench).
     pub flags: Vec<String>,
@@ -39,6 +42,7 @@ impl Options {
             json: false,
             fault_log: None,
             trace: false,
+            chunk: 0,
             flags: Vec::new(),
         };
         let mut args = args.skip(1);
@@ -57,6 +61,10 @@ impl Options {
                     opts.fault_log = Some(args.next().expect("--fault-log needs a path"));
                 }
                 "--trace" => opts.trace = true,
+                "--chunk" => {
+                    let v = args.next().expect("--chunk needs a value");
+                    opts.chunk = v.parse().expect("--chunk needs an integer");
+                }
                 other => opts.flags.push(other.to_owned()),
             }
         }
@@ -75,6 +83,7 @@ impl Options {
             threads: self.threads,
             log_events: self.fault_log.is_some(),
             progress: self.trace,
+            chunk: self.chunk,
         }
     }
 }

@@ -333,6 +333,113 @@ pub fn validate_hwperf_report(report: &Json) -> Result<usize, String> {
     Ok(kernels.len() + batched.len())
 }
 
+/// Keys every `enerj-campaignperf/1` engine row must carry.
+const CAMPAIGNPERF_ENGINE_KEYS: [&str; 8] = [
+    "threads",
+    "chunk",
+    "trials",
+    "slot_trials_per_sec",
+    "streamed_trials_per_sec",
+    "speedup",
+    "peak_buffered",
+    "buffer_capacity",
+];
+
+/// Keys the `enerj-campaignperf/1` memory section must carry.
+const CAMPAIGNPERF_MEMORY_KEYS: [&str; 8] = [
+    "trials",
+    "threads",
+    "chunk",
+    "trials_per_sec",
+    "ndjson_bytes",
+    "peak_buffered",
+    "buffer_capacity",
+    "vm_hwm_kb",
+];
+
+fn require_bounded_window(row: &Json, what: &str) -> Result<(), String> {
+    let peak = require_number(row, "peak_buffered", what)?;
+    let capacity = require_positive(row, "buffer_capacity", what)?;
+    if peak < 0.0 || peak.fract() != 0.0 {
+        return Err(format!("{what}: `peak_buffered` must be a non-negative integer ({peak})"));
+    }
+    if peak > capacity {
+        return Err(format!(
+            "{what}: peak_buffered {peak} exceeds buffer_capacity {capacity} — \
+             the reorder window is not bounded"
+        ));
+    }
+    Ok(())
+}
+
+/// Validates a parsed `enerj-campaignperf/1` throughput report (the
+/// `campaign_bench` binary's output). Checks schema, the engine
+/// bit-identity verdict, that the reorder window stayed within its
+/// capacity everywhere, and that every rate and speedup is finite,
+/// positive, and self-consistent — it does *not* gate on absolute speed,
+/// so the CI campaign-smoke job catches emitter drift without flaking on
+/// slow runners. Returns the engine-grid row count.
+pub fn validate_campaignperf_report(report: &Json) -> Result<usize, String> {
+    let schema =
+        report.get("schema").and_then(Json::as_str).ok_or("report: missing `schema` string")?;
+    if schema != "enerj-campaignperf/1" {
+        return Err(format!("report: schema `{schema}`, expected `enerj-campaignperf/1`"));
+    }
+    if report.get("quick").is_none() {
+        return Err("report: missing top-level `quick`".to_owned());
+    }
+    match report.get("identical") {
+        Some(Json::Bool(true)) => {}
+        Some(Json::Bool(false)) => {
+            return Err("report: `identical` is false — the engines disagreed".to_owned())
+        }
+        _ => return Err("report: missing boolean `identical`".to_owned()),
+    }
+    let memory = report.get("memory").ok_or("report: missing `memory` object")?;
+    for key in CAMPAIGNPERF_MEMORY_KEYS {
+        if memory.get(key).is_none() {
+            return Err(format!("memory: missing `{key}`"));
+        }
+    }
+    require_positive(memory, "trials", "memory")?;
+    require_positive(memory, "threads", "memory")?;
+    require_positive(memory, "chunk", "memory")?;
+    require_positive(memory, "trials_per_sec", "memory")?;
+    require_positive(memory, "ndjson_bytes", "memory")?;
+    require_bounded_window(memory, "memory")?;
+    let hwm = require_number(memory, "vm_hwm_kb", "memory")?;
+    if hwm < 0.0 {
+        return Err(format!("memory: negative vm_hwm_kb {hwm}"));
+    }
+    let engine =
+        report.get("engine").and_then(Json::as_array).ok_or("report: `engine` must be an array")?;
+    if engine.is_empty() {
+        return Err("report: `engine` is empty".to_owned());
+    }
+    for (i, row) in engine.iter().enumerate() {
+        let what = format!("engine[{i}]");
+        for key in CAMPAIGNPERF_ENGINE_KEYS {
+            if row.get(key).is_none() {
+                return Err(format!("{what}: missing `{key}`"));
+            }
+        }
+        require_positive(row, "threads", &what)?;
+        require_positive(row, "chunk", &what)?;
+        require_positive(row, "trials", &what)?;
+        let slot = require_positive(row, "slot_trials_per_sec", &what)?;
+        let streamed = require_positive(row, "streamed_trials_per_sec", &what)?;
+        let speedup = require_positive(row, "speedup", &what)?;
+        let implied = streamed / slot;
+        if (speedup - implied).abs() > 0.01 * implied.max(speedup) {
+            return Err(format!(
+                "{what}: speedup {speedup} inconsistent with {streamed}/{slot} = {implied:.3}"
+            ));
+        }
+        require_bounded_window(row, &what)?;
+    }
+    Ok(engine.len())
+}
+
 /// Validates one NDJSON fault-log line (already parsed).
 pub fn validate_fault_event(event: &Json, what: &str) -> Result<(), String> {
     for key in EVENT_KEYS {
@@ -399,7 +506,7 @@ mod tests {
                 )
             })
             .collect();
-        let opts = CampaignOptions { threads: 1, log_events: true, progress: false };
+        let opts = CampaignOptions { threads: 1, log_events: true, ..CampaignOptions::default() };
         run_campaign_with(&specs, &opts)
     }
 
@@ -553,6 +660,71 @@ mod tests {
         let wrong_speedup = HWPERF_OK.replace("\"speedup\": 6.0", "\"speedup\": 60.0");
         let v = Json::parse(&wrong_speedup).unwrap();
         assert!(validate_hwperf_report(&v).unwrap_err().contains("inconsistent"));
+    }
+
+    const CAMPAIGNPERF_OK: &str = r#"{
+        "schema": "enerj-campaignperf/1",
+        "quick": true,
+        "identical": true,
+        "memory": {
+            "trials": 50000, "threads": 2, "chunk": 64,
+            "trials_per_sec": 120000.0, "ndjson_bytes": 48000000,
+            "peak_buffered": 250, "buffer_capacity": 256, "vm_hwm_kb": 2900
+        },
+        "engine": [
+            {"threads": 2, "chunk": 16, "trials": 2000,
+             "slot_trials_per_sec": 50000.0, "streamed_trials_per_sec": 600000.0,
+             "speedup": 12.0, "peak_buffered": 64, "buffer_capacity": 64}
+        ]
+    }"#;
+
+    #[test]
+    fn campaignperf_report_validates() {
+        let v = Json::parse(CAMPAIGNPERF_OK).unwrap();
+        assert_eq!(validate_campaignperf_report(&v), Ok(1));
+    }
+
+    #[test]
+    fn campaignperf_rejects_drifted_reports() {
+        let wrong_schema = CAMPAIGNPERF_OK.replace("campaignperf/1", "campaignperf/0");
+        let v = Json::parse(&wrong_schema).unwrap();
+        assert!(validate_campaignperf_report(&v).unwrap_err().contains("schema"));
+
+        let not_identical = CAMPAIGNPERF_OK.replace("\"identical\": true", "\"identical\": false");
+        let v = Json::parse(&not_identical).unwrap();
+        assert!(validate_campaignperf_report(&v).unwrap_err().contains("disagreed"));
+
+        let wrong_speedup = CAMPAIGNPERF_OK.replace("\"speedup\": 12.0", "\"speedup\": 3.0");
+        let v = Json::parse(&wrong_speedup).unwrap();
+        assert!(validate_campaignperf_report(&v).unwrap_err().contains("inconsistent"));
+
+        let zero_rate = CAMPAIGNPERF_OK
+            .replace("\"slot_trials_per_sec\": 50000.0", "\"slot_trials_per_sec\": 0.0");
+        let v = Json::parse(&zero_rate).unwrap();
+        assert!(validate_campaignperf_report(&v).unwrap_err().contains("positive"));
+
+        let no_engine = CAMPAIGNPERF_OK.replace("\"engine\"", "\"grid\"");
+        let v = Json::parse(&no_engine).unwrap();
+        assert!(validate_campaignperf_report(&v).unwrap_err().contains("engine"));
+    }
+
+    #[test]
+    fn campaignperf_rejects_unbounded_windows() {
+        // A peak above capacity means the reorder window leaked — the
+        // bounded-memory claim would be false.
+        let overflow = CAMPAIGNPERF_OK.replace("\"peak_buffered\": 250", "\"peak_buffered\": 300");
+        let v = Json::parse(&overflow).unwrap();
+        assert!(validate_campaignperf_report(&v).unwrap_err().contains("not bounded"));
+    }
+
+    #[test]
+    fn campaignperf_accepts_real_bench_output() {
+        // Shape-check the committed capture, when present.
+        let path = crate::bench_report_path("campaignperf");
+        if let Ok(text) = std::fs::read_to_string(path) {
+            let v = Json::parse(&text).unwrap();
+            assert!(validate_campaignperf_report(&v).unwrap() >= 1);
+        }
     }
 
     #[test]

@@ -48,6 +48,29 @@ impl Hardware {
         self.dram_decay_fault(bits, width, h)
     }
 
+    /// [`Hardware::dram_decay`] over a run of elements sharing one refresh
+    /// gap: the rate/gap guards, the hazard lookup and the exposure
+    /// multiply are hoisted out of the loop, which then consumes the
+    /// hazard countdown element by element exactly as a scalar
+    /// `dram_decay` sequence would — the same f64 subtractions in the same
+    /// order, the same RNG stream when a fault fires — so the observed
+    /// patterns are bit-identical to per-element calls.
+    fn dram_decay_run(&mut self, words: &mut [u64], width: u32, dt_ticks: u64) {
+        if self.hot.dram_rate <= 0.0 || dt_ticks == 0 {
+            return;
+        }
+        let h = self.dram_hazard(dt_ticks);
+        if h <= 0.0 {
+            return;
+        }
+        let exposure = f64::from(width) * h;
+        for w in words.iter_mut() {
+            if !self.sched.dram.pass(exposure) {
+                *w = self.dram_decay_fault(*w, width, h);
+            }
+        }
+    }
+
     /// Fault payload of a decay event; out of line so the fault-free read
     /// carries none of the bit-walking machinery.
     #[cold]
@@ -204,8 +227,13 @@ impl DramArray {
     /// element's refresh point is reconstructed by index (element `j` reads
     /// at tick `base + j + 1`), so decay exposure, the hazard countdown walk
     /// and the RNG stream are bit-identical to a scalar `read` loop. The
-    /// amortization is in the borrow, bounds and accounting overhead, not in
-    /// the fault model.
+    /// amortization is in the borrow, bounds and accounting overhead — and
+    /// in decay dispatch: elements whose refresh gaps are equal (the common
+    /// case, when the slice was last touched by another slice op, which
+    /// stamps consecutive ticks) are handed to [`Hardware::dram_decay_run`]
+    /// as one maximal run, hoisting the per-read guards, hazard lookup and
+    /// exposure multiply while keeping the per-element countdown walk. The
+    /// fault model is untouched either way.
     ///
     /// # Panics
     ///
@@ -213,18 +241,35 @@ impl DramArray {
     pub fn read_slice(&mut self, hw: &mut Hardware, start: usize, out: &mut [u64]) {
         let base = hw.op_ticks();
         hw.tick_batch(out.len() as u64);
-        for (j, o) in out.iter_mut().enumerate() {
+        let n = out.len();
+        let mut j = 0;
+        while j < n {
             let i = start + j;
             let now = base + j as u64 + 1;
-            let stored = self.words[i];
-            let v = if self.approx && i >= self.first_approx_elem {
-                hw.dram_decay(stored, self.elem_width, now - self.last_access[i])
-            } else {
-                stored
-            };
-            self.words[i] = v;
-            self.last_access[i] = now;
-            *o = v;
+            if !(self.approx && i >= self.first_approx_elem) {
+                // Precise storage: no decay, just the refresh stamp.
+                out[j] = self.words[i];
+                self.last_access[i] = now;
+                j += 1;
+                continue;
+            }
+            // Maximal run of equal refresh gaps: element `j + k` reads at
+            // tick `now + k`, so its gap equals `dt` iff its last access
+            // was exactly `k` ticks after element `j`'s.
+            let dt = now - self.last_access[i];
+            let mut end = j + 1;
+            while end < n
+                && base + end as u64 + 1 >= self.last_access[start + end]
+                && base + end as u64 + 1 - self.last_access[start + end] == dt
+            {
+                end += 1;
+            }
+            hw.dram_decay_run(&mut self.words[start + j..start + end], self.elem_width, dt);
+            for (k, slot) in out.iter_mut().enumerate().take(end).skip(j) {
+                self.last_access[start + k] = base + k as u64 + 1;
+                *slot = self.words[start + k];
+            }
+            j = end;
         }
     }
 
