@@ -50,13 +50,32 @@ pub fn run() -> Output {
     Output::Decisions(decisions)
 }
 
+/// The plausibility band the hit fraction must land in to pass [`check`].
+///
+/// The generated case mix intersects a middling fraction of the time (the
+/// reference sits well inside `(0.1, 0.9)`, asserted by a pinned test); a
+/// batch deciding almost everything one way is the signature of a
+/// corrupted early-out comparison stuck on one branch — a failure the
+/// length check alone can never see.
+pub const HIT_FRACTION_BAND: (f64, f64) = (0.05, 0.95);
+
 /// Recovery sanity check (see [`App::check`](crate::App)): the batch size
 /// is precise, so anything but exactly [`CASES`] decisions means the run
-/// corrupted its own control flow.
+/// corrupted its own control flow; and the hit fraction must land in the
+/// [`HIT_FRACTION_BAND`] plausibility band.
 pub fn check(output: &Output) -> Result<(), String> {
     match output {
-        Output::Decisions(d) if d.len() == CASES => Ok(()),
-        Output::Decisions(d) => Err(format!("expected {CASES} decisions, got {}", d.len())),
+        Output::Decisions(d) if d.len() != CASES => {
+            Err(format!("expected {CASES} decisions, got {}", d.len()))
+        }
+        Output::Decisions(d) => {
+            let hits = d.iter().filter(|&&b| b).count() as f64 / CASES as f64;
+            if hits < HIT_FRACTION_BAND.0 || hits > HIT_FRACTION_BAND.1 {
+                Err(format!("implausible hit fraction {hits:.3}"))
+            } else {
+                Ok(())
+            }
+        }
         other => Err(format!("expected decisions, got {other}")),
     }
 }
@@ -115,6 +134,22 @@ mod tests {
         let s = rt.stats();
         assert!(s.approx_op_fraction(enerj_hw::OpKind::Fp) > 0.99);
         assert!(s.dram_approx_quanta.is_zero(), "all data lives in locals");
+    }
+
+    #[test]
+    fn check_accepts_the_reference_and_rejects_degenerate_batches() {
+        let rt = exact();
+        let reference = rt.run(run);
+        assert_eq!(check(&reference), Ok(()), "the reference decisions must pass their own check");
+        // Right length, degenerate content: a comparison stuck on one
+        // branch decides everything the same way.
+        assert!(check(&Output::Decisions(vec![true; CASES])).is_err());
+        assert!(check(&Output::Decisions(vec![false; CASES])).is_err());
+        // Wrong length is still structural corruption.
+        assert!(check(&Output::Decisions(vec![true; CASES - 1])).is_err());
+        // A mixed batch inside the band passes.
+        let mixed: Vec<bool> = (0..CASES).map(|i| i % 3 == 0).collect();
+        assert_eq!(check(&Output::Decisions(mixed)), Ok(()));
     }
 
     #[test]

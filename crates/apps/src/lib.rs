@@ -26,12 +26,14 @@
 
 pub mod approximable;
 pub mod canary;
+pub mod estimator;
 pub mod imagej;
 pub mod jmonkey;
 pub mod meta;
 pub mod qos;
 pub mod raytracer;
 pub mod recovery;
+pub mod scheduler;
 pub mod scimark;
 pub mod trials;
 pub mod tuner;

@@ -50,11 +50,25 @@ pub fn run() -> Output {
     Output::Values(vec![pi.get()])
 }
 
-/// Recovery sanity check (see [`App::check`](crate::App)): the estimate is
-/// `4 * hits/samples`, so any value outside `[0, 4]` is fault-corrupted.
+/// The plausibility band a π estimate must land in to pass [`check`].
+///
+/// 8192 samples put the honest estimate within a few hundredths of π; a
+/// value outside this band is not a π estimate, even though the raw
+/// formula `4 * hits/samples` could produce anything in `[0, 4]`. The
+/// reference output sits comfortably inside (asserted by a pinned test),
+/// so tightening the band from the structural `[0, 4]` cannot reject a
+/// correct run — it only catches corrupted-but-formerly-plausible
+/// scalars, the gap EXPERIMENTS.md documents for this app.
+pub const PI_BAND: (f64, f64) = (2.6, 3.7);
+
+/// Recovery sanity check (see [`App::check`](crate::App)): the estimate
+/// must be finite and inside the [`PI_BAND`] plausibility band.
 pub fn check(output: &Output) -> Result<(), String> {
     use enerj_core::Guard;
-    crate::qos::check_values(output, &enerj_core::finite().and(enerj_core::in_range(0.0, 4.0)))
+    crate::qos::check_values(
+        output,
+        &enerj_core::finite().and(enerj_core::in_range(PI_BAND.0, PI_BAND.1)),
+    )
 }
 
 #[cfg(test)]
@@ -93,6 +107,24 @@ mod tests {
         let s = rt.stats();
         assert!(s.dram_approx_quanta.is_zero());
         assert!(!s.sram_approx_quanta.is_zero());
+    }
+
+    #[test]
+    fn check_accepts_the_reference_and_rejects_corrupted_scalars() {
+        let rt = exact();
+        let reference = rt.run(run);
+        assert_eq!(check(&reference), Ok(()), "the reference estimate must pass its own check");
+        // Corrupted-but-formerly-plausible scalars: all inside the old
+        // structural [0, 4] band, all visibly not π estimates.
+        for corrupted in [0.0, 0.5, 1.0, 2.0, 2.5, 3.8, 4.0] {
+            assert!(check(&Output::Values(vec![corrupted])).is_err(), "{corrupted}");
+        }
+        assert!(check(&Output::Values(vec![f64::NAN])).is_err());
+        assert!(check(&Output::Values(vec![f64::NAN; 3])).is_err());
+        #[allow(clippy::approx_constant)] // a sign-flipped pi estimate, deliberately
+        let negated = -3.14;
+        assert!(check(&Output::Values(vec![negated])).is_err());
+        assert!(check(&Output::Values(vec![1e10])).is_err());
     }
 
     #[test]

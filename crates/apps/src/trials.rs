@@ -54,7 +54,7 @@
 //! [`Stats`], per-trial [`EnergyBreakdown`]s and exact
 //! [`EnergyQuantaBreakdown`]s, per-trial fault telemetry
 //! ([`FaultCounters`], plus opt-in structured [`FaultEvent`] logs) and
-//! wall-clock times, and serializes to JSON (`schema: "enerj-campaign/4"`)
+//! wall-clock times, and serializes to JSON (`schema: "enerj-campaign/5"`)
 //! for the bench binaries' `results/BENCH_*.json` reports. The fault log
 //! exports as NDJSON via [`CampaignReport::write_fault_log`]. Campaigns run
 //! through [`CampaignOptions`] can also report live progress (trials done,
@@ -100,6 +100,12 @@ pub struct TrialSpec {
     /// reference-free output check, QoS threshold, and the policy's
     /// precision-escalation ladder on failure (see [`recovery`]).
     pub recovery: Option<recovery::Policy>,
+    /// The precision level an online scheduler assigned this trial, when
+    /// the spec was rewritten at claim time (see
+    /// [`scheduler`](crate::scheduler)); copied verbatim onto the
+    /// [`TrialResult`] and into the `/5` report. `None` for statically
+    /// configured campaigns.
+    pub scheduled_level: Option<String>,
 }
 
 impl TrialSpec {
@@ -119,6 +125,7 @@ impl TrialSpec {
             reference: Some(reference),
             keep_output: false,
             recovery: None,
+            scheduled_level: None,
         }
     }
 
@@ -132,6 +139,7 @@ impl TrialSpec {
             reference: None,
             keep_output: true,
             recovery: None,
+            scheduled_level: None,
         }
     }
 
@@ -197,6 +205,11 @@ pub struct TrialResult {
     /// `accepted-attempt energy + overhead == energy_quanta.total` holds
     /// exactly.
     pub recovery_energy_overhead_quanta: EnergyQuanta,
+    /// The precision level the online scheduler assigned this trial
+    /// (`None` for statically configured campaigns): copied from
+    /// [`TrialSpec::scheduled_level`], preserved even when the trial
+    /// panicked.
+    pub scheduled_level: Option<String>,
 }
 
 impl TrialResult {
@@ -225,6 +238,13 @@ pub struct CampaignReport {
     pub wall: Duration,
     /// Worker threads used.
     pub threads: usize,
+    /// The per-campaign energy budget an online scheduler held, in metered
+    /// quanta (`None` for unscheduled campaigns).
+    pub budget_quanta: Option<EnergyQuanta>,
+    /// Whether the metered spend ended at or under
+    /// [`budget_quanta`](Self::budget_quanta) (`None` for unscheduled
+    /// campaigns).
+    pub budget_met: Option<bool>,
 }
 
 impl CampaignReport {
@@ -285,21 +305,37 @@ impl CampaignReport {
         totals
     }
 
-    /// Serializes the report as a JSON object (`schema: "enerj-campaign/4"`,
-    /// which moves storage accounting and energy totals to exact integer
-    /// quanta; the `/1`–`/3` schemas are superseded — see DESIGN.md).
+    /// Serializes the report as a JSON object (`schema: "enerj-campaign/5"`,
+    /// which adds the scheduler vocabulary — per-trial `scheduled_level`,
+    /// campaign `budget_quanta`/`budget_met` — on top of `/4`'s exact
+    /// integer quanta; the `/1`–`/4` schemas are superseded — see
+    /// DESIGN.md).
     ///
     /// All `*_quanta` values are raw integers (no exponent notation), so a
     /// byte-level comparison of those fields across reports is an exact
     /// comparison of the underlying `u128` totals.
     pub fn to_json(&self) -> String {
         let mut out = String::with_capacity(256 + 256 * self.trials.len());
-        out.push_str("{\"schema\":\"enerj-campaign/4\"");
+        out.push_str("{\"schema\":\"enerj-campaign/5\"");
         out.push_str(&format!(",\"threads\":{}", self.threads));
         out.push_str(&format!(",\"wall_seconds\":{:.6}", self.wall.as_secs_f64()));
         out.push_str(&format!(",\"mean_error\":{}", json_f64(self.mean_error())));
         out.push_str(&format!(",\"panics\":{}", self.panic_count()));
         out.push_str(&format!(",\"recovered\":{}", self.recovered_count()));
+        out.push_str(&format!(
+            ",\"budget_quanta\":{}",
+            match self.budget_quanta {
+                Some(q) => q.to_string(),
+                None => "null".to_owned(),
+            }
+        ));
+        out.push_str(&format!(
+            ",\"budget_met\":{}",
+            match self.budget_met {
+                Some(met) => met.to_string(),
+                None => "null".to_owned(),
+            }
+        ));
         out.push_str(&format!(
             ",\"recovery_energy_overhead_quanta\":{}",
             self.recovery_energy_overhead()
@@ -372,7 +408,8 @@ pub fn trial_json(t: &TrialResult) -> String {
     format!(
         "{{\"index\":{},\"app\":{},\"label\":{},\"seed\":{},\"error\":{},\
          \"wall_seconds\":{:.6},\"panic\":{},\"attempts\":{},\
-         \"recovered_at_level\":{},\"failure_causes\":[{}],\
+         \"recovered_at_level\":{},\"scheduled_level\":{},\
+         \"failure_causes\":[{}],\
          \"recovery_energy_overhead\":{},\
          \"recovery_energy_overhead_quanta\":{},\"stats\":{},\
          \"energy\":{},\"energy_quanta\":{},\"fault_counts\":{}}}",
@@ -388,6 +425,10 @@ pub fn trial_json(t: &TrialResult) -> String {
         },
         t.attempts,
         match &t.recovered_at_level {
+            Some(level) => json_string(level),
+            None => "null".to_owned(),
+        },
+        match &t.scheduled_level {
             Some(level) => json_string(level),
             None => "null".to_owned(),
         },
@@ -627,6 +668,7 @@ fn run_trial(
             failure_causes: Vec::new(),
             recovery_energy_overhead: 0.0,
             recovery_energy_overhead_quanta: EnergyQuanta::ZERO,
+            scheduled_level: spec.scheduled_level.clone(),
         },
         Err(payload) => {
             let msg = enerj_core::panic_message(payload.as_ref());
@@ -651,6 +693,7 @@ fn run_trial(
                 recovered_at_level: None,
                 recovery_energy_overhead: 0.0,
                 recovery_energy_overhead_quanta: EnergyQuanta::ZERO,
+                scheduled_level: spec.scheduled_level.clone(),
             }
         }
     }
@@ -708,6 +751,7 @@ fn run_recovered_trial(
                 failure_causes: r.failure_causes.iter().map(|c| c.to_string()).collect(),
                 recovery_energy_overhead: r.recovery_energy_overhead,
                 recovery_energy_overhead_quanta: r.recovery_energy_overhead_quanta,
+                scheduled_level: spec.scheduled_level.clone(),
             }
         }
         Err(payload) => {
@@ -731,6 +775,7 @@ fn run_recovered_trial(
                 recovered_at_level: None,
                 recovery_energy_overhead: 0.0,
                 recovery_energy_overhead_quanta: EnergyQuanta::ZERO,
+                scheduled_level: spec.scheduled_level.clone(),
             }
         }
     }
@@ -738,9 +783,19 @@ fn run_recovered_trial(
 
 /// An indexed source of trial specs: the campaign engine asks for the spec
 /// of each index on demand, so sources can generate lazily (O(1) spec
-/// memory) or borrow from a pre-built slice. `spec(i)` must be a pure
-/// function of `i` — workers call it from multiple threads in arbitrary
-/// order.
+/// memory) or borrow from a pre-built slice.
+///
+/// Workers call `spec(i)` from multiple threads, in arbitrary order, once
+/// per index, immediately before running trial `i`. The returned spec must
+/// be a *deterministic* function of `i` and of campaign state that is
+/// itself deterministic at the moment of the call — for plain sources that
+/// means a pure function of `i`; a scheduling source
+/// ([`scheduler::ScheduledSource`](crate::scheduler::ScheduledSource)) may
+/// additionally consult controller state derived from the drained trial
+/// prefix, and may *block* until that prefix is long enough, provided it
+/// only ever waits on trials with indices strictly below `i` (the engine
+/// guarantees all lower indices are already claimed, so such a wait cannot
+/// deadlock).
 pub trait SpecSource: Sync {
     /// Number of trials in the campaign.
     fn len(&self) -> usize;
@@ -1082,6 +1137,8 @@ pub fn run_campaign_from<S: SpecSource + ?Sized>(
         merged_stats: summary.merged_stats,
         wall: summary.wall,
         threads: summary.threads,
+        budget_quanta: None,
+        budget_met: None,
     }
 }
 
@@ -1285,8 +1342,11 @@ mod tests {
         let specs = vec![TrialSpec::reference(&app("MonteCarlo"))];
         let report = run_campaign(&specs, 1);
         let json = report.to_json();
-        assert!(json.starts_with("{\"schema\":\"enerj-campaign/4\""));
+        assert!(json.starts_with("{\"schema\":\"enerj-campaign/5\""));
         assert!(json.contains("\"app\":\"MonteCarlo\""));
+        assert!(json.contains("\"budget_quanta\":null"));
+        assert!(json.contains("\"budget_met\":null"));
+        assert!(json.contains("\"scheduled_level\":null"));
         assert!(json.contains("\"merged_stats\""));
         assert!(json.contains("\"panic\":null"));
         assert!(json.contains("\"fault_totals\""));

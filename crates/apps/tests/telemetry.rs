@@ -1,5 +1,5 @@
 //! Integration tests for the fault-telemetry layer: telemetry must never
-//! change campaign outcomes, the `enerj-campaign/4` serialization must stay
+//! change campaign outcomes, the `enerj-campaign/5` serialization must stay
 //! byte-stable (golden files), and the evaluation, tuner and recovery-retry
 //! seed spaces must be provably pairwise disjoint.
 
@@ -105,6 +105,7 @@ fn synthetic_report() -> CampaignReport {
         ],
         attempts: 2,
         recovered_at_level: Some("Precise".to_owned()),
+        scheduled_level: Some("Mild".to_owned()),
         failure_causes: vec!["qos: error 0.5000 > threshold 0.1".to_owned()],
         recovery_energy_overhead: 0.84,
         recovery_energy_overhead_quanta: EnergyQuanta::new(1_234_500),
@@ -134,6 +135,7 @@ fn synthetic_report() -> CampaignReport {
         events: Vec::new(),
         attempts: 1,
         recovered_at_level: None,
+        scheduled_level: None,
         failure_causes: vec!["panic: index \"7\" out of bounds\n".to_owned()],
         recovery_energy_overhead: 0.0,
         recovery_energy_overhead_quanta: EnergyQuanta::ZERO,
@@ -144,6 +146,8 @@ fn synthetic_report() -> CampaignReport {
         trials: vec![healthy, crashed],
         wall: Duration::from_micros(1_250_000),
         threads: 3,
+        budget_quanta: Some(EnergyQuanta::new(130_000_000_000)),
+        budget_met: Some(true),
     }
 }
 
@@ -163,17 +167,21 @@ fn check_golden(name: &str, actual: &str) {
         .unwrap_or_else(|e| panic!("{}: {e}; run with BLESS_GOLDEN=1 to create", path.display()));
     assert_eq!(
         actual, expected,
-        "{name} drifted from the committed enerj-campaign/4 golden; if the \
-         schema change is intentional, bump the schema tag, document it in \
-         DESIGN.md and re-bless with BLESS_GOLDEN=1"
+        "{name} drifted from the committed golden; if the schema change is \
+         intentional, bump the schema tag, document it in DESIGN.md and \
+         re-bless with BLESS_GOLDEN=1"
     );
 }
 
 #[test]
-fn campaign_report_json_matches_the_v4_golden() {
+fn campaign_report_json_matches_the_v5_golden() {
     let json = synthetic_report().to_json();
-    assert!(json.starts_with("{\"schema\":\"enerj-campaign/4\""));
-    check_golden("campaign_v4.json", &(json + "\n"));
+    assert!(json.starts_with("{\"schema\":\"enerj-campaign/5\""));
+    assert!(json.contains("\"budget_quanta\":130000000000"));
+    assert!(json.contains("\"budget_met\":true"));
+    assert!(json.contains("\"scheduled_level\":\"Mild\""));
+    assert!(json.contains("\"scheduled_level\":null"));
+    check_golden("campaign_v5.json", &(json + "\n"));
 }
 
 #[test]

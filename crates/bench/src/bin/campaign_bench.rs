@@ -136,6 +136,7 @@ mod slot {
                 failure_causes: Vec::new(),
                 recovery_energy_overhead: 0.0,
                 recovery_energy_overhead_quanta: EnergyQuanta::ZERO,
+                scheduled_level: spec.scheduled_level.clone(),
             },
             Err(payload) => {
                 let msg = enerj_core::panic_message(payload.as_ref());
@@ -158,6 +159,7 @@ mod slot {
                     recovered_at_level: None,
                     recovery_energy_overhead: 0.0,
                     recovery_energy_overhead_quanta: EnergyQuanta::ZERO,
+                    scheduled_level: spec.scheduled_level.clone(),
                 }
             }
         }

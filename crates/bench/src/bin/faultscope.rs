@@ -5,7 +5,7 @@
 //! faultscope <results/BENCH_*.json | faults.ndjson> [--label L] [--bits] [--causes]
 //! ```
 //!
-//! Reads either a campaign report (`enerj-campaign/2` through `/4` JSON,
+//! Reads either a campaign report (`enerj-campaign/2` through `/5` JSON,
 //! aggregating each trial's `fault_counts`) or an NDJSON fault log
 //! (counting events), auto-detected, and prints one row per application
 //! with a column per fault kind. Cells are injection counts with each
@@ -254,14 +254,14 @@ fn causes_rows(report: &Json, label: Option<&str>) -> Result<(CauseRows, Overhea
 
 /// Prints the recovery view: per app × label, the trial count, recovery
 /// outcomes, the failure-cause mix, and the exact retry energy overhead
-/// (integer quanta, `enerj-campaign/4`).
+/// (integer quanta, `enerj-campaign/4`+).
 fn print_causes(text: &str, label: Option<&str>) -> Result<(), String> {
     let report = Json::parse(text.trim()).map_err(|e| format!("report: {e}"))?;
     let schema = report.get("schema").and_then(Json::as_str).ok_or("report: missing `schema`")?;
-    if !["enerj-campaign/3", "enerj-campaign/4"].contains(&schema) {
+    if !["enerj-campaign/3", "enerj-campaign/4", "enerj-campaign/5"].contains(&schema) {
         return Err(format!(
             "schema `{schema}` carries no recovery telemetry; re-run the bench \
-             binary to produce an enerj-campaign/4 report"
+             binary to produce an enerj-campaign/5 report"
         ));
     }
     let (rows, overhead_quanta) = causes_rows(&report, label)?;

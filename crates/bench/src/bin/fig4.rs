@@ -27,6 +27,7 @@ fn main() {
                 reference: None,
                 keep_output: false,
                 recovery: None,
+                scheduled_level: None,
             })
         })
         .collect();

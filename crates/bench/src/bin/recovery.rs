@@ -8,7 +8,7 @@
 //! [`Policy::standard()`](enerj_apps::recovery::Policy::standard) —
 //! watchdog, reference-free output check, QoS threshold 0.1, and the
 //! Mild → Precise escalation ladder. Both halves land in one
-//! `enerj-campaign/4` report (`results/BENCH_recovery.json`, labels
+//! `enerj-campaign/5` report (`results/BENCH_recovery.json`, labels
 //! `unguarded` / `guarded`), so `faultscope --causes` can break the
 //! retries down afterwards.
 //!

@@ -1,0 +1,260 @@
+//! `schedbench` — the online significance-aware scheduler's budget
+//! experiment: hold a per-campaign energy budget live, degrade the least
+//! significant work first, and compare against every static single-level
+//! baseline on the same workload and seeds.
+//!
+//! ```text
+//! schedbench [--runs N] [--threads N] [--chunk N] [--json] [--quick]
+//!            [--budget-pct P] [--meter sram|total]
+//! ```
+//!
+//! The workload is every registered app (the paper's full suite),
+//! round-robin interleaved, `--runs` evaluation trials per app. The budget
+//! is `P%` (default 60) of the *measured* all-Precise metered cost —
+//! exact integer quanta, not an estimate. The binary then:
+//!
+//! 1. profiles the workload on the tuner seed stream (significance seeds),
+//! 2. runs the four static single-level baselines,
+//! 3. runs the scheduled campaign,
+//! 4. re-runs it at one and two worker threads and verifies the three
+//!    campaigns are bit-identical (exit code 1 on any divergence — the
+//!    controller's determinism claim is a hard gate, not a report field),
+//! 5. writes the `enerj-sched/1` report to `results/BENCH_sched.json`.
+//!
+//! The default meter is SRAM quanta: Table 2's supply-voltage knob is
+//! where the paper's approximation actually buys energy headroom, so an
+//! SRAM budget at 60% is meetable while the DRAM-dominated total (refresh
+//! savings are small) has a feasibility floor near 80%.
+
+use std::process::ExitCode;
+
+use enerj_apps::all_apps;
+use enerj_apps::scheduler::{
+    profile_workload, run_scheduled, AppProfile, SchedLevel, SchedOutcome, SchedulerConfig,
+    Workload,
+};
+use enerj_apps::trials::{run_campaign_with, CampaignOptions, TrialResult};
+use enerj_bench::sched::{BaselineRow, SchedReport, ScheduledRow};
+use enerj_bench::{bench_report_path, render_table, Options};
+use enerj_hw::energy::QuantaMeter;
+use enerj_hw::quanta::EnergyQuanta;
+
+/// Pulls a `--flag value` pair out of the free-flag list.
+fn take_value(flags: &mut Vec<String>, flag: &str) -> Option<String> {
+    let i = flags.iter().position(|f| f == flag)?;
+    assert!(i + 1 < flags.len(), "{flag} needs a value");
+    let value = flags.remove(i + 1);
+    flags.remove(i);
+    Some(value)
+}
+
+/// Two scheduled runs must agree on every bit that matters; returns a
+/// human-readable description of the first divergence.
+fn first_divergence(
+    a: &[TrialResult],
+    a_out: &SchedOutcome,
+    b: &[TrialResult],
+    b_out: &SchedOutcome,
+) -> Option<String> {
+    if a.len() != b.len() {
+        return Some(format!("trial counts differ: {} vs {}", a.len(), b.len()));
+    }
+    for (x, y) in a.iter().zip(b) {
+        if x.scheduled_level != y.scheduled_level {
+            return Some(format!(
+                "trial {}: scheduled {:?} vs {:?}",
+                x.index, x.scheduled_level, y.scheduled_level
+            ));
+        }
+        if x.error.to_bits() != y.error.to_bits() {
+            return Some(format!("trial {}: error {} vs {}", x.index, x.error, y.error));
+        }
+        if x.energy_quanta != y.energy_quanta {
+            return Some(format!("trial {}: energy quanta differ", x.index));
+        }
+        if x.stats != y.stats || x.fault_counts != y.fault_counts {
+            return Some(format!("trial {}: telemetry differs", x.index));
+        }
+        if x.attempts != y.attempts || x.recovered_at_level != y.recovered_at_level {
+            return Some(format!("trial {}: recovery differs", x.index));
+        }
+    }
+    if a_out.spent != b_out.spent {
+        return Some(format!("spend differs: {} vs {}", a_out.spent, b_out.spent));
+    }
+    if a_out.level_counts != b_out.level_counts {
+        return Some("level census differs".to_owned());
+    }
+    None
+}
+
+fn main() -> ExitCode {
+    let mut opts = Options::parse(std::env::args(), 20);
+    let quick = opts.has_flag("--quick");
+    if quick {
+        opts.flags.retain(|f| f != "--quick");
+        opts.runs = opts.runs.min(6);
+    }
+    let budget_pct: u32 = take_value(&mut opts.flags, "--budget-pct")
+        .map(|v| v.parse().expect("--budget-pct needs an integer"))
+        .unwrap_or(60);
+    let meter = take_value(&mut opts.flags, "--meter")
+        .map(|v| QuantaMeter::parse(&v).expect("--meter needs `sram` or `total`"))
+        .unwrap_or(QuantaMeter::Sram);
+    assert!(opts.flags.is_empty(), "unknown flags: {:?}", opts.flags);
+
+    let campaign_opts = opts.campaign_options();
+    let workload = Workload::new(all_apps(), opts.runs);
+    eprintln!(
+        "schedbench: {} apps x {} runs = {} trials, {} meter, budget {budget_pct}% of precise",
+        workload.apps.len(),
+        workload.runs,
+        workload.len(),
+        meter.name()
+    );
+
+    // Significance seeds from the disjoint tuner stream.
+    let profile_runs = if quick { 2 } else { 5 };
+    let profiles: Vec<AppProfile> =
+        profile_workload(&workload, meter, profile_runs, &campaign_opts);
+
+    // Static single-level baselines: same apps, same seeds, no scheduler.
+    let mut baselines = Vec::new();
+    for level in SchedLevel::ALL {
+        let report = run_campaign_with(&workload.static_specs(level), &campaign_opts);
+        let mean_error = report.mean_error();
+        baselines.push((level, meter.spent(&report.energy_quanta_totals()), mean_error));
+    }
+    let precise_cost = baselines[0].1;
+    let budget = EnergyQuanta::new(precise_cost.get() * u128::from(budget_pct) / 100);
+
+    // The scheduled campaign, plus the determinism gate: one- and
+    // two-thread re-runs must be bit-identical to the main run.
+    let cfg = SchedulerConfig { budget, meter, epoch: 0, recovery: None };
+    let (report_main, outcome) = run_scheduled(&workload, &profiles, &cfg, &campaign_opts);
+    let mut identical = true;
+    let mut reference: Option<(Vec<TrialResult>, SchedOutcome)> = None;
+    for threads in [1usize, 2] {
+        let verify_opts = CampaignOptions { threads, ..campaign_opts.clone() };
+        let (r, o) = run_scheduled(&workload, &profiles, &cfg, &verify_opts);
+        if let Some(diff) = first_divergence(&report_main.trials, &outcome, &r.trials, &o) {
+            eprintln!("schedbench: DIVERGENCE at {threads} thread(s): {diff}");
+            identical = false;
+        }
+        if let Some((rt, ro)) = &reference {
+            if let Some(diff) = first_divergence(rt, ro, &r.trials, &o) {
+                eprintln!("schedbench: DIVERGENCE between verification runs: {diff}");
+                identical = false;
+            }
+        }
+        reference = Some((r.trials, o));
+    }
+
+    let census: [u64; 4] = outcome.level_counts.iter().fold([0; 4], |mut acc, c| {
+        for (a, n) in acc.iter_mut().zip(c) {
+            *a += n;
+        }
+        acc
+    });
+    let sched_report = SchedReport {
+        quick,
+        meter,
+        budget_pct,
+        trials: workload.len(),
+        epoch_len: outcome.epoch_len,
+        precise_cost_quanta: precise_cost,
+        budget_quanta: budget,
+        identical,
+        scheduled: ScheduledRow {
+            spent_quanta: outcome.spent,
+            budget_met: outcome.budget_met,
+            mean_error: outcome.summary.mean_error,
+            qos: outcome.qos(),
+            implausible: outcome.implausible,
+            level_counts: census,
+        },
+        baselines: baselines
+            .iter()
+            .map(|&(level, spent, mean_error)| BaselineRow {
+                level,
+                spent_quanta: spent,
+                mean_error,
+                qos: 1.0 - mean_error,
+                fits_budget: spent <= budget,
+            })
+            .collect(),
+    };
+
+    let json = sched_report.to_json();
+    if opts.json {
+        println!("{json}");
+    } else {
+        let mut rows = Vec::new();
+        for b in &sched_report.baselines {
+            rows.push(vec![
+                format!("static {}", b.level),
+                b.spent_quanta.to_string(),
+                format!("{:.4}", b.spent_quanta.get() as f64 / precise_cost.get() as f64),
+                format!("{:.4}", b.qos),
+                if b.fits_budget { "yes" } else { "no" }.to_owned(),
+            ]);
+        }
+        rows.push(vec![
+            "scheduled".to_owned(),
+            outcome.spent.to_string(),
+            format!("{:.4}", outcome.spent.get() as f64 / precise_cost.get() as f64),
+            format!("{:.4}", outcome.qos()),
+            if outcome.budget_met { "yes" } else { "NO" }.to_owned(),
+        ]);
+        println!(
+            "Budget: {budget} {} quanta ({budget_pct}% of all-Precise {precise_cost})",
+            meter.name()
+        );
+        println!();
+        println!(
+            "{}",
+            render_table(&["Campaign", "Spent (quanta)", "vs precise", "QoS", "In budget"], &rows)
+        );
+        println!(
+            "Scheduled census: Precise {} / Mild {} / Medium {} / Aggressive {}  \
+             (epoch {}, {} implausible scalar(s))",
+            census[0], census[1], census[2], census[3], outcome.epoch_len, outcome.implausible
+        );
+        let best_static = sched_report
+            .baselines
+            .iter()
+            .filter(|b| b.fits_budget)
+            .max_by(|a, b| a.qos.total_cmp(&b.qos));
+        match best_static {
+            Some(b) if outcome.budget_met => println!(
+                "Scheduled QoS {:.4} vs best in-budget static ({}) {:.4}: {}",
+                outcome.qos(),
+                b.level,
+                b.qos,
+                if outcome.qos() > b.qos { "scheduler wins" } else { "static wins" }
+            ),
+            _ => println!("No in-budget comparison available."),
+        }
+        println!("Bit-identity across 1/2/{} thread(s): {}", report_main.threads, identical);
+    }
+    if opts.trace {
+        for (a, counts) in outcome.level_counts.iter().enumerate() {
+            eprintln!(
+                "  {:<14} Precise {:>3} / Mild {:>3} / Medium {:>3} / Aggressive {:>3}",
+                workload.apps[a].meta.name, counts[0], counts[1], counts[2], counts[3]
+            );
+        }
+    }
+
+    let path = bench_report_path("sched");
+    match std::fs::write(&path, json + "\n") {
+        Ok(()) => eprintln!("sched report -> {}", path.display()),
+        Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
+    }
+
+    if identical {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

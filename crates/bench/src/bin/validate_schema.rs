@@ -5,15 +5,19 @@
 //! validate_schema [--report <BENCH_*.json>]... [--fault-log <log.ndjson>]...
 //!                 [--hwperf <BENCH_hwperf.json>]...
 //!                 [--campaignperf <BENCH_campaignperf.json>]...
+//!                 [--sched <BENCH_sched.json>]...
 //!                 [--quanta-compare <a.json> <b.json>]...
 //! ```
 //!
-//! Validates each `--report` against `enerj-campaign/4`, each `--fault-log`
+//! Validates each `--report` against `enerj-campaign/5`, each `--fault-log`
 //! against the NDJSON fault-event schema, each `--hwperf` against the
-//! `enerj-hwperf/2` throughput-report schema, and each `--campaignperf`
+//! `enerj-hwperf/2` throughput-report schema, each `--campaignperf`
 //! against the `enerj-campaignperf/1` campaign-engine report schema
 //! (including the engine bit-identity verdict and the bounded reorder
-//! window). `--quanta-compare` checks
+//! window), and each `--sched` against the `enerj-sched/1`
+//! budget-scheduling report schema (including the scheduler's own
+//! bit-identity verdict and the exact integer budget arithmetic).
+//! `--quanta-compare` checks
 //! that two campaign reports carry *identical* integer energy totals
 //! (`energy_quanta` and `recovery_energy_overhead_quanta`), compared as
 //! parsed 128-bit integers ([`Json::Int`] keeps literals lossless), so
@@ -27,7 +31,7 @@ use std::process::ExitCode;
 use enerj_bench::json::Json;
 use enerj_bench::validate::{
     validate_campaign_report, validate_campaignperf_report, validate_fault_log,
-    validate_hwperf_report,
+    validate_hwperf_report, validate_sched_report,
 };
 
 fn main() -> ExitCode {
@@ -101,7 +105,7 @@ fn run(args: &[String]) -> Result<(), String> {
                 let parsed = Json::parse(text.trim()).map_err(|e| format!("{path}: {e}"))?;
                 let trials =
                     validate_campaign_report(&parsed).map_err(|e| format!("{path}: {e}"))?;
-                println!("{path}: OK (enerj-campaign/4, {trials} trials)");
+                println!("{path}: OK (enerj-campaign/5, {trials} trials)");
                 checked += 1;
             }
             "--fault-log" => {
@@ -129,6 +133,14 @@ fn run(args: &[String]) -> Result<(), String> {
                 println!("{path}: OK (enerj-campaignperf/1, {rows} engine rows)");
                 checked += 1;
             }
+            "--sched" => {
+                let path = it.next().ok_or("--sched needs a path")?;
+                let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+                let parsed = Json::parse(text.trim()).map_err(|e| format!("{path}: {e}"))?;
+                let rows = validate_sched_report(&parsed).map_err(|e| format!("{path}: {e}"))?;
+                println!("{path}: OK (enerj-sched/1, {rows} baseline rows)");
+                checked += 1;
+            }
             "--quanta-compare" => {
                 let a = it.next().ok_or("--quanta-compare needs two paths")?;
                 let b = it.next().ok_or("--quanta-compare needs two paths")?;
@@ -140,14 +152,15 @@ fn run(args: &[String]) -> Result<(), String> {
                 return Err(format!(
                     "unknown argument `{other}`\nusage: validate_schema \
                      [--report <path>]... [--fault-log <path>]... [--hwperf <path>]... \
-                     [--campaignperf <path>]... [--quanta-compare <a> <b>]..."
+                     [--campaignperf <path>]... [--sched <path>]... \
+                     [--quanta-compare <a> <b>]..."
                 ))
             }
         }
     }
     if checked == 0 {
         return Err("nothing to validate; pass --report, --fault-log, --hwperf, \
-                    --campaignperf and/or --quanta-compare"
+                    --campaignperf, --sched and/or --quanta-compare"
             .to_owned());
     }
     Ok(())

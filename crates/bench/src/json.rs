@@ -364,7 +364,7 @@ mod tests {
         let app = enerj_apps::all_apps().remove(2); // MonteCarlo
         let report = run_campaign(&[TrialSpec::reference(&app)], 1);
         let v = Json::parse(&report.to_json()).expect("emitter output parses");
-        assert_eq!(v.get("schema").and_then(Json::as_str), Some("enerj-campaign/4"));
+        assert_eq!(v.get("schema").and_then(Json::as_str), Some("enerj-campaign/5"));
         let trials = v.get("trials").and_then(Json::as_array).unwrap();
         assert_eq!(trials.len(), 1);
         assert_eq!(trials[0].get("app").and_then(Json::as_str), Some("MonteCarlo"));

@@ -19,7 +19,7 @@
 //! `--threads N` to bound the trial campaign's worker count (default: all
 //! available cores). Campaign-backed binaries also drop a machine-readable
 //! `results/BENCH_<name>.json` campaign report (schema
-//! `enerj-campaign/4`) on every run, and accept the telemetry flags
+//! `enerj-campaign/5`) on every run, and accept the telemetry flags
 //! `--trace` (live progress + per-unit fault totals on stderr) and
 //! `--fault-log <path>` (structured NDJSON fault-event stream). The
 //! `faultscope` binary renders per-app, per-unit fault breakdowns from
@@ -31,6 +31,7 @@
 
 pub mod cli;
 pub mod json;
+pub mod sched;
 pub mod validate;
 
 use std::fmt::Write as _;

@@ -1,0 +1,183 @@
+//! The `enerj-sched/1` budget-scheduling report: what the `schedbench`
+//! binary writes to `results/BENCH_sched.json`.
+//!
+//! One report captures a whole budget experiment: the exact all-Precise
+//! metered cost, the budget derived from it, the scheduled campaign's
+//! spend/QoS/level census, every static single-level baseline on the same
+//! workload and seeds, and the binary's own threads-1-vs-2 bit-identity
+//! verification verdict. The serialization is byte-stable (golden-file
+//! locked) so schema drift is caught the same way `enerj-campaign/5` drift
+//! is.
+
+use std::fmt::Write as _;
+
+use enerj_apps::scheduler::SchedLevel;
+use enerj_hw::energy::QuantaMeter;
+use enerj_hw::quanta::EnergyQuanta;
+
+/// The scheduled campaign's half of the comparison.
+#[derive(Debug, Clone)]
+pub struct ScheduledRow {
+    /// Exact metered spend over the whole campaign.
+    pub spent_quanta: EnergyQuanta,
+    /// Whether the spend ended at or under the budget.
+    pub budget_met: bool,
+    /// Mean output error over all trials.
+    pub mean_error: f64,
+    /// Aggregate QoS (`1 − mean_error`).
+    pub qos: f64,
+    /// Scalar outputs the plausibility estimator flagged.
+    pub implausible: u64,
+    /// Trials per rung, summed over apps (index order of
+    /// [`SchedLevel::ALL`]).
+    pub level_counts: [u64; 4],
+}
+
+/// One static single-level baseline on the same workload and seeds.
+#[derive(Debug, Clone)]
+pub struct BaselineRow {
+    /// The rung every trial was pinned to.
+    pub level: SchedLevel,
+    /// Exact metered spend of the whole static campaign.
+    pub spent_quanta: EnergyQuanta,
+    /// Mean output error over all trials.
+    pub mean_error: f64,
+    /// Aggregate QoS (`1 − mean_error`).
+    pub qos: f64,
+    /// Whether this baseline's spend fits the scheduled budget.
+    pub fits_budget: bool,
+}
+
+/// A complete `enerj-sched/1` report.
+#[derive(Debug, Clone)]
+pub struct SchedReport {
+    /// Whether this was a reduced (`--quick`) run.
+    pub quick: bool,
+    /// What the budget meters.
+    pub meter: QuantaMeter,
+    /// The budget as a percentage of the all-Precise metered cost.
+    pub budget_pct: u32,
+    /// Trials in the evaluation campaign.
+    pub trials: usize,
+    /// Controller epoch length used.
+    pub epoch_len: usize,
+    /// The exact all-Precise metered cost the budget is derived from.
+    pub precise_cost_quanta: EnergyQuanta,
+    /// The budget held: `precise_cost_quanta * budget_pct / 100`.
+    pub budget_quanta: EnergyQuanta,
+    /// The binary's threads-1-vs-2 bit-identity verification verdict.
+    pub identical: bool,
+    /// The scheduled campaign.
+    pub scheduled: ScheduledRow,
+    /// Every static single-level baseline, in rung order.
+    pub baselines: Vec<BaselineRow>,
+}
+
+impl SchedReport {
+    /// Serializes to the byte-stable `enerj-sched/1` JSON document.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(1024);
+        let _ = write!(
+            out,
+            "{{\"schema\":\"enerj-sched/1\",\"quick\":{},\"meter\":\"{}\",\
+             \"budget_pct\":{},\"trials\":{},\"epoch_len\":{},\
+             \"precise_cost_quanta\":{},\"budget_quanta\":{},\"identical\":{}",
+            self.quick,
+            self.meter.name(),
+            self.budget_pct,
+            self.trials,
+            self.epoch_len,
+            self.precise_cost_quanta,
+            self.budget_quanta,
+            self.identical,
+        );
+        let s = &self.scheduled;
+        let _ = write!(
+            out,
+            ",\"scheduled\":{{\"spent_quanta\":{},\"budget_met\":{},\
+             \"mean_error\":{},\"qos\":{},\"implausible\":{},\"level_counts\":{{",
+            s.spent_quanta, s.budget_met, s.mean_error, s.qos, s.implausible
+        );
+        for (i, level) in SchedLevel::ALL.iter().enumerate() {
+            let _ = write!(
+                out,
+                "{}\"{}\":{}",
+                if i == 0 { "" } else { "," },
+                level.name(),
+                s.level_counts[i]
+            );
+        }
+        out.push_str("}},\"baselines\":[");
+        for (i, b) in self.baselines.iter().enumerate() {
+            let _ = write!(
+                out,
+                "{}{{\"level\":\"{}\",\"spent_quanta\":{},\"mean_error\":{},\
+                 \"qos\":{},\"fits_budget\":{}}}",
+                if i == 0 { "" } else { "," },
+                b.level.name(),
+                b.spent_quanta,
+                b.mean_error,
+                b.qos,
+                b.fits_budget
+            );
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A fully synthetic report with fixed values, exercising every branch
+    /// of the serializer.
+    fn synthetic_sched_report() -> SchedReport {
+        SchedReport {
+            quick: true,
+            meter: QuantaMeter::Sram,
+            budget_pct: 60,
+            trials: 24,
+            epoch_len: 3,
+            precise_cost_quanta: EnergyQuanta::new(1_000_000_000_000),
+            budget_quanta: EnergyQuanta::new(600_000_000_000),
+            identical: true,
+            scheduled: ScheduledRow {
+                spent_quanta: EnergyQuanta::new(587_500_000_000),
+                budget_met: true,
+                mean_error: 0.03125,
+                qos: 0.96875,
+                implausible: 1,
+                level_counts: [6, 9, 6, 3],
+            },
+            baselines: vec![
+                BaselineRow {
+                    level: SchedLevel::Precise,
+                    spent_quanta: EnergyQuanta::new(1_000_000_000_000),
+                    mean_error: 0.0,
+                    qos: 1.0,
+                    fits_budget: false,
+                },
+                BaselineRow {
+                    level: SchedLevel::Mild,
+                    spent_quanta: EnergyQuanta::new(489_000_000_000),
+                    mean_error: 0.0625,
+                    qos: 0.9375,
+                    fits_budget: true,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn serializes_every_section() {
+        let json = synthetic_sched_report().to_json();
+        assert!(json.starts_with("{\"schema\":\"enerj-sched/1\""));
+        assert!(json.contains("\"meter\":\"sram\""));
+        assert!(json.contains("\"budget_met\":true"));
+        assert!(json
+            .contains("\"level_counts\":{\"Precise\":6,\"Mild\":9,\"Medium\":6,\"Aggressive\":3}"));
+        assert!(json.contains("\"level\":\"Mild\""));
+        assert!(json.ends_with("]}"));
+    }
+}

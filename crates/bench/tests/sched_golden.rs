@@ -1,0 +1,102 @@
+//! Golden-file lock on the `enerj-sched/1` serialization: the budget
+//! experiment report `schedbench` writes must stay byte-stable, the same
+//! way the `enerj-campaign/5` report is locked in
+//! `crates/apps/tests/telemetry.rs`.
+
+use std::path::PathBuf;
+
+use enerj_apps::scheduler::SchedLevel;
+use enerj_bench::json::Json;
+use enerj_bench::sched::{BaselineRow, SchedReport, ScheduledRow};
+use enerj_bench::validate::validate_sched_report;
+use enerj_hw::energy::QuantaMeter;
+use enerj_hw::quanta::EnergyQuanta;
+
+/// A fully synthetic report with fixed values, exercising every branch of
+/// the serializer: a met budget, a flagged scalar, and baselines on both
+/// sides of the budget line.
+fn synthetic_report() -> SchedReport {
+    SchedReport {
+        quick: true,
+        meter: QuantaMeter::Sram,
+        budget_pct: 60,
+        trials: 24,
+        epoch_len: 3,
+        precise_cost_quanta: EnergyQuanta::new(1_000_000_000_000),
+        budget_quanta: EnergyQuanta::new(600_000_000_000),
+        identical: true,
+        scheduled: ScheduledRow {
+            spent_quanta: EnergyQuanta::new(587_500_000_000),
+            budget_met: true,
+            mean_error: 0.03125,
+            qos: 0.96875,
+            implausible: 1,
+            level_counts: [6, 9, 6, 3],
+        },
+        baselines: vec![
+            BaselineRow {
+                level: SchedLevel::Precise,
+                spent_quanta: EnergyQuanta::new(1_000_000_000_000),
+                mean_error: 0.0,
+                qos: 1.0,
+                fits_budget: false,
+            },
+            BaselineRow {
+                level: SchedLevel::Mild,
+                spent_quanta: EnergyQuanta::new(489_000_000_000),
+                mean_error: 0.0625,
+                qos: 0.9375,
+                fits_budget: true,
+            },
+            BaselineRow {
+                level: SchedLevel::Medium,
+                spent_quanta: EnergyQuanta::new(416_000_000_000),
+                mean_error: 0.125,
+                qos: 0.875,
+                fits_budget: true,
+            },
+            BaselineRow {
+                level: SchedLevel::Aggressive,
+                spent_quanta: EnergyQuanta::new(345_000_000_000),
+                mean_error: 0.25,
+                qos: 0.75,
+                fits_budget: true,
+            },
+        ],
+    }
+}
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden").join(name)
+}
+
+/// Compares `actual` to the committed golden file; set `BLESS_GOLDEN=1` to
+/// rewrite the golden after an intentional schema change.
+fn check_golden(name: &str, actual: &str) {
+    let path = golden_path(name);
+    if std::env::var_os("BLESS_GOLDEN").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, actual).unwrap();
+    }
+    let expected = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("{}: {e}; run with BLESS_GOLDEN=1 to create", path.display()));
+    assert_eq!(
+        actual, expected,
+        "{name} drifted from the committed golden; if the schema change is \
+         intentional, bump the schema tag, document it in DESIGN.md and \
+         re-bless with BLESS_GOLDEN=1"
+    );
+}
+
+#[test]
+fn sched_report_json_matches_the_v1_golden() {
+    let json = synthetic_report().to_json();
+    assert!(json.starts_with("{\"schema\":\"enerj-sched/1\""));
+    check_golden("sched_v1.json", &(json + "\n"));
+}
+
+#[test]
+fn the_golden_fixture_passes_its_own_validator() {
+    let parsed = Json::parse(&synthetic_report().to_json()).expect("serializer output parses");
+    assert_eq!(validate_sched_report(&parsed), Ok(4));
+}

@@ -162,6 +162,25 @@ impl ApproxParams {
         timing_error_prob: 1e-2,
         alu_energy_saved: 0.30,
     };
+
+    /// Truly precise hardware: zero error probabilities *and* zero claimed
+    /// savings, full mantissas. Unlike [`StrategyMask::NONE`] over a Table 2
+    /// level — which silences faults but still *accounts* the level's energy
+    /// savings — a run under these parameters is charged exactly the precise
+    /// baseline (`scaled == baseline` for every component). This is the cost
+    /// model of the scheduler's `Precise` rung.
+    pub const PRECISE: ApproxParams = ApproxParams {
+        dram_flip_per_second: 0.0,
+        dram_power_saved: 0.0,
+        sram_read_upset_prob: 0.0,
+        sram_write_failure_prob: 0.0,
+        sram_power_saved: 0.0,
+        float_mantissa_bits: 23,
+        double_mantissa_bits: 52,
+        fp_energy_saved: 0.0,
+        timing_error_prob: 0.0,
+        alu_energy_saved: 0.0,
+    };
 }
 
 /// Which approximation strategies are enabled.
@@ -293,6 +312,19 @@ impl HwConfig {
         }
     }
 
+    /// Truly precise configuration: [`ApproxParams::PRECISE`] with every
+    /// strategy disabled. Output is bit-identical to the reference run and
+    /// the energy accounting charges the full precise baseline — the
+    /// "spend everything, err never" end of the scheduler's level ladder.
+    pub fn precise() -> Self {
+        HwConfig {
+            params: ApproxParams::PRECISE,
+            mask: StrategyMask::NONE,
+            error_mode: ErrorMode::RandomValue,
+            seconds_per_op: Self::DEFAULT_SECONDS_PER_OP,
+        }
+    }
+
     /// Returns a copy with the given strategy mask.
     pub fn with_mask(mut self, mask: StrategyMask) -> Self {
         self.mask = mask;
@@ -375,6 +407,24 @@ mod tests {
     fn display_impls_are_stable() {
         assert_eq!(Level::Aggressive.to_string(), "Aggressive");
         assert_eq!(ErrorMode::LastValue.to_string(), "last-value");
+    }
+
+    #[test]
+    fn precise_params_claim_no_savings_and_inject_no_faults() {
+        let p = ApproxParams::PRECISE;
+        assert_eq!(p.dram_flip_per_second, 0.0);
+        assert_eq!(p.sram_read_upset_prob, 0.0);
+        assert_eq!(p.sram_write_failure_prob, 0.0);
+        assert_eq!(p.timing_error_prob, 0.0);
+        assert_eq!(p.dram_power_saved, 0.0);
+        assert_eq!(p.sram_power_saved, 0.0);
+        assert_eq!(p.fp_energy_saved, 0.0);
+        assert_eq!(p.alu_energy_saved, 0.0);
+        assert_eq!(p.float_mantissa_bits, 23);
+        assert_eq!(p.double_mantissa_bits, 52);
+        let cfg = HwConfig::precise();
+        assert_eq!(cfg.params, ApproxParams::PRECISE);
+        assert_eq!(cfg.mask, StrategyMask::NONE);
     }
 
     #[test]

@@ -167,6 +167,61 @@ impl EnergyQuantaBreakdown {
     }
 }
 
+/// Which component of an [`EnergyQuantaBreakdown`] a live energy budget
+/// meters.
+///
+/// The online scheduler debits a fixed per-campaign budget against one of
+/// these; the snapshot is a field read — O(1), no recomputation — so a
+/// controller can poll spend at every drain without touching the hot path.
+/// `Sram` is the paper's Table 2 supply-voltage knob (the 70/80/90% saved
+/// column): it is the component the level ladder actually moves across its
+/// full range, whereas `Total` is dominated by DRAM residency, whose
+/// savings cap at 24%.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum QuantaMeter {
+    /// Whole-run scaled energy (`total`).
+    Total,
+    /// SRAM supply energy (`sram`) — the default scheduling meter.
+    #[default]
+    Sram,
+}
+
+impl QuantaMeter {
+    /// The metered *scaled* spend of one breakdown: what a budget debits.
+    pub fn spent(self, q: &EnergyQuantaBreakdown) -> EnergyQuanta {
+        match self {
+            QuantaMeter::Total => q.total,
+            QuantaMeter::Sram => q.sram,
+        }
+    }
+
+    /// The metered *baseline* (as-if-fully-precise) cost of one breakdown:
+    /// what "100% of the all-Precise cost" means under this meter.
+    pub fn baseline(self, q: &EnergyQuantaBreakdown) -> EnergyQuanta {
+        match self {
+            QuantaMeter::Total => q.baseline_total,
+            QuantaMeter::Sram => q.baseline_sram,
+        }
+    }
+
+    /// Stable lowercase name, used in reports and CLI flags.
+    pub fn name(self) -> &'static str {
+        match self {
+            QuantaMeter::Total => "total",
+            QuantaMeter::Sram => "sram",
+        }
+    }
+
+    /// Parses a CLI/report name ([`name`](Self::name)).
+    pub fn parse(s: &str) -> Option<QuantaMeter> {
+        match s {
+            "total" => Some(QuantaMeter::Total),
+            "sram" => Some(QuantaMeter::Sram),
+            _ => None,
+        }
+    }
+}
+
 /// Computes the exact integer energy of a run described by `stats` on
 /// hardware with parameters `params`.
 ///
@@ -429,5 +484,33 @@ mod tests {
     #[should_panic(expected = "dram_fraction")]
     fn bad_split_rejected() {
         let _ = normalized_energy_with_split(&Stats::new(), &ApproxParams::MILD, 1.5);
+    }
+
+    #[test]
+    fn quanta_meter_reads_the_matching_component() {
+        let q = energy_quanta(&fully_approx_stats(), &ApproxParams::MEDIUM);
+        assert_eq!(QuantaMeter::Total.spent(&q), q.total);
+        assert_eq!(QuantaMeter::Total.baseline(&q), q.baseline_total);
+        assert_eq!(QuantaMeter::Sram.spent(&q), q.sram);
+        assert_eq!(QuantaMeter::Sram.baseline(&q), q.baseline_sram);
+        for meter in [QuantaMeter::Total, QuantaMeter::Sram] {
+            assert!(meter.spent(&q) <= meter.baseline(&q), "scaled never exceeds baseline");
+            assert_eq!(QuantaMeter::parse(meter.name()), Some(meter));
+        }
+        assert_eq!(QuantaMeter::parse("dram"), None);
+        assert_eq!(QuantaMeter::default(), QuantaMeter::Sram);
+    }
+
+    #[test]
+    fn precise_params_charge_exactly_the_baseline() {
+        // The scheduler's Precise rung: zero-savings params mean an
+        // *approximate-annotated* workload is still charged the full
+        // precise baseline, exactly, on every component.
+        let q = energy_quanta(&fully_approx_stats(), &ApproxParams::PRECISE);
+        assert_eq!(q.instructions, q.baseline_instructions);
+        assert_eq!(q.sram, q.baseline_sram);
+        assert_eq!(q.dram, q.baseline_dram);
+        assert_eq!(q.total, q.baseline_total);
+        assert!(!q.total.is_zero());
     }
 }
