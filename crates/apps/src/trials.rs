@@ -568,6 +568,16 @@ pub struct CampaignOptions {
     /// a throughput/memory knob — every trial is a pure function of its
     /// spec, so chunking can never change outcomes or aggregates.
     pub chunk: usize,
+    /// Optional wall-clock deadline, measured from campaign start and
+    /// checked at chunk *claim* time only. A campaign that runs out of time
+    /// truncates at a chunk boundary: every claimed chunk still runs to
+    /// completion and drains in index order, trials past the last claimed
+    /// chunk never run at all, and the summary reports an explicit
+    /// [`deadline_exceeded`](CampaignSummary::deadline_exceeded) verdict.
+    /// The trials that *did* run are bit-identical to the same-length
+    /// prefix of an undeadlined campaign — only how many chunks ran
+    /// depends on the clock, never any trial's outcome.
+    pub deadline: Option<Duration>,
 }
 
 impl CampaignOptions {
@@ -855,6 +865,14 @@ impl<F: Fn(usize) -> TrialSpec + Sync> SpecSource for SpecFn<F> {
 pub trait TrialSink: Send {
     /// Consumes the next trial (indices arrive as 0, 1, 2, …).
     fn accept(&mut self, trial: TrialResult) -> std::io::Result<()>;
+
+    /// Flushes buffered output. The engine calls this exactly once per
+    /// campaign, after the last delivered trial (including campaigns that
+    /// truncated at a deadline); an error surfaces as the campaign's
+    /// `io::Result`, so a buffered sink can never silently lose its tail.
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
 }
 
 /// Collects every trial in memory — the compatibility sink behind
@@ -907,6 +925,10 @@ impl<W: std::io::Write + Send> TrialSink for NdjsonSink<W> {
         self.out.write_all(trial_json(&trial).as_bytes())?;
         self.out.write_all(b"\n")
     }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        std::io::Write::flush(&mut self.out)
+    }
 }
 
 /// A streamed campaign's aggregate outcome: everything a
@@ -942,6 +964,11 @@ pub struct CampaignSummary {
     pub peak_buffered: usize,
     /// The reorder buffer's capacity bound: `2 × threads × chunk`.
     pub buffer_capacity: usize,
+    /// Whether the campaign truncated at its [`CampaignOptions::deadline`]:
+    /// `true` exactly when fewer than the source's trials ran. Truncation
+    /// happens at a chunk boundary, so [`trials`](Self::trials) counts a
+    /// contiguous, fully drained index prefix.
+    pub deadline_exceeded: bool,
 }
 
 /// Running totals, folded at the drain point in index order.
@@ -995,6 +1022,7 @@ impl Totals {
         chunk: usize,
         peak_buffered: usize,
         buffer_capacity: usize,
+        deadline_exceeded: bool,
     ) -> CampaignSummary {
         CampaignSummary {
             trials: self.count,
@@ -1010,6 +1038,7 @@ impl Totals {
             chunk,
             peak_buffered,
             buffer_capacity,
+            deadline_exceeded,
         }
     }
 }
@@ -1038,6 +1067,17 @@ fn resolve_chunk(requested: usize, len: usize, threads: usize) -> usize {
 /// Deadlock-free: the worker owning the cursor's chunk inserts its indices
 /// in order, so its next insert is never ahead of the cursor and therefore
 /// never blocks; every drain wakes all waiters.
+///
+/// That argument assumes every worker survives to publish its claimed
+/// slots. A worker that dies *between* claiming a chunk and pushing all of
+/// its indices (a panicking [`SpecSource`], a harness bug — app panics are
+/// already contained per trial) would leave a permanent gap at the drain
+/// cursor, wedging every other worker in [`push`](Self::push) forever. Each
+/// worker therefore holds a [`PoisonOnUnwind`] guard that flags the window
+/// dead ([`poison`](Self::poison)) as the dying thread unwinds: blocked
+/// inserters wake, observe the flag, and panic with a diagnostic instead of
+/// blocking — the campaign fails fast and the original panic propagates
+/// through the thread scope.
 struct Reorder<'a> {
     inner: Mutex<ReorderInner<'a>>,
     space: Condvar,
@@ -1055,6 +1095,10 @@ struct ReorderInner<'a> {
     totals: Totals,
     sink: &'a mut dyn TrialSink,
     sink_error: Option<std::io::Error>,
+    /// A worker died before publishing its claimed slots; the drain can
+    /// never complete. Set via [`Reorder::poison`], observed by every
+    /// blocked or arriving [`Reorder::push`].
+    poisoned: bool,
 }
 
 impl Reorder<'_> {
@@ -1068,17 +1112,36 @@ impl Reorder<'_> {
                 totals: Totals::new(),
                 sink,
                 sink_error: None,
+                poisoned: false,
             }),
             space: Condvar::new(),
             capacity,
         }
     }
 
+    /// Marks the window dead after a worker failed to complete its claimed
+    /// indices, and wakes every blocked inserter so the drain errors out
+    /// instead of waiting forever on slots that will never fill. Tolerates
+    /// a poisoned mutex: the flag must get through even when the dying
+    /// worker panicked while another thread held the lock.
+    fn poison(&self) {
+        match self.inner.lock() {
+            Ok(mut g) => g.poisoned = true,
+            Err(mut e) => e.get_mut().poisoned = true,
+        }
+        self.space.notify_all();
+    }
+
     fn push(&self, index: usize, result: TrialResult) {
         let mut g = self.inner.lock().expect("unpoisoned reorder buffer");
-        while index >= g.next_drain + self.capacity {
+        while !g.poisoned && index >= g.next_drain + self.capacity {
             g = self.space.wait(g).expect("unpoisoned reorder buffer");
         }
+        assert!(
+            !g.poisoned,
+            "campaign worker died before completing its chunk; \
+             reorder window poisoned to unblock the drain"
+        );
         let offset = index - g.next_drain;
         if g.window.len() <= offset {
             g.window.resize_with(offset + 1, || None);
@@ -1104,6 +1167,21 @@ impl Reorder<'_> {
         }
         if drained {
             self.space.notify_all();
+        }
+    }
+}
+
+/// Poisons the reorder window if a worker unwinds before completing its
+/// claimed chunk — a harness-level failure (e.g. a panicking
+/// [`SpecSource`]; app panics are contained per trial and never reach
+/// here), which would otherwise leave the other workers blocked forever on
+/// the dead worker's undelivered slots.
+struct PoisonOnUnwind<'a, 'b>(&'a Reorder<'b>);
+
+impl Drop for PoisonOnUnwind<'_, '_> {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            self.0.poison();
         }
     }
 }
@@ -1178,6 +1256,11 @@ pub fn run_campaign_streamed<S: SpecSource + ?Sized>(
         let mut sink_error: Option<std::io::Error> = None;
         let mut lo = 0usize;
         while lo < len {
+            // Deadline is checked at chunk claim only, so truncation lands
+            // exactly on a chunk boundary.
+            if opts.deadline.is_some_and(|d| start.elapsed() >= d) {
+                break;
+            }
             let hi = (lo + chunk).min(len);
             let mut panics = 0usize;
             for i in lo..hi {
@@ -1195,9 +1278,24 @@ pub fn run_campaign_streamed<S: SpecSource + ?Sized>(
             progress.tick_chunk(hi - lo, panics);
             lo = hi;
         }
+        if sink_error.is_none() {
+            if let Err(e) = sink.flush() {
+                sink_error = Some(e);
+            }
+        }
         return match sink_error {
             Some(e) => Err(e),
-            None => Ok(totals.into_summary(start.elapsed(), threads, chunk, 0, capacity)),
+            None => {
+                let deadline_exceeded = totals.count < len;
+                Ok(totals.into_summary(
+                    start.elapsed(),
+                    threads,
+                    chunk,
+                    0,
+                    capacity,
+                    deadline_exceeded,
+                ))
+            }
         };
     }
 
@@ -1206,8 +1304,18 @@ pub fn run_campaign_streamed<S: SpecSource + ?Sized>(
     std::thread::scope(|scope| {
         for _ in 0..threads {
             scope.spawn(|| {
+                // If this worker dies mid-chunk (harness bug), poison the
+                // window so the other workers fail fast instead of waiting
+                // forever on slots that will never fill.
+                let _poison_guard = PoisonOnUnwind(&reorder);
                 let mut ws = harness::Workspace::new();
                 loop {
+                    // Deadline is checked before claiming, so a campaign
+                    // out of time truncates at a chunk boundary; chunks
+                    // already claimed always run to completion.
+                    if opts.deadline.is_some_and(|d| start.elapsed() >= d) {
+                        break;
+                    }
                     // One atomic op claims a whole chunk of indices.
                     let lo = next.fetch_add(chunk, Ordering::Relaxed);
                     if lo >= len {
@@ -1227,12 +1335,28 @@ pub fn run_campaign_streamed<S: SpecSource + ?Sized>(
             });
         }
     });
-    let inner = reorder.inner.into_inner().expect("unpoisoned reorder buffer");
-    debug_assert_eq!(inner.next_drain, len, "every trial must have drained");
+    let mut inner = reorder.inner.into_inner().expect("unpoisoned reorder buffer");
+    debug_assert!(
+        opts.deadline.is_some() || inner.next_drain == len,
+        "every trial must have drained"
+    );
+    if inner.sink_error.is_none() {
+        if let Err(e) = inner.sink.flush() {
+            inner.sink_error = Some(e);
+        }
+    }
     match inner.sink_error {
         Some(e) => Err(e),
         None => {
-            Ok(inner.totals.into_summary(start.elapsed(), threads, chunk, inner.peak, capacity))
+            let deadline_exceeded = inner.next_drain < len;
+            Ok(inner.totals.into_summary(
+                start.elapsed(),
+                threads,
+                chunk,
+                inner.peak,
+                capacity,
+                deadline_exceeded,
+            ))
         }
     }
 }

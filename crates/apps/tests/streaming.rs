@@ -5,13 +5,15 @@
 //! engine is a throughput optimization; it is allowed to change nothing
 //! else.
 
+use std::io;
 use std::sync::Arc;
+use std::time::Duration;
 
 use enerj_apps::harness::{self, FAULT_SEED_BASE};
 use enerj_apps::recovery::{chaos_config, Policy};
 use enerj_apps::trials::{
     run_campaign_streamed, run_campaign_with, trial_json, CampaignOptions, CampaignReport,
-    CampaignSummary, NdjsonSink, SpecFn, TrialSpec, VecSink,
+    CampaignSummary, NdjsonSink, SpecFn, TrialResult, TrialSink, TrialSpec, VecSink,
 };
 use enerj_apps::{all_apps, App};
 use enerj_hw::config::{HwConfig, Level};
@@ -176,6 +178,190 @@ fn ndjson_sink_emits_trial_json_in_index_order() {
     for (line, trial) in lines.iter().zip(&baseline.trials) {
         assert_eq!(mask_wall(line), mask_wall(&trial_json(trial)), "trial {}", trial.index);
     }
+}
+
+/// Deadline truncation lands exactly on a chunk boundary, flies the
+/// `deadline_exceeded` flag, and the committed prefix is bit-identical to
+/// the same prefix of an undeadlined run — a deadline changes how *many*
+/// chunks run, never what any trial computes.
+#[test]
+fn deadline_truncates_at_a_chunk_boundary_bit_identically() {
+    let specs = mixed_specs();
+    let baseline = run_campaign_with(&specs, &CampaignOptions::with_threads(1));
+    let chunk = 4usize;
+
+    // spec(0) stalls well past the deadline. The deadline is checked at
+    // claim time and claimed chunks always run to completion, so exactly
+    // the first chunk commits — deterministically, however slow the box.
+    let source = SpecFn::new(specs.len(), |i| {
+        if i == 0 {
+            std::thread::sleep(Duration::from_millis(300));
+        }
+        specs[i].clone()
+    });
+    let opts = CampaignOptions {
+        threads: 1,
+        chunk,
+        deadline: Some(Duration::from_millis(100)),
+        ..CampaignOptions::default()
+    };
+    let mut sink = VecSink::default();
+    let summary =
+        run_campaign_streamed(&source, &opts, &mut sink).expect("the in-memory sink cannot fail");
+    assert!(summary.deadline_exceeded, "the stalled first chunk must overrun the deadline");
+    assert_eq!(sink.trials.len(), chunk, "truncation lands on a chunk boundary");
+    assert_eq!(summary.trials, chunk);
+    for (s, b) in sink.trials.iter().zip(&baseline.trials) {
+        assert_eq!(s.index, b.index, "prefix order");
+        assert_eq!(s.error.to_bits(), b.error.to_bits(), "trial {}: error", b.index);
+        assert_eq!(s.energy_quanta, b.energy_quanta, "trial {}: quanta", b.index);
+        assert_eq!(s.stats, b.stats, "trial {}: stats", b.index);
+    }
+
+    // An already-expired deadline truncates before the first claim.
+    let source = SpecFn::new(specs.len(), |i| specs[i].clone());
+    let opts = CampaignOptions {
+        threads: 1,
+        chunk,
+        deadline: Some(Duration::ZERO),
+        ..CampaignOptions::default()
+    };
+    let mut sink = VecSink::default();
+    let summary =
+        run_campaign_streamed(&source, &opts, &mut sink).expect("the in-memory sink cannot fail");
+    assert!(summary.deadline_exceeded);
+    assert_eq!(sink.trials.len(), 0, "no chunk may be claimed after expiry");
+
+    // A deadline with hours of slack changes nothing at all.
+    let source = SpecFn::new(specs.len(), |i| specs[i].clone());
+    let opts = CampaignOptions {
+        threads: 2,
+        chunk,
+        deadline: Some(Duration::from_secs(3600)),
+        ..CampaignOptions::default()
+    };
+    let mut sink = VecSink::default();
+    let summary =
+        run_campaign_streamed(&source, &opts, &mut sink).expect("the in-memory sink cannot fail");
+    assert!(!summary.deadline_exceeded);
+    assert_matches_report(&baseline, &sink.trials, &summary, "slack deadline");
+}
+
+/// A worker that dies mid-chunk (a panicking [`SpecFn`] — a harness bug,
+/// not an app fault; app panics are contained per trial) must poison the
+/// reorder window so the campaign panics promptly. Before the poison flag
+/// existed this deadlocked: the other workers blocked forever in `push`,
+/// waiting for window slots the dead worker would never fill.
+#[test]
+fn dying_worker_poisons_the_reorder_window_instead_of_hanging() {
+    let specs = mixed_specs();
+    let (tx, rx) = std::sync::mpsc::channel();
+    std::thread::spawn(move || {
+        // 64 trials, chunk 1, 4 workers: the window holds 8, so with
+        // index 5 never delivered the survivors *will* block at index 13
+        // and beyond — the exact shape that used to hang.
+        let source = SpecFn::new(64, |i| {
+            assert!(i != 5, "synthetic SpecSource failure");
+            specs[i % specs.len()].clone()
+        });
+        let opts = CampaignOptions { threads: 4, chunk: 1, ..CampaignOptions::default() };
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut sink = VecSink::default();
+            let _ = run_campaign_streamed(&source, &opts, &mut sink);
+        }));
+        let _ = tx.send(outcome.is_err());
+    });
+    let panicked = rx
+        .recv_timeout(Duration::from_secs(60))
+        .expect("campaign hung: the reorder window was never poisoned");
+    assert!(panicked, "a dying worker must propagate as a campaign panic, not a clean return");
+}
+
+/// A sink that can fail on `accept` (after `fail_accept_at` successes) or
+/// on the final `flush`.
+struct FailingSink {
+    accepted: usize,
+    fail_accept_at: Option<usize>,
+    fail_flush: bool,
+}
+
+impl TrialSink for FailingSink {
+    fn accept(&mut self, _trial: TrialResult) -> io::Result<()> {
+        if Some(self.accepted) == self.fail_accept_at {
+            return Err(io::Error::other("disk full"));
+        }
+        self.accepted += 1;
+        Ok(())
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        if self.fail_flush {
+            return Err(io::Error::other("flush failed"));
+        }
+        Ok(())
+    }
+}
+
+/// Sink failures — on a mid-campaign `accept` or on the final `flush` —
+/// surface as the campaign's `io::Result` on both the serial and the
+/// parallel path. The engine never swallows a sink error, and an accept
+/// error stops deliveries without stopping the campaign.
+#[test]
+fn sink_errors_surface_as_the_campaign_result() {
+    let specs = mixed_specs();
+    for threads in [1usize, 4] {
+        let opts = CampaignOptions { threads, chunk: 2, ..CampaignOptions::default() };
+
+        let source = SpecFn::new(specs.len(), |i| specs[i].clone());
+        let mut sink = FailingSink { accepted: 0, fail_accept_at: Some(3), fail_flush: false };
+        let err = run_campaign_streamed(&source, &opts, &mut sink)
+            .expect_err("accept failure must surface");
+        assert_eq!(err.to_string(), "disk full", "{threads} threads");
+        assert_eq!(sink.accepted, 3, "{threads} threads: the first failure stops deliveries");
+
+        let source = SpecFn::new(specs.len(), |i| specs[i].clone());
+        let mut sink = FailingSink { accepted: 0, fail_accept_at: None, fail_flush: true };
+        let err = run_campaign_streamed(&source, &opts, &mut sink)
+            .expect_err("flush failure must surface");
+        assert_eq!(err.to_string(), "flush failed", "{threads} threads");
+        assert_eq!(
+            sink.accepted,
+            specs.len(),
+            "{threads} threads: every trial was delivered before the flush failed"
+        );
+    }
+}
+
+/// A writer that buffers fine but cannot flush — the tail-loss shape
+/// `NdjsonSink::flush` exists to catch.
+struct FlushlessWriter(Vec<u8>);
+
+impl io::Write for FlushlessWriter {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        self.0.extend_from_slice(buf);
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        Err(io::Error::other("device gone at flush"))
+    }
+}
+
+/// [`NdjsonSink`] forwards its writer's flush failure as the campaign
+/// result: a buffered stream that cannot flush its tail fails loudly
+/// instead of reporting success over silently truncated output.
+#[test]
+fn ndjson_sink_flush_failure_fails_the_campaign() {
+    let specs = mixed_specs();
+    let source = SpecFn::new(specs.len(), |i| specs[i].clone());
+    let opts = CampaignOptions { threads: 2, chunk: 2, ..CampaignOptions::default() };
+    let mut sink = NdjsonSink::new(FlushlessWriter(Vec::new()));
+    let err =
+        run_campaign_streamed(&source, &opts, &mut sink).expect_err("flush error must surface");
+    assert_eq!(err.to_string(), "device gone at flush");
+    // Every line was still written before the flush failed.
+    let text = String::from_utf8(sink.into_inner().0).expect("NDJSON is UTF-8");
+    assert_eq!(text.lines().count(), specs.len());
 }
 
 /// Splits `0..len` into the chunked claim order `workers` round-robin

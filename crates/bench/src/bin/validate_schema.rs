@@ -6,6 +6,7 @@
 //!                 [--hwperf <BENCH_hwperf.json>]...
 //!                 [--campaignperf <BENCH_campaignperf.json>]...
 //!                 [--sched <BENCH_sched.json>]...
+//!                 [--serve <BENCH_serveperf.json>]...
 //!                 [--quanta-compare <a.json> <b.json>]...
 //! ```
 //!
@@ -14,9 +15,11 @@
 //! `enerj-hwperf/2` throughput-report schema, each `--campaignperf`
 //! against the `enerj-campaignperf/1` campaign-engine report schema
 //! (including the engine bit-identity verdict and the bounded reorder
-//! window), and each `--sched` against the `enerj-sched/1`
+//! window), each `--sched` against the `enerj-sched/1`
 //! budget-scheduling report schema (including the scheduler's own
-//! bit-identity verdict and the exact integer budget arithmetic).
+//! bit-identity verdict and the exact integer budget arithmetic), and
+//! each `--serve` against the `enerj-serveperf/1` campaign-service report
+//! schema (including the kill-resume byte-identity verdict).
 //! `--quanta-compare` checks
 //! that two campaign reports carry *identical* integer energy totals
 //! (`energy_quanta` and `recovery_energy_overhead_quanta`), compared as
@@ -31,7 +34,7 @@ use std::process::ExitCode;
 use enerj_bench::json::Json;
 use enerj_bench::validate::{
     validate_campaign_report, validate_campaignperf_report, validate_fault_log,
-    validate_hwperf_report, validate_sched_report,
+    validate_hwperf_report, validate_sched_report, validate_serveperf_report,
 };
 
 fn main() -> ExitCode {
@@ -141,6 +144,15 @@ fn run(args: &[String]) -> Result<(), String> {
                 println!("{path}: OK (enerj-sched/1, {rows} baseline rows)");
                 checked += 1;
             }
+            "--serve" => {
+                let path = it.next().ok_or("--serve needs a path")?;
+                let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+                let parsed = Json::parse(text.trim()).map_err(|e| format!("{path}: {e}"))?;
+                let jobs =
+                    validate_serveperf_report(&parsed).map_err(|e| format!("{path}: {e}"))?;
+                println!("{path}: OK (enerj-serveperf/1, {jobs} throughput jobs)");
+                checked += 1;
+            }
             "--quanta-compare" => {
                 let a = it.next().ok_or("--quanta-compare needs two paths")?;
                 let b = it.next().ok_or("--quanta-compare needs two paths")?;
@@ -152,7 +164,7 @@ fn run(args: &[String]) -> Result<(), String> {
                 return Err(format!(
                     "unknown argument `{other}`\nusage: validate_schema \
                      [--report <path>]... [--fault-log <path>]... [--hwperf <path>]... \
-                     [--campaignperf <path>]... [--sched <path>]... \
+                     [--campaignperf <path>]... [--sched <path>]... [--serve <path>]... \
                      [--quanta-compare <a> <b>]..."
                 ))
             }
@@ -160,7 +172,7 @@ fn run(args: &[String]) -> Result<(), String> {
     }
     if checked == 0 {
         return Err("nothing to validate; pass --report, --fault-log, --hwperf, \
-                    --campaignperf, --sched and/or --quanta-compare"
+                    --campaignperf, --sched, --serve and/or --quanta-compare"
             .to_owned());
     }
     Ok(())

@@ -24,6 +24,12 @@ pub struct Options {
     /// Campaign chunk size (`0` = auto): trial indices a worker claims per
     /// work-stealing grab. A throughput knob only — never changes results.
     pub chunk: usize,
+    /// Wall-clock deadline in seconds for each campaign the binary runs:
+    /// checked at chunk claim, so an out-of-time campaign truncates at a
+    /// chunk boundary with an explicit `deadline_exceeded` verdict in its
+    /// summary (completed trials stay bit-identical to the undeadlined
+    /// prefix). `None` = no deadline.
+    pub deadline_secs: Option<f64>,
     /// Extra mode flags (e.g. `--error-modes` for the ablation binary,
     /// `--quick` for hwbench).
     pub flags: Vec<String>,
@@ -43,6 +49,7 @@ impl Options {
             fault_log: None,
             trace: false,
             chunk: 0,
+            deadline_secs: None,
             flags: Vec::new(),
         };
         let mut args = args.skip(1);
@@ -65,6 +72,15 @@ impl Options {
                     let v = args.next().expect("--chunk needs a value");
                     opts.chunk = v.parse().expect("--chunk needs an integer");
                 }
+                "--deadline-secs" => {
+                    let v = args.next().expect("--deadline-secs needs a value");
+                    let secs: f64 = v.parse().expect("--deadline-secs needs a number");
+                    assert!(
+                        secs.is_finite() && secs >= 0.0,
+                        "--deadline-secs needs a non-negative number"
+                    );
+                    opts.deadline_secs = Some(secs);
+                }
                 other => opts.flags.push(other.to_owned()),
             }
         }
@@ -84,6 +100,7 @@ impl Options {
             log_events: self.fault_log.is_some(),
             progress: self.trace,
             chunk: self.chunk,
+            deadline: self.deadline_secs.map(std::time::Duration::from_secs_f64),
         }
     }
 }

@@ -643,6 +643,107 @@ pub fn validate_sched_report(report: &Json) -> Result<usize, String> {
     Ok(baselines.len())
 }
 
+/// Top-level keys every `enerj-serveperf/1` report must carry.
+const SERVEPERF_KEYS: [&str; 6] =
+    ["schema", "kill_resume_identical", "identity", "throughput", "first_trial", "config"];
+
+/// Keys the `enerj-serveperf/1` identity section must carry.
+const SERVEPERF_IDENTITY_KEYS: [&str; 5] =
+    ["trials", "bytes", "kill_after_trials", "quanta_total", "quanta_baseline"];
+
+/// Keys the `enerj-serveperf/1` throughput section must carry.
+const SERVEPERF_THROUGHPUT_KEYS: [&str; 5] =
+    ["jobs", "trials_per_job", "wall_seconds", "jobs_per_sec", "trials_per_sec"];
+
+/// Validates a parsed `enerj-serveperf/1` campaign-service report (the
+/// `servebench` binary's output). Checks schema, the kill-resume identity
+/// verdict (servebench refuses to write a report unless the `kill -9` /
+/// restart stream was byte-identical to an uninterrupted run, so a report
+/// carrying `false` is corrupt by construction), the exact integer quanta
+/// in the identity section, and that every rate is finite, positive, and
+/// self-consistent — it does *not* gate on absolute throughput, so the CI
+/// serve-smoke job catches emitter drift without flaking on slow runners.
+/// Returns the throughput-phase job count.
+pub fn validate_serveperf_report(report: &Json) -> Result<usize, String> {
+    let schema =
+        report.get("schema").and_then(Json::as_str).ok_or("report: missing `schema` string")?;
+    if schema != "enerj-serveperf/1" {
+        return Err(format!("report: schema `{schema}`, expected `enerj-serveperf/1`"));
+    }
+    for key in SERVEPERF_KEYS {
+        if report.get(key).is_none() {
+            return Err(format!("report: missing top-level `{key}`"));
+        }
+    }
+    match report.get("kill_resume_identical") {
+        Some(Json::Bool(true)) => {}
+        Some(Json::Bool(false)) => {
+            return Err("report: `kill_resume_identical` is false — the kill-resume \
+                        stream diverged from the uninterrupted run"
+                .to_owned())
+        }
+        _ => return Err("report: missing boolean `kill_resume_identical`".to_owned()),
+    }
+
+    let identity = report.get("identity").expect("checked above");
+    for key in SERVEPERF_IDENTITY_KEYS {
+        if identity.get(key).is_none() {
+            return Err(format!("identity: missing `{key}`"));
+        }
+    }
+    let trials = require_positive(identity, "trials", "identity")?;
+    require_positive(identity, "bytes", "identity")?;
+    let kill_after = require_positive(identity, "kill_after_trials", "identity")?;
+    if kill_after >= trials {
+        return Err(format!(
+            "identity: kill_after_trials {kill_after} >= trials {trials} — \
+             the kill landed after the campaign finished, so nothing was resumed"
+        ));
+    }
+    let total = require_quanta(identity, "quanta_total", "identity")?;
+    let baseline = require_quanta(identity, "quanta_baseline", "identity")?;
+    if total == 0 || baseline == 0 {
+        return Err(format!(
+            "identity: zero quanta (total {total}, baseline {baseline}) — no trials ran"
+        ));
+    }
+
+    let throughput = report.get("throughput").expect("checked above");
+    for key in SERVEPERF_THROUGHPUT_KEYS {
+        if throughput.get(key).is_none() {
+            return Err(format!("throughput: missing `{key}`"));
+        }
+    }
+    let jobs = require_positive(throughput, "jobs", "throughput")?;
+    let per_job = require_positive(throughput, "trials_per_job", "throughput")?;
+    let wall = require_positive(throughput, "wall_seconds", "throughput")?;
+    let jobs_per_sec = require_positive(throughput, "jobs_per_sec", "throughput")?;
+    let trials_per_sec = require_positive(throughput, "trials_per_sec", "throughput")?;
+    let implied_jobs = jobs / wall;
+    if (jobs_per_sec - implied_jobs).abs() > 0.01 * implied_jobs.max(jobs_per_sec) {
+        return Err(format!(
+            "throughput: jobs_per_sec {jobs_per_sec} inconsistent with \
+             {jobs}/{wall} = {implied_jobs:.3}"
+        ));
+    }
+    let implied_trials = jobs * per_job / wall;
+    if (trials_per_sec - implied_trials).abs() > 0.01 * implied_trials.max(trials_per_sec) {
+        return Err(format!(
+            "throughput: trials_per_sec {trials_per_sec} inconsistent with \
+             {jobs}*{per_job}/{wall} = {implied_trials:.3}"
+        ));
+    }
+
+    let first = report.get("first_trial").expect("checked above");
+    require_positive(first, "time_to_first_trial_ms", "first_trial")?;
+
+    let config = report.get("config").expect("checked above");
+    for key in ["workers", "chunk", "runs"] {
+        require_positive(config, key, "config")?;
+    }
+    Ok(jobs as usize)
+}
+
 /// Validates one NDJSON fault-log line (already parsed).
 pub fn validate_fault_event(event: &Json, what: &str) -> Result<(), String> {
     for key in EVENT_KEYS {
@@ -1073,6 +1174,69 @@ mod tests {
         if let Ok(text) = std::fs::read_to_string(path) {
             let v = Json::parse(&text).unwrap();
             assert!(validate_sched_report(&v).unwrap() >= 1);
+        }
+    }
+
+    /// A structurally valid `enerj-serveperf/1` report (matches the
+    /// `servebench` serializer, with quanta above 2^53 to exercise the
+    /// lossless integer path).
+    const SERVEPERF_OK: &str = r#"{
+      "schema": "enerj-serveperf/1",
+      "kill_resume_identical": true,
+      "identity": {"trials": 24, "bytes": 26715, "kill_after_trials": 2,
+                   "quanta_total": 9007199254740995, "quanta_baseline": 9007199254741997},
+      "throughput": {"jobs": 8, "trials_per_job": 24,
+                     "wall_seconds": 0.25, "jobs_per_sec": 32.0, "trials_per_sec": 768.0},
+      "first_trial": {"time_to_first_trial_ms": 20.7},
+      "config": {"workers": 2, "chunk": 2, "runs": 6}
+    }"#;
+
+    #[test]
+    fn serveperf_report_validates() {
+        let v = Json::parse(SERVEPERF_OK).unwrap();
+        assert_eq!(validate_serveperf_report(&v), Ok(8));
+    }
+
+    #[test]
+    fn serveperf_rejects_drifted_reports() {
+        let wrong_schema = SERVEPERF_OK.replace("serveperf/1", "serveperf/0");
+        let v = Json::parse(&wrong_schema).unwrap();
+        assert!(validate_serveperf_report(&v).unwrap_err().contains("schema"));
+
+        // servebench exits without writing a report when the identity gate
+        // fails, so `false` here can only mean a hand-edited or corrupt file.
+        let diverged = SERVEPERF_OK
+            .replace("\"kill_resume_identical\": true", "\"kill_resume_identical\": false");
+        let v = Json::parse(&diverged).unwrap();
+        assert!(validate_serveperf_report(&v).unwrap_err().contains("diverged"));
+
+        // A kill after the last trial means nothing was actually resumed.
+        let late_kill =
+            SERVEPERF_OK.replace("\"kill_after_trials\": 2", "\"kill_after_trials\": 24");
+        let v = Json::parse(&late_kill).unwrap();
+        assert!(validate_serveperf_report(&v).unwrap_err().contains("nothing was resumed"));
+
+        let wrong_rate = SERVEPERF_OK.replace("\"jobs_per_sec\": 32.0", "\"jobs_per_sec\": 99.0");
+        let v = Json::parse(&wrong_rate).unwrap();
+        assert!(validate_serveperf_report(&v).unwrap_err().contains("inconsistent"));
+
+        let fractional_quanta = SERVEPERF_OK
+            .replace("\"quanta_total\": 9007199254740995", "\"quanta_total\": 9007199254740995.5");
+        let v = Json::parse(&fractional_quanta).unwrap();
+        assert!(validate_serveperf_report(&v).unwrap_err().contains("quanta_total"));
+
+        let no_config = SERVEPERF_OK.replace("\"config\"", "\"settings\"");
+        let v = Json::parse(&no_config).unwrap();
+        assert!(validate_serveperf_report(&v).unwrap_err().contains("config"));
+    }
+
+    #[test]
+    fn serveperf_accepts_real_bench_output() {
+        // Shape-check the committed capture, when present.
+        let path = crate::bench_report_path("serveperf");
+        if let Ok(text) = std::fs::read_to_string(path) {
+            let v = Json::parse(&text).unwrap();
+            assert!(validate_serveperf_report(&v).unwrap() >= 1);
         }
     }
 

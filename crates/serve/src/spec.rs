@@ -1,0 +1,411 @@
+//! The `enerj-serve/1` campaign-spec schema and trial enumeration.
+//!
+//! A client submits a JSON object:
+//!
+//! ```json
+//! {
+//!   "schema": "enerj-serve/1",
+//!   "tenant": "acme",
+//!   "apps": ["MonteCarlo", "FFT"],
+//!   "levels": ["Mild", "Aggressive"],
+//!   "runs": 20,
+//!   "recovery": false,
+//!   "budget_quanta": 123456789,
+//!   "over_budget": "degrade",
+//!   "deadline_secs": 30.0,
+//!   "chunk": 8
+//! }
+//! ```
+//!
+//! `apps`, `levels`, `runs` enumerate trials app-major, then level, then
+//! run — exactly the canonical order of
+//! [`run_level_campaign`](enerj_apps::trials::run_level_campaign) — with
+//! fault seeds `FAULT_SEED_BASE ^ run`. Every trial is a pure function of
+//! its index (plus the job's degrade rung, which is itself a deterministic
+//! function of the durable chunk ledger), which is what makes crash
+//! recovery replay-exact: re-running any uncommitted suffix reproduces the
+//! uninterrupted bytes.
+//!
+//! `budget_quanta` is an optional *job-level* quota in exact scaled energy
+//! quanta, enforced at chunk-commit granularity on top of the tenant's
+//! quota; `over_budget` picks the policy: `"stop"` ends the job with an
+//! `over_quota` verdict and partial results, `"degrade"` walks the
+//! remaining trials down the PR 9 scheduler ladder (Precise → Mild →
+//! Medium → Aggressive) one rung per over-budget commit and hard-stops
+//! only at the Aggressive floor.
+
+use std::sync::Arc;
+
+use crate::http::json_escape;
+use enerj_apps::qos::Output;
+use enerj_apps::recovery;
+use enerj_apps::scheduler::SchedLevel;
+use enerj_apps::trials::TrialSpec;
+use enerj_apps::{all_apps, harness, App};
+use enerj_bench::json::Json;
+use enerj_hw::quanta::EnergyQuanta;
+
+/// The schema tag every spec must carry.
+pub const SCHEMA: &str = "enerj-serve/1";
+
+/// Default trials per journal chunk when the spec does not say.
+pub const DEFAULT_CHUNK: usize = 8;
+
+/// What to do when a job or tenant exhausts its quota mid-campaign.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OverBudget {
+    /// End the job at the chunk boundary with an `over_quota` verdict;
+    /// everything committed so far stands as partial results.
+    Stop,
+    /// Degrade the remaining trials one rung down the scheduler ladder per
+    /// over-budget commit; hard-stop once already at the Aggressive floor.
+    Degrade,
+}
+
+impl OverBudget {
+    /// The schema string for this policy.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            OverBudget::Stop => "stop",
+            OverBudget::Degrade => "degrade",
+        }
+    }
+
+    /// Parses the schema string.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "stop" => Ok(OverBudget::Stop),
+            "degrade" => Ok(OverBudget::Degrade),
+            other => Err(format!("unknown over_budget policy `{other}` (stop|degrade)")),
+        }
+    }
+}
+
+/// A validated campaign spec.
+#[derive(Debug, Clone)]
+pub struct JobSpec {
+    /// The submitting tenant.
+    pub tenant: String,
+    /// Registered app names, in trial-enumeration (outermost) order.
+    pub apps: Vec<String>,
+    /// Rung names (`Precise` or a Table 2 level), middle enumeration order.
+    pub levels: Vec<String>,
+    /// Fault-injection runs per (app, level); seeds `FAULT_SEED_BASE ^ run`.
+    pub runs: u64,
+    /// Run every trial under the PR 5 standard recovery ladder instead of
+    /// the plain watchdog-only policy.
+    pub recovery: bool,
+    /// Optional job-level quota in exact scaled quanta.
+    pub budget_quanta: Option<EnergyQuanta>,
+    /// Over-budget policy for [`budget_quanta`](Self::budget_quanta).
+    pub over_budget: OverBudget,
+    /// Optional wall-clock deadline from job start, in seconds.
+    pub deadline_secs: Option<f64>,
+    /// Trials per journal chunk (commit/lease/resume granularity).
+    pub chunk: usize,
+}
+
+impl JobSpec {
+    /// Total trials this spec enumerates.
+    pub fn total_trials(&self) -> usize {
+        self.apps.len() * self.levels.len() * self.runs as usize
+    }
+
+    /// Number of chunks (`ceil(total / chunk)`).
+    pub fn total_chunks(&self) -> usize {
+        self.total_trials().div_ceil(self.chunk)
+    }
+
+    /// The trial index range of chunk `c`.
+    pub fn chunk_range(&self, c: usize) -> (usize, usize) {
+        let lo = c * self.chunk;
+        let hi = ((c + 1) * self.chunk).min(self.total_trials());
+        (lo, hi)
+    }
+
+    /// Parses and validates a spec document against the app registry.
+    pub fn parse(text: &str) -> Result<JobSpec, String> {
+        let doc = Json::parse(text).map_err(|e| format!("spec is not valid JSON: {e}"))?;
+        let schema = doc
+            .get("schema")
+            .and_then(|s| s.as_str())
+            .ok_or("spec needs a string `schema` field")?;
+        if schema != SCHEMA {
+            return Err(format!("unsupported schema `{schema}` (expected `{SCHEMA}`)"));
+        }
+        let tenant = doc
+            .get("tenant")
+            .and_then(|t| t.as_str())
+            .ok_or("spec needs a string `tenant` field")?
+            .to_owned();
+        if tenant.is_empty() || tenant.len() > 64 || !tenant.chars().all(tenant_char) {
+            return Err("tenant names are 1-64 chars of [a-zA-Z0-9._-]".to_owned());
+        }
+        let registry = all_apps();
+        let apps = match doc.get("apps") {
+            Some(Json::Arr(list)) if !list.is_empty() => {
+                let mut names = Vec::with_capacity(list.len());
+                for a in list {
+                    let name = a.as_str().ok_or("`apps` entries must be strings")?;
+                    if !registry.iter().any(|r| r.meta.name == name) {
+                        return Err(format!("unknown app `{name}`"));
+                    }
+                    names.push(name.to_owned());
+                }
+                names
+            }
+            _ => return Err("spec needs a non-empty `apps` array".to_owned()),
+        };
+        let levels = match doc.get("levels") {
+            Some(Json::Arr(list)) if !list.is_empty() => {
+                let mut names = Vec::with_capacity(list.len());
+                for l in list {
+                    let name = l.as_str().ok_or("`levels` entries must be strings")?;
+                    rung_by_name(name).ok_or_else(|| {
+                        format!("unknown level `{name}` (Precise|Mild|Medium|Aggressive)")
+                    })?;
+                    names.push(name.to_owned());
+                }
+                names
+            }
+            _ => return Err("spec needs a non-empty `levels` array".to_owned()),
+        };
+        let runs = doc
+            .get("runs")
+            .and_then(|r| r.as_i128())
+            .filter(|&r| r > 0)
+            .ok_or("spec needs a positive integer `runs` field")? as u64;
+        let recovery = match doc.get("recovery") {
+            None => false,
+            Some(Json::Bool(b)) => *b,
+            Some(_) => return Err("`recovery` must be a boolean".to_owned()),
+        };
+        let budget_quanta = match doc.get("budget_quanta") {
+            None | Some(Json::Null) => None,
+            Some(v) => Some(EnergyQuanta::new(
+                v.as_u128().ok_or("`budget_quanta` must be a non-negative integer")?,
+            )),
+        };
+        let over_budget = match doc.get("over_budget") {
+            None => OverBudget::Stop,
+            Some(v) => OverBudget::parse(
+                v.as_str().ok_or("`over_budget` must be a string (stop|degrade)")?,
+            )?,
+        };
+        let deadline_secs = match doc.get("deadline_secs") {
+            None | Some(Json::Null) => None,
+            Some(v) => {
+                let secs = v.as_f64().ok_or("`deadline_secs` must be a number")?;
+                if !secs.is_finite() || secs <= 0.0 {
+                    return Err("`deadline_secs` must be a positive number".to_owned());
+                }
+                Some(secs)
+            }
+        };
+        let chunk = match doc.get("chunk") {
+            None => DEFAULT_CHUNK,
+            Some(v) => {
+                let c = v
+                    .as_i128()
+                    .filter(|&c| c > 0 && c <= 4096)
+                    .ok_or("`chunk` must be a positive integer no larger than 4096")?;
+                c as usize
+            }
+        };
+        Ok(JobSpec {
+            tenant,
+            apps,
+            levels,
+            runs,
+            recovery,
+            budget_quanta,
+            over_budget,
+            deadline_secs,
+            chunk,
+        })
+    }
+
+    /// Re-serializes the spec canonically (the durable `spec.json` body,
+    /// so a restarted server reconstructs the exact same job).
+    pub fn to_json(&self) -> String {
+        let apps: Vec<String> = self.apps.iter().map(|a| json_escape(a)).collect();
+        let levels: Vec<String> = self.levels.iter().map(|l| json_escape(l)).collect();
+        format!(
+            "{{\"schema\":{},\"tenant\":{},\"apps\":[{}],\"levels\":[{}],\"runs\":{},\
+             \"recovery\":{},\"budget_quanta\":{},\"over_budget\":{},\"deadline_secs\":{},\
+             \"chunk\":{}}}",
+            json_escape(SCHEMA),
+            json_escape(&self.tenant),
+            apps.join(","),
+            levels.join(","),
+            self.runs,
+            self.recovery,
+            match self.budget_quanta {
+                Some(q) => q.to_string(),
+                None => "null".to_owned(),
+            },
+            json_escape(self.over_budget.as_str()),
+            match self.deadline_secs {
+                Some(s) => format!("{s}"),
+                None => "null".to_owned(),
+            },
+            self.chunk,
+        )
+    }
+
+    /// The `(app index, level index, run)` coordinates of trial `index`.
+    fn coordinates(&self, index: usize) -> (usize, usize, u64) {
+        let per_level = self.runs as usize;
+        let per_app = self.levels.len() * per_level;
+        let (a, rem) = (index / per_app, index % per_app);
+        let (l, r) = (rem / per_level, rem % per_level);
+        (a, l, r as u64)
+    }
+
+    /// The [`TrialSpec`] for trial `index` with `degrade` ladder rungs
+    /// applied. Degradation shifts the requested rung towards Aggressive
+    /// (saturating at the floor); a degraded trial records its effective
+    /// rung in `scheduled_level` so the NDJSON line says what actually ran.
+    pub fn trial_spec(&self, index: usize, degrade: u32) -> TrialSpec {
+        let (a, l, run) = self.coordinates(index);
+        let app = registry_app(&self.apps[a]);
+        let requested = rung_by_name(&self.levels[l]).expect("validated at parse");
+        let effective_idx = (requested.index() + degrade as usize).min(SchedLevel::ALL.len() - 1);
+        let effective = SchedLevel::ALL[effective_idx];
+        let reference = reference_output(&self.apps[a]);
+        let mut spec = TrialSpec::scored(
+            &app,
+            self.levels[l].clone(),
+            effective.config(),
+            harness::FAULT_SEED_BASE ^ run,
+            reference,
+        );
+        if effective != requested {
+            spec.scheduled_level = Some(effective.to_string());
+        }
+        spec.recovery = Some(if self.recovery {
+            recovery::Policy::standard()
+        } else {
+            // Watchdog-only: contain runaway fault-corrupted loops without
+            // retrying — a stalled trial must never outlive its lease.
+            recovery::Policy {
+                ladder: Vec::new(),
+                max_ops: Some(recovery::Policy::DEFAULT_MAX_OPS),
+                qos_threshold: None,
+            }
+        });
+        spec
+    }
+}
+
+fn tenant_char(c: char) -> bool {
+    c.is_ascii_alphanumeric() || matches!(c, '.' | '_' | '-')
+}
+
+/// The scheduler rung named `name`, if any.
+pub fn rung_by_name(name: &str) -> Option<SchedLevel> {
+    SchedLevel::ALL.into_iter().find(|r| r.to_string() == name)
+}
+
+fn registry_app(name: &str) -> App {
+    all_apps().into_iter().find(|a| a.meta.name == name).expect("validated at parse")
+}
+
+/// Fault-free reference outputs, computed once per app per process.
+/// References are pure functions of the app, so caching cannot perturb a
+/// trial — it only keeps job startup from re-running every app.
+fn reference_output(name: &str) -> Arc<Output> {
+    use std::collections::HashMap;
+    use std::sync::{Mutex, OnceLock};
+    static REFS: OnceLock<Mutex<HashMap<String, Arc<Output>>>> = OnceLock::new();
+    let refs = REFS.get_or_init(|| Mutex::new(HashMap::new()));
+    let mut map = refs.lock().expect("reference cache");
+    if let Some(out) = map.get(name) {
+        return Arc::clone(out);
+    }
+    let app = registry_app(name);
+    let out = Arc::new(harness::reference(&app).output);
+    map.insert(name.to_owned(), Arc::clone(&out));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn minimal() -> String {
+        format!(
+            "{{\"schema\":\"{SCHEMA}\",\"tenant\":\"t1\",\"apps\":[\"MonteCarlo\"],\
+             \"levels\":[\"Mild\"],\"runs\":4}}"
+        )
+    }
+
+    #[test]
+    fn parses_minimal_spec_with_defaults() {
+        let spec = JobSpec::parse(&minimal()).expect("valid");
+        assert_eq!(spec.tenant, "t1");
+        assert_eq!(spec.total_trials(), 4);
+        assert_eq!(spec.chunk, DEFAULT_CHUNK);
+        assert_eq!(spec.over_budget, OverBudget::Stop);
+        assert!(spec.budget_quanta.is_none());
+        assert!(!spec.recovery);
+        // Round-trips through the canonical serialization.
+        let again = JobSpec::parse(&spec.to_json()).expect("canonical form is valid");
+        assert_eq!(again.total_trials(), spec.total_trials());
+        assert_eq!(again.tenant, spec.tenant);
+    }
+
+    #[test]
+    fn rejects_bad_specs() {
+        for (mutation, needle) in [
+            ("\"schema\":\"enerj-serve/1\"", "\"schema\":\"enerj-serve/9\""),
+            ("\"apps\":[\"MonteCarlo\"]", "\"apps\":[\"NoSuchApp\"]"),
+            ("\"levels\":[\"Mild\"]", "\"levels\":[\"Extreme\"]"),
+            ("\"runs\":4", "\"runs\":0"),
+            ("\"tenant\":\"t1\"", "\"tenant\":\"has space\""),
+        ] {
+            let bad = minimal().replace(mutation, needle);
+            assert!(JobSpec::parse(&bad).is_err(), "{needle} must be rejected");
+        }
+        assert!(JobSpec::parse("not json").is_err());
+    }
+
+    #[test]
+    fn trial_specs_follow_canonical_order_and_degrade_saturates() {
+        let text = format!(
+            "{{\"schema\":\"{SCHEMA}\",\"tenant\":\"t1\",\"apps\":[\"MonteCarlo\",\"FFT\"],\
+             \"levels\":[\"Precise\",\"Medium\"],\"runs\":2}}"
+        );
+        let spec = JobSpec::parse(&text).expect("valid");
+        assert_eq!(spec.total_trials(), 8);
+        let s0 = spec.trial_spec(0, 0);
+        assert_eq!(s0.app.meta.name, "MonteCarlo");
+        assert_eq!(s0.label, "Precise");
+        assert_eq!(s0.seed, harness::FAULT_SEED_BASE);
+        assert!(s0.scheduled_level.is_none());
+        let s7 = spec.trial_spec(7, 0);
+        assert_eq!(s7.app.meta.name, "FFT");
+        assert_eq!(s7.label, "Medium");
+        assert_eq!(s7.seed, harness::FAULT_SEED_BASE ^ 1);
+        // One degrade rung: Precise→Mild, Medium→Aggressive.
+        let d = spec.trial_spec(0, 1);
+        assert_eq!(d.scheduled_level.as_deref(), Some("Mild"));
+        let d = spec.trial_spec(7, 1);
+        assert_eq!(d.scheduled_level.as_deref(), Some("Aggressive"));
+        // Degradation saturates at the Aggressive floor.
+        let d = spec.trial_spec(7, 9);
+        assert_eq!(d.scheduled_level.as_deref(), Some("Aggressive"));
+    }
+
+    #[test]
+    fn chunk_ranges_tile_the_campaign() {
+        let mut text = minimal();
+        text = text.replace("\"runs\":4", "\"runs\":10,\"chunk\":3");
+        let spec = JobSpec::parse(&text).expect("valid");
+        assert_eq!(spec.total_trials(), 10);
+        assert_eq!(spec.total_chunks(), 4);
+        let ranges: Vec<(usize, usize)> =
+            (0..spec.total_chunks()).map(|c| spec.chunk_range(c)).collect();
+        assert_eq!(ranges, vec![(0, 3), (3, 6), (6, 9), (9, 10)]);
+    }
+}

@@ -1,0 +1,431 @@
+//! End-to-end robustness tests for `campaignd`: kill -9 recovery with
+//! byte-identity, tenant quota enforcement (stop and degrade), admission
+//! control, lease-based reclamation of dead and stalled workers, and
+//! client-failure isolation. Every test spawns the real server binary and
+//! talks to it over real sockets.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, SystemTime, UNIX_EPOCH};
+
+use enerj_serve::client::{Client, Submitted};
+
+const WAIT: Duration = Duration::from_secs(120);
+
+struct Daemon {
+    child: Child,
+    addr: String,
+}
+
+impl Daemon {
+    fn start(state_dir: &Path, extra: &[&str]) -> Daemon {
+        let mut child = Command::new(env!("CARGO_BIN_EXE_campaignd"))
+            .arg("--addr")
+            .arg("127.0.0.1:0")
+            .arg("--state-dir")
+            .arg(state_dir)
+            .args(extra)
+            .stdout(Stdio::piped())
+            .stderr(Stdio::inherit())
+            .spawn()
+            .expect("spawn campaignd");
+        let stdout = child.stdout.take().expect("piped stdout");
+        let banner =
+            BufReader::new(stdout).lines().next().and_then(|l| l.ok()).expect("campaignd banner");
+        let addr = banner.rsplit(' ').next().unwrap_or_default().to_owned();
+        assert!(addr.contains(':'), "unexpected banner: {banner}");
+        Daemon { child, addr }
+    }
+
+    fn client(&self) -> Client {
+        Client::new(self.addr.clone()).with_timeout(Duration::from_secs(30))
+    }
+
+    /// SIGKILL — no drain, no final fsync beyond what already committed.
+    fn kill9(&mut self) {
+        self.child.kill().expect("kill -9");
+        self.child.wait().expect("reap");
+    }
+
+    fn shutdown(&mut self) {
+        let _ = self.client().shutdown();
+        let _ = self.child.wait();
+    }
+}
+
+impl Drop for Daemon {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+fn tempdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("enerj-serve-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("tempdir");
+    dir
+}
+
+fn spec(tenant: &str, levels: &str, runs: u64, chunk: usize, extra: &str) -> String {
+    format!(
+        "{{\"schema\":\"enerj-serve/1\",\"tenant\":\"{tenant}\",\"apps\":[\"MonteCarlo\"],\
+         \"levels\":[{levels}],\"runs\":{runs},\"chunk\":{chunk}{extra}}}"
+    )
+}
+
+fn submit_ok(client: &Client, spec: &str) -> String {
+    match client.submit(spec).expect("submit") {
+        Submitted::Accepted { job_id, .. } => job_id,
+        Submitted::Rejected { error, detail, .. } => panic!("rejected ({error}): {detail}"),
+    }
+}
+
+fn collect(client: &Client, job: &str, from_line: u64) -> Vec<u8> {
+    let mut bytes = Vec::new();
+    client
+        .stream_lines(job, from_line, |line| {
+            bytes.extend_from_slice(line.as_bytes());
+            bytes.push(b'\n');
+        })
+        .expect("stream");
+    bytes
+}
+
+fn status_field(client: &Client, job: &str, field: &str) -> i128 {
+    client
+        .status(job)
+        .expect("status")
+        .json()
+        .expect("status json")
+        .get(field)
+        .and_then(|v| v.as_i128())
+        .unwrap_or(-1)
+}
+
+/// Acceptance criterion 1: kill -9 mid-campaign at a randomized committed
+/// boundary, restart, resume — the full NDJSON stream is byte-identical
+/// to an uninterrupted run on a separate server, the exact quanta agree,
+/// and a client resuming with `from_line` sees no duplicated or lost line.
+#[test]
+fn kill_resume_stream_is_byte_identical() {
+    let two_levels = "\"Mild\",\"Aggressive\"";
+    let job_spec = spec("t1", two_levels, 3, 2, "");
+    let total_trials = 6;
+
+    let mut clean = Daemon::start(&tempdir("clean"), &["--workers", "2"]);
+    let clean_client = clean.client();
+    let clean_job = submit_ok(&clean_client, &job_spec);
+    assert_eq!(clean_client.wait(&clean_job, WAIT).expect("clean"), "complete");
+    let clean_bytes = collect(&clean_client, &clean_job, 0);
+    assert_eq!(clean_bytes.iter().filter(|&&b| b == b'\n').count(), total_trials);
+    let clean_summary = clean_client.summary(&clean_job).expect("summary").json().expect("json");
+    clean.shutdown();
+
+    // Randomized kill point strictly inside the campaign.
+    let nanos = SystemTime::now().duration_since(UNIX_EPOCH).unwrap().subsec_nanos() as usize;
+    let kill_after = 1 + nanos % (total_trials - 2);
+    let crash_dir = tempdir("crash");
+    let mut crash = Daemon::start(&crash_dir, &["--workers", "2"]);
+    let crash_client = crash.client();
+    let crash_job = submit_ok(&crash_client, &job_spec);
+    // Collect the pre-kill prefix like a real client would: a live stream
+    // that the kill below severs mid-flight.
+    let prefix = std::sync::Arc::new(std::sync::Mutex::new(Vec::<String>::new()));
+    let streamer = {
+        let prefix = std::sync::Arc::clone(&prefix);
+        let client = crash_client.clone();
+        let job = crash_job.clone();
+        std::thread::spawn(move || {
+            let _ = client.stream_lines(&job, 0, |line| {
+                prefix.lock().expect("prefix").push(line.to_owned());
+            });
+        })
+    };
+    while status_field(&crash_client, &crash_job, "trials_committed") < kill_after as i128 {
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    crash.kill9();
+    streamer.join().expect("streamer thread");
+    let prefix_lines: Vec<String> = prefix.lock().expect("prefix").clone();
+
+    let mut resumed = Daemon::start(&crash_dir, &["--workers", "2"]);
+    let resumed_client = resumed.client();
+    assert_eq!(resumed_client.wait(&crash_job, WAIT).expect("resumed"), "complete");
+    let crash_bytes = collect(&resumed_client, &crash_job, 0);
+    assert_eq!(
+        clean_bytes, crash_bytes,
+        "kill -9 after {kill_after} trials must not change a single byte"
+    );
+    let resumed_summary =
+        resumed_client.summary(&crash_job).expect("summary").json().expect("json");
+    for field in ["quanta_total", "quanta_baseline", "trials_done", "mean_error", "panics"] {
+        assert_eq!(
+            clean_summary.get(field),
+            resumed_summary.get(field),
+            "summary field `{field}` diverged across kill-resume"
+        );
+    }
+    // Client-side resume: prefix collected before the kill + `from_line`
+    // suffix collected after concatenates to the identical stream.
+    let suffix = collect(&resumed_client, &crash_job, prefix_lines.len() as u64);
+    let mut stitched: Vec<u8> = Vec::new();
+    for line in &prefix_lines {
+        stitched.extend_from_slice(line.as_bytes());
+        stitched.push(b'\n');
+    }
+    stitched.extend_from_slice(&suffix);
+    assert_eq!(clean_bytes, stitched, "from_line resume must stitch exactly");
+    resumed.shutdown();
+}
+
+/// Acceptance criterion 2 (stop policy): a tenant crossing its quota gets
+/// an `over_quota` verdict with partial results at a chunk boundary, and
+/// further submissions are rejected 403 non-retriable while an unrelated
+/// tenant on the same server is untouched.
+#[test]
+fn over_quota_tenant_stops_with_partial_results() {
+    let dir = tempdir("quota-stop");
+    // One MonteCarlo Mild trial costs ~1.2e11 quanta; a 1000-quanta quota
+    // trips on the very first chunk commit.
+    let mut d = Daemon::start(&dir, &["--workers", "2", "--tenant", "capped:1000:stop"]);
+    let client = d.client();
+    let job = submit_ok(&client, &spec("capped", "\"Mild\"", 4, 2, ""));
+    assert_eq!(client.wait(&job, WAIT).expect("job"), "over_quota");
+    let summary = client.summary(&job).expect("summary").json().expect("json");
+    assert_eq!(summary.get("trials_done").and_then(|v| v.as_i128()), Some(2));
+    assert_eq!(collect(&client, &job, 0).iter().filter(|&&b| b == b'\n').count(), 2);
+
+    // The tenant is now exhausted: admission rejects, non-retriable.
+    match client.submit(&spec("capped", "\"Mild\"", 4, 2, "")).expect("submit") {
+        Submitted::Rejected { status, error, retriable, .. } => {
+            assert_eq!(status, 403);
+            assert_eq!(error, "over_quota");
+            assert!(!retriable, "quota exhaustion is not retriable");
+        }
+        Submitted::Accepted { .. } => panic!("exhausted tenant must be rejected"),
+    }
+    // Chaos isolation: an unrelated tenant still completes normally.
+    let other = submit_ok(&client, &spec("fine", "\"Mild\"", 2, 2, ""));
+    assert_eq!(client.wait(&other, WAIT).expect("other tenant"), "complete");
+    let t = client.tenant("capped").expect("tenant").json().expect("json");
+    assert!(t.get("spent").and_then(|v| v.as_u128()).unwrap_or(0) > 1000);
+    d.shutdown();
+}
+
+/// Over-budget `degrade` policy: each over-budget chunk commit walks the
+/// remaining trials one rung down the scheduler ladder (visible as
+/// `scheduled_level` in the stream), then hard-stops at the Aggressive
+/// floor with `over_quota`.
+#[test]
+fn degrade_policy_walks_the_ladder_then_stops() {
+    let dir = tempdir("quota-degrade");
+    let mut d = Daemon::start(&dir, &["--workers", "1", "--tenant", "lab:1000:degrade"]);
+    let client = d.client();
+    // 6 Precise trials, chunk 1: commit 0 trips the quota (degrade -> 1),
+    // commits 1..3 keep walking (Mild, Medium, Aggressive), commit 3 is
+    // at the floor and still over -> stop. Exactly 4 trials committed.
+    let job = submit_ok(&client, &spec("lab", "\"Precise\"", 6, 1, ""));
+    assert_eq!(client.wait(&job, WAIT).expect("job"), "over_quota");
+    let summary = client.summary(&job).expect("summary").json().expect("json");
+    assert_eq!(summary.get("trials_done").and_then(|v| v.as_i128()), Some(4));
+    assert_eq!(summary.get("degrade_final").and_then(|v| v.as_i128()), Some(3));
+    let text = String::from_utf8(collect(&client, &job, 0)).expect("utf8");
+    let lines: Vec<&str> = text.lines().collect();
+    assert_eq!(lines.len(), 4);
+    assert!(lines[0].contains("\"scheduled_level\":null"), "first trial ran as requested");
+    for (line, rung) in lines[1..].iter().zip(["Mild", "Medium", "Aggressive"]) {
+        assert!(
+            line.contains(&format!("\"scheduled_level\":\"{rung}\"")),
+            "expected rung {rung} in {line}"
+        );
+    }
+    d.shutdown();
+}
+
+/// Admission control: with the queue full, submissions are rejected 429
+/// `queue_full`, retriable, with a backoff hint — and succeed after the
+/// queue drains.
+#[test]
+fn queue_full_rejection_is_retriable_with_backoff() {
+    let dir = tempdir("queue");
+    // Stall the first claim so job 1 reliably occupies the queue.
+    let mut d = Daemon::start(
+        &dir,
+        &[
+            "--workers",
+            "1",
+            "--queue-cap",
+            "1",
+            "--test-stall-claim",
+            "1:1500",
+            "--lease-secs",
+            "30",
+        ],
+    );
+    let client = d.client();
+    let first = submit_ok(&client, &spec("t1", "\"Mild\"", 1, 1, ""));
+    match client.submit(&spec("t1", "\"Mild\"", 1, 1, "")).expect("submit") {
+        Submitted::Rejected { status, error, retriable, backoff_ms, .. } => {
+            assert_eq!(status, 429);
+            assert_eq!(error, "queue_full");
+            assert!(retriable, "queue pressure is transient");
+            assert!(backoff_ms.is_some(), "server must hint a backoff");
+        }
+        Submitted::Accepted { .. } => panic!("over-capacity submit must be rejected"),
+    }
+    assert_eq!(client.wait(&first, WAIT).expect("first"), "complete");
+    let retry = submit_ok(&client, &spec("t1", "\"Mild\"", 1, 1, ""));
+    assert_eq!(client.wait(&retry, WAIT).expect("retry"), "complete");
+    d.shutdown();
+}
+
+/// Acceptance criterion 3a: a worker that dies mid-chunk (panic) loses its
+/// lease; the chunk is reclaimed, re-run by a surviving worker, and the
+/// output is byte-identical to a run on a healthy server.
+#[test]
+fn dead_worker_chunks_are_reclaimed_via_leases() {
+    let job_spec = spec("t1", "\"Mild\"", 6, 2, "");
+    let mut healthy = Daemon::start(&tempdir("healthy"), &["--workers", "2"]);
+    let hc = healthy.client();
+    let healthy_job = submit_ok(&hc, &job_spec);
+    assert_eq!(hc.wait(&healthy_job, WAIT).expect("healthy"), "complete");
+    let expected = collect(&hc, &healthy_job, 0);
+    healthy.shutdown();
+
+    let mut chaos = Daemon::start(
+        &tempdir("panic-worker"),
+        &["--workers", "2", "--lease-secs", "0.4", "--test-panic-claim", "1"],
+    );
+    let cc = chaos.client();
+    let job = submit_ok(&cc, &job_spec);
+    assert_eq!(cc.wait(&job, WAIT).expect("chaos"), "complete");
+    assert_eq!(collect(&cc, &job, 0), expected, "reclaimed chunks must re-run identically");
+    chaos.shutdown();
+}
+
+/// Acceptance criterion 3b: a *stalled* worker (alive but wedged past its
+/// lease) is treated the same — the chunk re-runs elsewhere and the
+/// stalled worker's late result is discarded by the generation check, so
+/// nothing is committed twice.
+#[test]
+fn stalled_worker_chunks_are_reclaimed_and_not_double_committed() {
+    let job_spec = spec("t1", "\"Mild\"", 6, 2, "");
+    let mut healthy = Daemon::start(&tempdir("healthy2"), &["--workers", "2"]);
+    let hc = healthy.client();
+    let healthy_job = submit_ok(&hc, &job_spec);
+    assert_eq!(hc.wait(&healthy_job, WAIT).expect("healthy"), "complete");
+    let expected = collect(&hc, &healthy_job, 0);
+    healthy.shutdown();
+
+    let mut chaos = Daemon::start(
+        &tempdir("stall-worker"),
+        &["--workers", "2", "--lease-secs", "0.4", "--test-stall-claim", "2:2500"],
+    );
+    let cc = chaos.client();
+    let job = submit_ok(&cc, &job_spec);
+    assert_eq!(cc.wait(&job, WAIT).expect("chaos"), "complete");
+    let got = collect(&cc, &job, 0);
+    assert_eq!(got, expected, "stalled-worker reclaim must not duplicate or reorder lines");
+    // Wait out the stalled worker's late commit attempt, then re-check
+    // the durable bytes: the generation check must have discarded it.
+    std::thread::sleep(Duration::from_millis(3000));
+    assert_eq!(collect(&cc, &job, 0), expected, "late result must be discarded, not appended");
+    chaos.shutdown();
+}
+
+/// Acceptance criterion 2 (chaos): a client that connects, reads a few
+/// bytes and vanishes — and a slow reader that never drains its socket —
+/// disturb neither the campaign nor other tenants.
+#[test]
+fn client_disconnect_and_slow_reader_are_isolated() {
+    let dir = tempdir("clients");
+    let mut d = Daemon::start(&dir, &["--workers", "2", "--write-timeout-secs", "1"]);
+    let client = d.client();
+    let job_a = submit_ok(&client, &spec("streamy", "\"Mild\",\"Aggressive\"", 3, 2, ""));
+
+    // Rude client: read a little, then disconnect mid-stream.
+    {
+        let mut raw = TcpStream::connect(&d.addr).expect("connect");
+        raw.write_all(
+            format!("GET /jobs/{job_a}/stream HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n")
+                .as_bytes(),
+        )
+        .expect("request");
+        let mut tiny = [0u8; 64];
+        let _ = raw.read(&mut tiny);
+        // dropped here: connection reset mid-stream
+    }
+    // Slow reader: opens the stream and never reads. The server's write
+    // timeout bounds the damage to this one socket.
+    let slow = TcpStream::connect(&d.addr).expect("connect");
+    {
+        let mut s = slow.try_clone().expect("clone");
+        s.write_all(
+            format!("GET /jobs/{job_a}/stream HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n")
+                .as_bytes(),
+        )
+        .expect("request");
+    }
+
+    // Another tenant's job completes promptly despite both misbehaving
+    // clients, and job A itself is unharmed.
+    let job_b = submit_ok(&client, &spec("prompt", "\"Mild\"", 2, 2, ""));
+    assert_eq!(client.wait(&job_b, WAIT).expect("job b"), "complete");
+    assert_eq!(client.wait(&job_a, WAIT).expect("job a"), "complete");
+    let full = collect(&client, &job_a, 0);
+    assert_eq!(full.iter().filter(|&&b| b == b'\n').count(), 6);
+    drop(slow);
+    d.shutdown();
+}
+
+/// A job deadline truncates at a chunk boundary with an explicit
+/// `deadline_exceeded` verdict, and the committed prefix stays streamable.
+#[test]
+fn job_deadline_truncates_with_explicit_verdict() {
+    let dir = tempdir("deadline");
+    // One worker stalled 1.5s on its first claim + a 0.5s deadline: the
+    // deadline fires before any chunk commits.
+    let mut d = Daemon::start(
+        &dir,
+        &["--workers", "1", "--lease-secs", "30", "--test-stall-claim", "1:1500"],
+    );
+    let client = d.client();
+    let job = submit_ok(&client, &spec("t1", "\"Mild\"", 4, 2, ",\"deadline_secs\":0.5"));
+    assert_eq!(client.wait(&job, WAIT).expect("job"), "deadline_exceeded");
+    let summary = client.summary(&job).expect("summary").json().expect("json");
+    let done = summary.get("trials_done").and_then(|v| v.as_i128()).unwrap_or(-1);
+    assert!((0..8).contains(&done), "deadline must truncate, got {done}");
+    assert_eq!(
+        collect(&client, &job, 0).iter().filter(|&&b| b == b'\n').count() as i128,
+        done,
+        "stream serves exactly the committed prefix"
+    );
+    d.shutdown();
+}
+
+/// Malformed specs are rejected 400 with a non-retriable typed error.
+#[test]
+fn bad_specs_are_rejected_with_typed_errors() {
+    let dir = tempdir("badspec");
+    let mut d = Daemon::start(&dir, &["--workers", "1"]);
+    let client = d.client();
+    for bad in [
+        "not json at all",
+        "{\"schema\":\"enerj-serve/2\",\"tenant\":\"t\",\"apps\":[\"MonteCarlo\"],\"levels\":[\"Mild\"],\"runs\":1}",
+        "{\"schema\":\"enerj-serve/1\",\"tenant\":\"t\",\"apps\":[\"Nope\"],\"levels\":[\"Mild\"],\"runs\":1}",
+        "{\"schema\":\"enerj-serve/1\",\"tenant\":\"t\",\"apps\":[\"MonteCarlo\"],\"levels\":[\"Mild\"],\"runs\":0}",
+    ] {
+        match client.submit(bad).expect("submit") {
+            Submitted::Rejected { status, error, retriable, .. } => {
+                assert_eq!(status, 400, "spec: {bad}");
+                assert_eq!(error, "bad_request");
+                assert!(!retriable);
+            }
+            Submitted::Accepted { .. } => panic!("must reject: {bad}"),
+        }
+    }
+    d.shutdown();
+}
